@@ -1,0 +1,94 @@
+// Engine ablations: naive vs semi-naive fixpoint iteration on recursive
+// workloads (reachability over random graphs, NFA acceptance), sweeping
+// instance size.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "src/engine/eval.h"
+#include "src/queries/queries.h"
+#include "src/workload/generators.h"
+
+namespace seqdl {
+namespace {
+
+void PrintRoundCounts() {
+  std::printf("=== Engine ablation: naive vs semi-naive ===\n");
+  std::printf("%-8s %-8s %-16s %-16s\n", "nodes", "edges", "rounds(semi)",
+              "rounds(naive)");
+  for (size_t nodes : {8u, 16u, 32u}) {
+    Universe u;
+    Result<ParsedQuery> q = ParsePaperQuery(u, "reach_ab");
+    if (!q.ok()) std::abort();
+    GraphWorkload gw;
+    gw.nodes = nodes;
+    gw.edges = nodes * 2;
+    gw.seed = nodes;
+    Result<Instance> in = GraphToInstance(u, RandomGraph(gw), "R");
+    EvalStats semi, naive;
+    EvalOptions naive_opts;
+    naive_opts.seminaive = false;
+    Result<Instance> o1 = Eval(u, q->program, *in, {}, &semi);
+    Result<Instance> o2 = Eval(u, q->program, *in, naive_opts, &naive);
+    if (!o1.ok() || !o2.ok()) continue;
+    std::printf("%-8zu %-8zu %-16zu %-16zu  (firings %zu vs %zu)\n", nodes,
+                gw.edges, semi.rounds, naive.rounds, semi.rule_firings,
+                naive.rule_firings);
+  }
+  std::printf("\n");
+}
+
+void RunReachability(benchmark::State& state, bool seminaive) {
+  size_t nodes = static_cast<size_t>(state.range(0));
+  Universe u;
+  Result<ParsedQuery> q = ParsePaperQuery(u, "reach_ab");
+  GraphWorkload gw;
+  gw.nodes = nodes;
+  gw.edges = nodes * 2;
+  gw.seed = 21;
+  Result<Instance> in = GraphToInstance(u, RandomGraph(gw), "R");
+  EvalOptions opts;
+  opts.seminaive = seminaive;
+  for (auto _ : state) {
+    Result<Instance> out = Eval(u, q->program, *in, opts);
+    if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
+    benchmark::DoNotOptimize(out);
+  }
+}
+
+void BM_ReachSeminaive(benchmark::State& state) {
+  RunReachability(state, true);
+}
+BENCHMARK(BM_ReachSeminaive)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_ReachNaive(benchmark::State& state) {
+  RunReachability(state, false);
+}
+BENCHMARK(BM_ReachNaive)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_StratifiedNegationPipeline(benchmark::State& state) {
+  size_t logs = static_cast<size_t>(state.range(0));
+  Universe u;
+  Result<ParsedQuery> q = ParsePaperQuery(u, "process_mining");
+  EventLogWorkload ew;
+  ew.count = logs;
+  ew.len = 10;
+  ew.seed = 4;
+  Result<Instance> in = RandomEventLogs(u, ew);
+  for (auto _ : state) {
+    Result<Instance> out = Eval(u, q->program, *in);
+    if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_StratifiedNegationPipeline)->Arg(8)->Arg(32)->Arg(128);
+
+}  // namespace
+}  // namespace seqdl
+
+int main(int argc, char** argv) {
+  seqdl::PrintRoundCounts();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Benchmarks the Theorem 6.1 decision procedure (the if-direction of which
+// is Figure 3 in the paper) over all pairs of fragments, and prints the
+// full 16x16 subsumption matrix of the core fragments.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "src/fragments/fragments.h"
+
+namespace seqdl {
+namespace {
+
+void PrintSubsumptionMatrix() {
+  std::printf("=== Theorem 6.1: subsumption matrix of the 16 core "
+              "fragments ===\n");
+  std::vector<FeatureSet> fragments = AllCoreFragments();
+  std::printf("%-12s", "F1 \\ F2");
+  for (FeatureSet f2 : fragments) std::printf("%-10s", f2.ToString().c_str());
+  std::printf("\n");
+  for (FeatureSet f1 : fragments) {
+    std::printf("%-12s", f1.ToString().c_str());
+    for (FeatureSet f2 : fragments) {
+      std::printf("%-10s", Subsumes(f1, f2) ? "<=" : ".");
+    }
+    std::printf("\n");
+  }
+  size_t pairs = 0, subsumed = 0;
+  for (FeatureSet f1 : AllFragments()) {
+    for (FeatureSet f2 : AllFragments()) {
+      ++pairs;
+      subsumed += Subsumes(f1, f2) ? 1 : 0;
+    }
+  }
+  std::printf("\nall 64x64 fragment pairs: %zu, of which %zu subsumptions\n\n",
+              pairs, subsumed);
+}
+
+void BM_SubsumesAllPairs(benchmark::State& state) {
+  std::vector<FeatureSet> fragments = AllFragments();
+  for (auto _ : state) {
+    size_t count = 0;
+    for (FeatureSet f1 : fragments) {
+      for (FeatureSet f2 : fragments) {
+        count += Subsumes(f1, f2) ? 1 : 0;
+      }
+    }
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 64 * 64);
+}
+BENCHMARK(BM_SubsumesAllPairs);
+
+void BM_EquivalentAllPairs(benchmark::State& state) {
+  std::vector<FeatureSet> fragments = AllCoreFragments();
+  for (auto _ : state) {
+    size_t count = 0;
+    for (FeatureSet f1 : fragments) {
+      for (FeatureSet f2 : fragments) {
+        count += Equivalent(f1, f2) ? 1 : 0;
+      }
+    }
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_EquivalentAllPairs);
+
+}  // namespace
+}  // namespace seqdl
+
+int main(int argc, char** argv) {
+  seqdl::PrintSubsumptionMatrix();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

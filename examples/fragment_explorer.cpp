@@ -1,0 +1,107 @@
+// Fragment explorer: reads a Sequence Datalog program (from a file given
+// as argv[1], or a built-in demo), reports which of the paper's six
+// features it uses, where its fragment sits in the Figure 1 Hasse diagram,
+// and applies the applicable redundancy transformations (Theorems 4.2,
+// 4.7, 4.15/Lemma 4.13).
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/analysis/dependency_graph.h"
+#include "src/analysis/features.h"
+#include "src/analysis/safety.h"
+#include "src/fragments/fragments.h"
+#include "src/syntax/parser.h"
+#include "src/syntax/printer.h"
+#include "src/term/universe.h"
+#include "src/transform/arity_elim.h"
+#include "src/transform/equation_elim.h"
+#include "src/transform/packing_elim.h"
+
+namespace {
+
+constexpr const char* kDemo =
+    "T($u ++ <$s> ++ $v) <- R($u ++ $s ++ $v), S($s).\n"
+    "A <- T($x), T($y), T($z), $x != $y, $x != $z, $y != $z.\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string source = kDemo;
+  if (argc > 1) {
+    std::ifstream file(argv[1]);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    source = buffer.str();
+  }
+
+  seqdl::Universe u;
+  seqdl::Result<seqdl::Program> program = seqdl::ParseProgram(u, source);
+  if (!program.ok()) {
+    std::fprintf(stderr, "%s\n", program.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("program:\n%s\n", seqdl::FormatProgram(u, *program).c_str());
+
+  seqdl::Status valid = seqdl::ValidateProgram(u, *program);
+  std::printf("validation: %s\n", valid.ToString().c_str());
+  if (!valid.ok()) return 1;
+
+  seqdl::FeatureSet features = seqdl::DetectFeatures(*program);
+  std::printf("features used: %s\n", features.ToString().c_str());
+
+  // Locate the fragment's equivalence class in Figure 1.
+  for (const seqdl::FragmentClass& cls : seqdl::CoreEquivalenceClasses()) {
+    if (seqdl::Equivalent(features, cls.Rep())) {
+      std::printf("expressiveness class (Figure 1): %s\n",
+                  cls.Label().c_str());
+      break;
+    }
+  }
+
+  // Apply the redundancy results that the paper guarantees.
+  seqdl::Program current = *program;
+  if (features.Contains(seqdl::Feature::kPacking) &&
+      !features.Contains(seqdl::Feature::kRecursion)) {
+    seqdl::Result<seqdl::Program> q =
+        seqdl::EliminatePackingNonrecursive(u, current);
+    if (q.ok()) {
+      std::printf("\nafter packing elimination (Lemma 4.13, %zu rules):\n%s",
+                  q->NumRules(), seqdl::FormatProgram(u, *q).c_str());
+      current = *q;
+    } else {
+      std::printf("packing elimination failed: %s\n",
+                  q.status().ToString().c_str());
+    }
+  }
+  seqdl::FeatureSet now = seqdl::DetectFeatures(current);
+  if (now.Contains(seqdl::Feature::kEquations) &&
+      now.Contains(seqdl::Feature::kIntermediate)) {
+    seqdl::Result<seqdl::Program> q =
+        seqdl::EliminateEquations(u, current);
+    if (q.ok()) {
+      std::printf("\nafter equation elimination (Theorem 4.7, %zu rules)\n",
+                  q->NumRules());
+      current = *q;
+    }
+  }
+  now = seqdl::DetectFeatures(current);
+  if (now.Contains(seqdl::Feature::kArity)) {
+    seqdl::Result<seqdl::Program> q = seqdl::EliminateArity(u, current);
+    if (q.ok()) {
+      std::printf("\nafter arity elimination (Theorem 4.2, %zu rules)\n",
+                  q->NumRules());
+      current = *q;
+    } else {
+      std::printf("\narity elimination not applicable: %s\n",
+                  q.status().ToString().c_str());
+    }
+  }
+  std::printf("\nfinal features: %s\n",
+              seqdl::DetectFeatures(current).ToString().c_str());
+  return 0;
+}

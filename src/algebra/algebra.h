@@ -1,0 +1,83 @@
+// The sequence relational algebra of Section 7: the classical relational
+// algebra (union, difference, cartesian product) with selection and
+// projection generalized to path expressions over column variables
+// $1, ..., $n, plus two extraction operators:
+//
+//   UNPACK_i(R) = { (t1,...,s,...,tn) | (t1,...,<s>,...,tn) ∈ R }
+//   SUB_i(R)    = { (t1,...,tn,s)     | t ∈ R, s a substring of ti }
+//
+// Expressions evaluate over an Instance; Theorem 7.1 (from_datalog.h /
+// to_datalog.h) links the algebra with nonrecursive Sequence Datalog.
+#ifndef SEQDL_ALGEBRA_ALGEBRA_H_
+#define SEQDL_ALGEBRA_ALGEBRA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/engine/instance.h"
+#include "src/syntax/ast.h"
+#include "src/term/universe.h"
+
+namespace seqdl {
+
+struct AlgebraExpr;
+using AlgebraPtr = std::shared_ptr<const AlgebraExpr>;
+
+struct AlgebraExpr {
+  enum class Op {
+    kRel,      // a named relation
+    kConst,    // a constant relation
+    kSelect,   // σ_{α=β}
+    kProject,  // π_{α1,...,αp}
+    kUnion,
+    kDiff,
+    kProduct,
+    kUnpack,   // UNPACK_i
+    kSub,      // SUB_i
+  };
+
+  Op op;
+  RelId rel = 0;                     // kRel
+  uint32_t const_arity = 0;          // kConst
+  std::vector<Tuple> const_tuples;   // kConst
+  AlgebraPtr left, right;            // children
+  PathExpr alpha, beta;              // kSelect
+  std::vector<PathExpr> projections; // kProject
+  size_t column = 0;                 // kUnpack / kSub (1-based, as in §7)
+};
+
+/// The column variable $i (1-based), as used in selections/projections.
+PathExpr ColExpr(Universe& u, size_t i);
+
+// Construction helpers.
+AlgebraPtr AlgRel(RelId rel);
+AlgebraPtr AlgConst(uint32_t arity, std::vector<Tuple> tuples);
+AlgebraPtr AlgSelect(AlgebraPtr child, PathExpr alpha, PathExpr beta);
+AlgebraPtr AlgProject(AlgebraPtr child, std::vector<PathExpr> projections);
+AlgebraPtr AlgUnion(AlgebraPtr a, AlgebraPtr b);
+AlgebraPtr AlgDiff(AlgebraPtr a, AlgebraPtr b);
+AlgebraPtr AlgProduct(AlgebraPtr a, AlgebraPtr b);
+AlgebraPtr AlgUnpack(AlgebraPtr child, size_t column);
+AlgebraPtr AlgSub(AlgebraPtr child, size_t column);
+
+/// An evaluated relation.
+struct EvaluatedRel {
+  uint32_t arity = 0;
+  TupleSet tuples;
+};
+
+/// Evaluates `e` against `input`.
+Result<EvaluatedRel> EvalAlgebra(Universe& u, const AlgebraExpr& e,
+                                 const Instance& input);
+
+/// The arity of the expression's result (checks child arities).
+Result<uint32_t> AlgebraArity(const Universe& u, const AlgebraExpr& e);
+
+/// Single-line rendering, e.g. "π_{$1}(σ_{$1=$2}(R × S))".
+std::string FormatAlgebra(const Universe& u, const AlgebraExpr& e);
+
+}  // namespace seqdl
+
+#endif  // SEQDL_ALGEBRA_ALGEBRA_H_

@@ -1,0 +1,22 @@
+// Theorem 7.1, forward direction: every nonrecursive Sequence Datalog
+// program translates to a sequence relational algebra expression computing
+// the same relation. The translation goes through the Lemma 7.2 normal form
+// (eliminating equations first, per Theorem 4.7, if any are present).
+#ifndef SEQDL_ALGEBRA_FROM_DATALOG_H_
+#define SEQDL_ALGEBRA_FROM_DATALOG_H_
+
+#include "src/algebra/algebra.h"
+#include "src/base/status.h"
+#include "src/syntax/ast.h"
+#include "src/term/universe.h"
+
+namespace seqdl {
+
+/// Translates nonrecursive `p` into an algebra expression for the IDB
+/// relation `target`.
+Result<AlgebraPtr> DatalogToAlgebra(Universe& u, const Program& p,
+                                    RelId target);
+
+}  // namespace seqdl
+
+#endif  // SEQDL_ALGEBRA_FROM_DATALOG_H_

@@ -1,0 +1,174 @@
+#include "src/algebra/to_datalog.h"
+
+#include <vector>
+
+#include "src/analysis/stratify.h"
+
+namespace seqdl {
+
+namespace {
+
+class Compiler {
+ public:
+  explicit Compiler(Universe& u) : u_(u) {}
+
+  Result<AlgebraToDatalogResult> Run(const AlgebraExpr& e) {
+    SEQDL_ASSIGN_OR_RETURN(RelId out, Compile(e));
+    SEQDL_ASSIGN_OR_RETURN(Program p, AutoStratify(rules_));
+    return AlgebraToDatalogResult{std::move(p), out};
+  }
+
+ private:
+  // Fresh distinct path variables $c1.._cn for a rule.
+  std::vector<PathExpr> FreshVars(size_t n) {
+    std::vector<PathExpr> out;
+    for (size_t i = 0; i < n; ++i) {
+      out.push_back(VarExpr(u_, u_.FreshVar(VarKind::kPath, "c")));
+    }
+    return out;
+  }
+
+  // Substitution mapping the column variables $1..$n to `cols`.
+  ExprSubst ColumnSubst(const std::vector<PathExpr>& cols) {
+    ExprSubst subst;
+    for (size_t i = 0; i < cols.size(); ++i) {
+      subst[u_.InternVar(VarKind::kPath, std::to_string(i + 1))] = cols[i];
+    }
+    return subst;
+  }
+
+  Result<RelId> Compile(const AlgebraExpr& e) {
+    SEQDL_ASSIGN_OR_RETURN(uint32_t arity, AlgebraArity(u_, e));
+    switch (e.op) {
+      case AlgebraExpr::Op::kRel:
+        return e.rel;
+      case AlgebraExpr::Op::kConst: {
+        RelId out = u_.FreshRel("Const", arity);
+        for (const Tuple& t : e.const_tuples) {
+          Rule fact;
+          fact.head.rel = out;
+          for (PathId p : t) fact.head.args.push_back(ExprOfPath(u_, p));
+          rules_.push_back(std::move(fact));
+        }
+        return out;
+      }
+      case AlgebraExpr::Op::kSelect: {
+        SEQDL_ASSIGN_OR_RETURN(RelId child, Compile(*e.left));
+        RelId out = u_.FreshRel("Sel", arity);
+        std::vector<PathExpr> cols = FreshVars(arity);
+        ExprSubst subst = ColumnSubst(cols);
+        Rule r;
+        r.head = Predicate{out, cols};
+        r.body.push_back(Literal::Pred(Predicate{child, cols}));
+        r.body.push_back(Literal::Eq(SubstituteExpr(e.alpha, subst),
+                                     SubstituteExpr(e.beta, subst)));
+        rules_.push_back(std::move(r));
+        return out;
+      }
+      case AlgebraExpr::Op::kProject: {
+        SEQDL_ASSIGN_OR_RETURN(RelId child, Compile(*e.left));
+        SEQDL_ASSIGN_OR_RETURN(uint32_t child_arity,
+                               AlgebraArity(u_, *e.left));
+        RelId out = u_.FreshRel("Proj", arity);
+        std::vector<PathExpr> cols = FreshVars(child_arity);
+        ExprSubst subst = ColumnSubst(cols);
+        Rule r;
+        r.head.rel = out;
+        for (const PathExpr& pe : e.projections) {
+          r.head.args.push_back(SubstituteExpr(pe, subst));
+        }
+        r.body.push_back(Literal::Pred(Predicate{child, cols}));
+        rules_.push_back(std::move(r));
+        return out;
+      }
+      case AlgebraExpr::Op::kUnion: {
+        SEQDL_ASSIGN_OR_RETURN(RelId l, Compile(*e.left));
+        SEQDL_ASSIGN_OR_RETURN(RelId r2, Compile(*e.right));
+        RelId out = u_.FreshRel("Union", arity);
+        for (RelId child : {l, r2}) {
+          std::vector<PathExpr> cols = FreshVars(arity);
+          Rule r;
+          r.head = Predicate{out, cols};
+          r.body.push_back(Literal::Pred(Predicate{child, cols}));
+          rules_.push_back(std::move(r));
+        }
+        return out;
+      }
+      case AlgebraExpr::Op::kDiff: {
+        SEQDL_ASSIGN_OR_RETURN(RelId l, Compile(*e.left));
+        SEQDL_ASSIGN_OR_RETURN(RelId r2, Compile(*e.right));
+        RelId out = u_.FreshRel("Diff", arity);
+        std::vector<PathExpr> cols = FreshVars(arity);
+        Rule r;
+        r.head = Predicate{out, cols};
+        r.body.push_back(Literal::Pred(Predicate{l, cols}));
+        r.body.push_back(
+            Literal::Pred(Predicate{r2, cols}, /*negated=*/true));
+        rules_.push_back(std::move(r));
+        return out;
+      }
+      case AlgebraExpr::Op::kProduct: {
+        SEQDL_ASSIGN_OR_RETURN(RelId l, Compile(*e.left));
+        SEQDL_ASSIGN_OR_RETURN(RelId r2, Compile(*e.right));
+        SEQDL_ASSIGN_OR_RETURN(uint32_t la, AlgebraArity(u_, *e.left));
+        SEQDL_ASSIGN_OR_RETURN(uint32_t ra, AlgebraArity(u_, *e.right));
+        RelId out = u_.FreshRel("Prod", arity);
+        std::vector<PathExpr> lcols = FreshVars(la);
+        std::vector<PathExpr> rcols = FreshVars(ra);
+        Rule r;
+        r.head.rel = out;
+        r.head.args = lcols;
+        r.head.args.insert(r.head.args.end(), rcols.begin(), rcols.end());
+        r.body.push_back(Literal::Pred(Predicate{l, lcols}));
+        r.body.push_back(Literal::Pred(Predicate{r2, rcols}));
+        rules_.push_back(std::move(r));
+        return out;
+      }
+      case AlgebraExpr::Op::kUnpack: {
+        SEQDL_ASSIGN_OR_RETURN(RelId child, Compile(*e.left));
+        RelId out = u_.FreshRel("Unpack", arity);
+        std::vector<PathExpr> cols = FreshVars(arity);
+        std::vector<PathExpr> body_cols = cols;
+        body_cols[e.column - 1] = PackExpr(cols[e.column - 1]);
+        Rule r;
+        r.head = Predicate{out, cols};
+        r.body.push_back(Literal::Pred(Predicate{child, body_cols}));
+        rules_.push_back(std::move(r));
+        return out;
+      }
+      case AlgebraExpr::Op::kSub: {
+        SEQDL_ASSIGN_OR_RETURN(RelId child, Compile(*e.left));
+        SEQDL_ASSIGN_OR_RETURN(uint32_t child_arity,
+                               AlgebraArity(u_, *e.left));
+        RelId out = u_.FreshRel("Sub", arity);
+        std::vector<PathExpr> cols = FreshVars(child_arity);
+        PathExpr s = VarExpr(u_, u_.FreshVar(VarKind::kPath, "s"));
+        PathExpr pre = VarExpr(u_, u_.FreshVar(VarKind::kPath, "pre"));
+        PathExpr post = VarExpr(u_, u_.FreshVar(VarKind::kPath, "post"));
+        Rule r;
+        r.head.rel = out;
+        r.head.args = cols;
+        r.head.args.push_back(s);
+        r.body.push_back(Literal::Pred(Predicate{child, cols}));
+        r.body.push_back(Literal::Eq(cols[e.column - 1],
+                                     ConcatExprs({pre, s, post})));
+        rules_.push_back(std::move(r));
+        return out;
+      }
+    }
+    return Status::Internal("unknown algebra op");
+  }
+
+  Universe& u_;
+  std::vector<Rule> rules_;
+};
+
+}  // namespace
+
+Result<AlgebraToDatalogResult> AlgebraToDatalog(Universe& u,
+                                                const AlgebraExpr& e) {
+  Compiler c(u);
+  return c.Run(e);
+}
+
+}  // namespace seqdl

@@ -1,0 +1,25 @@
+// Theorem 7.1, converse direction: every sequence relational algebra
+// expression translates to a nonrecursive Sequence Datalog program.
+#ifndef SEQDL_ALGEBRA_TO_DATALOG_H_
+#define SEQDL_ALGEBRA_TO_DATALOG_H_
+
+#include "src/algebra/algebra.h"
+#include "src/base/status.h"
+#include "src/syntax/ast.h"
+#include "src/term/universe.h"
+
+namespace seqdl {
+
+struct AlgebraToDatalogResult {
+  Program program;
+  /// The IDB relation holding the expression's result.
+  RelId output;
+};
+
+/// Compiles `e` into a (stratified, nonrecursive) program.
+Result<AlgebraToDatalogResult> AlgebraToDatalog(Universe& u,
+                                                const AlgebraExpr& e);
+
+}  // namespace seqdl
+
+#endif  // SEQDL_ALGEBRA_TO_DATALOG_H_

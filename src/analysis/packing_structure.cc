@@ -1,0 +1,93 @@
+#include "src/analysis/packing_structure.h"
+
+namespace seqdl {
+
+size_t PackingStructure::NumStars() const {
+  size_t n = children.size() + 1;  // top-level stars around/between packs
+  for (const PackingStructure& c : children) n += c.NumStars();
+  return n;
+}
+
+std::string PackingStructure::ToString() const {
+  std::string out = "*";
+  for (const PackingStructure& c : children) {
+    out += "·<" + c.ToString() + ">·*";
+  }
+  return out;
+}
+
+PackingStructure Delta(const PathExpr& e) {
+  PackingStructure ps;
+  for (const ExprItem& it : e.items) {
+    if (it.kind == ExprItem::Kind::kPack) {
+      ps.children.push_back(Delta(*it.pack));
+    }
+    // Non-pack items contribute only to the surrounding stars, which are
+    // implicit in the representation.
+  }
+  return ps;
+}
+
+namespace {
+void ComponentsInto(const PathExpr& e, std::vector<PathExpr>* out) {
+  // Preorder: segment before first pack, then recursively the pack's
+  // components, then the next segment, etc., ending with the final segment.
+  PathExpr segment;
+  for (const ExprItem& it : e.items) {
+    if (it.kind == ExprItem::Kind::kPack) {
+      out->push_back(std::move(segment));
+      segment = PathExpr();
+      ComponentsInto(*it.pack, out);
+    } else {
+      segment.items.push_back(it);
+    }
+  }
+  out->push_back(std::move(segment));
+}
+
+Result<PathExpr> FromComponentsImpl(const PackingStructure& ps,
+                                    const std::vector<PathExpr>& components,
+                                    size_t* idx) {
+  PathExpr out;
+  auto take_segment = [&]() -> Status {
+    if (*idx >= components.size()) {
+      return Status::InvalidArgument(
+          "FromComponents: not enough components for structure");
+    }
+    const PathExpr& seg = components[(*idx)++];
+    if (seg.HasPacking()) {
+      return Status::InvalidArgument(
+          "FromComponents: component contains packing");
+    }
+    out.items.insert(out.items.end(), seg.items.begin(), seg.items.end());
+    return Status::OK();
+  };
+  SEQDL_RETURN_IF_ERROR(take_segment());
+  for (const PackingStructure& child : ps.children) {
+    SEQDL_ASSIGN_OR_RETURN(PathExpr inner,
+                           FromComponentsImpl(child, components, idx));
+    out.items.push_back(ExprItem::Pack(std::move(inner)));
+    SEQDL_RETURN_IF_ERROR(take_segment());
+  }
+  return out;
+}
+}  // namespace
+
+std::vector<PathExpr> Components(const PathExpr& e) {
+  std::vector<PathExpr> out;
+  ComponentsInto(e, &out);
+  return out;
+}
+
+Result<PathExpr> FromComponents(const PackingStructure& ps,
+                                const std::vector<PathExpr>& components) {
+  size_t idx = 0;
+  SEQDL_ASSIGN_OR_RETURN(PathExpr out,
+                         FromComponentsImpl(ps, components, &idx));
+  if (idx != components.size()) {
+    return Status::InvalidArgument("FromComponents: too many components");
+  }
+  return out;
+}
+
+}  // namespace seqdl

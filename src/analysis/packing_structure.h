@@ -1,0 +1,59 @@
+// Packing structures δ(e) (paper §4.3.4).
+//
+//   δ(ϵ) = *            δ(a) = *  (a an atomic value or variable)
+//   δ(<e>) = * · <δ(e)> · *
+//   δ(e1·e2) = δ(e1)·δ(e2) with consecutive stars collapsed
+//
+// A packing structure is represented canonically as the list of its packed
+// children: the structure  * <c1> * <c2> ... <ck> *  has children c1..ck.
+// A structure with no children is the single star "*" (no packing).
+//
+// If δ(e) has n stars (counted at all nesting depths), e is obtained from
+// δ(e) by replacing the i-th star (in preorder) by the i-th *component* of
+// e; components are packing-free by construction.
+#ifndef SEQDL_ANALYSIS_PACKING_STRUCTURE_H_
+#define SEQDL_ANALYSIS_PACKING_STRUCTURE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/syntax/ast.h"
+
+namespace seqdl {
+
+struct PackingStructure {
+  std::vector<PackingStructure> children;
+
+  bool IsStar() const { return children.empty(); }
+
+  /// Total number of stars at all depths (= number of components).
+  size_t NumStars() const;
+
+  /// e.g. "*·<*·<*>·*>·*·<*>·*"; "*" for the packing-free structure.
+  std::string ToString() const;
+
+  friend bool operator==(const PackingStructure& a, const PackingStructure& b) {
+    return a.children == b.children;
+  }
+  friend bool operator!=(const PackingStructure& a,
+                         const PackingStructure& b) {
+    return !(a == b);
+  }
+};
+
+/// δ(e).
+PackingStructure Delta(const PathExpr& e);
+
+/// The components of e, in preorder star order; each is packing-free.
+/// Components().size() == Delta(e).NumStars().
+std::vector<PathExpr> Components(const PathExpr& e);
+
+/// Reassembles an expression with structure `ps` from components (inverse
+/// of Components). Requires components.size() == ps.NumStars().
+Result<PathExpr> FromComponents(const PackingStructure& ps,
+                                const std::vector<PathExpr>& components);
+
+}  // namespace seqdl
+
+#endif  // SEQDL_ANALYSIS_PACKING_STRUCTURE_H_

@@ -1,0 +1,43 @@
+// Purity analysis (paper §4.3.3). A variable of a rule is *pure* if it can
+// only take values without packing on flat instances:
+//
+//   1. it occurs in a positive predicate over a relation known to hold flat
+//      paths (a *source variable*); or
+//   2. it occurs in one side of a positive equation whose other side has
+//      only pure variables and no packing.
+//
+// Positive equations are classified as pure (only pure variables),
+// half-pure (one side all pure, other side has an impure variable), or
+// fully impure (impure variables on both sides). In a safe rule, a fully
+// impure equation can only occur together with a half-pure one.
+#ifndef SEQDL_ANALYSIS_PURITY_H_
+#define SEQDL_ANALYSIS_PURITY_H_
+
+#include <map>
+#include <set>
+
+#include "src/syntax/ast.h"
+
+namespace seqdl {
+
+enum class EquationPurity { kPure, kHalfPure, kFullyImpure };
+
+struct PurityInfo {
+  std::set<VarId> pure_vars;
+  /// Classification of each *positive* equation, keyed by body index.
+  std::map<size_t, EquationPurity> equation_class;
+
+  bool IsPure(VarId v) const { return pure_vars.count(v) > 0; }
+  bool AllVarsPure(const PathExpr& e) const;
+  /// True iff every variable of the rule that occurs at all is pure.
+  bool RuleAllPure(const Rule& r) const;
+};
+
+/// Analyzes `r`, where `flat_rels` are the relations known to hold only
+/// flat paths (EDB relations of a flat instance, plus any already-purified
+/// intermediate relations).
+PurityInfo AnalyzePurity(const Rule& r, const std::set<RelId>& flat_rels);
+
+}  // namespace seqdl
+
+#endif  // SEQDL_ANALYSIS_PURITY_H_

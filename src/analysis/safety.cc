@@ -1,0 +1,117 @@
+#include "src/analysis/safety.h"
+
+#include <vector>
+
+#include "src/syntax/printer.h"
+
+namespace seqdl {
+
+std::set<VarId> LimitedVars(const Rule& r) {
+  std::set<VarId> limited;
+  // Base: variables of positive body predicates.
+  for (const Literal& l : r.body) {
+    if (l.is_predicate() && !l.negated) {
+      std::vector<VarId> vars;
+      CollectVars(l, &vars);
+      limited.insert(vars.begin(), vars.end());
+    }
+  }
+  // Fixpoint over positive equations.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Literal& l : r.body) {
+      if (!l.is_equation() || l.negated) continue;
+      std::set<VarId> lhs = VarSet(l.lhs), rhs = VarSet(l.rhs);
+      auto all_limited = [&limited](const std::set<VarId>& side) {
+        for (VarId v : side) {
+          if (!limited.count(v)) return false;
+        }
+        return true;
+      };
+      if (all_limited(lhs)) {
+        for (VarId v : rhs) changed |= limited.insert(v).second;
+      }
+      if (all_limited(rhs)) {
+        for (VarId v : lhs) changed |= limited.insert(v).second;
+      }
+    }
+  }
+  return limited;
+}
+
+bool IsSafeRule(const Rule& r) {
+  std::set<VarId> limited = LimitedVars(r);
+  std::vector<VarId> all;
+  CollectVars(r, &all);
+  for (VarId v : all) {
+    if (!limited.count(v)) return false;
+  }
+  return true;
+}
+
+Status ValidateProgram(const Universe& u, const Program& p) {
+  for (const Rule* r : p.AllRules()) {
+    if (!IsSafeRule(*r)) {
+      return Status::InvalidArgument("unsafe rule: " + FormatRule(u, *r));
+    }
+  }
+  // Heads defined per stratum.
+  std::vector<std::set<RelId>> heads_by_stratum(p.strata.size());
+  for (size_t i = 0; i < p.strata.size(); ++i) {
+    for (const Rule& r : p.strata[i].rules) {
+      heads_by_stratum[i].insert(r.head.rel);
+    }
+  }
+  // Stratified negation: a relation negated in stratum i must not be a head
+  // in stratum i or later.
+  for (size_t i = 0; i < p.strata.size(); ++i) {
+    for (const Rule& r : p.strata[i].rules) {
+      for (const Literal& l : r.body) {
+        if (!l.is_predicate() || !l.negated) continue;
+        for (size_t j = i; j < p.strata.size(); ++j) {
+          if (heads_by_stratum[j].count(l.pred.rel)) {
+            return Status::InvalidArgument(
+                "negation not stratified: relation " + u.RelName(l.pred.rel) +
+                " is negated in stratum " + std::to_string(i) +
+                " but defined in stratum " + std::to_string(j));
+          }
+        }
+      }
+    }
+  }
+  // A relation defined in one stratum must not gain rules in a later one
+  // (the sequential semantics of strata would otherwise be ambiguous).
+  for (size_t i = 0; i < p.strata.size(); ++i) {
+    for (size_t j = i + 1; j < p.strata.size(); ++j) {
+      for (RelId rel : heads_by_stratum[i]) {
+        if (heads_by_stratum[j].count(rel)) {
+          return Status::InvalidArgument(
+              "relation " + u.RelName(rel) + " is defined in stratum " +
+              std::to_string(i) + " and again in stratum " +
+              std::to_string(j));
+        }
+      }
+    }
+  }
+  // A relation used positively or negatively in stratum i and defined in a
+  // later stratum j > i would read an incomplete relation; reject.
+  for (size_t i = 0; i < p.strata.size(); ++i) {
+    for (const Rule& r : p.strata[i].rules) {
+      for (const Literal& l : r.body) {
+        if (!l.is_predicate()) continue;
+        for (size_t j = i + 1; j < p.strata.size(); ++j) {
+          if (heads_by_stratum[j].count(l.pred.rel)) {
+            return Status::InvalidArgument(
+                "relation " + u.RelName(l.pred.rel) + " is used in stratum " +
+                std::to_string(i) + " before its definition in stratum " +
+                std::to_string(j));
+          }
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace seqdl

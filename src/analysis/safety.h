@@ -1,0 +1,35 @@
+// Safety (limited variables, paper §2.2) and whole-program validation.
+//
+// The limited variables of a rule are the smallest set such that
+//   1. every variable occurring in a positive predicate in the body is
+//      limited; and
+//   2. if all variables occurring in one side of a positive equation in the
+//      body are limited, then so are all variables of the other side.
+// A rule is safe iff all its variables are limited. A program is valid iff
+// all rules are safe and negation is stratified w.r.t. the declared strata.
+#ifndef SEQDL_ANALYSIS_SAFETY_H_
+#define SEQDL_ANALYSIS_SAFETY_H_
+
+#include <set>
+
+#include "src/base/status.h"
+#include "src/syntax/ast.h"
+#include "src/term/universe.h"
+
+namespace seqdl {
+
+/// The limited variables of `r`.
+std::set<VarId> LimitedVars(const Rule& r);
+
+/// True iff all variables of `r` are limited.
+bool IsSafeRule(const Rule& r);
+
+/// OK iff every rule is safe, negation is stratified w.r.t. the declared
+/// strata (a relation negated in stratum i must not be an IDB head in
+/// stratum i or later), and no IDB relation of a stratum is re-defined in a
+/// later stratum.
+Status ValidateProgram(const Universe& u, const Program& p);
+
+}  // namespace seqdl
+
+#endif  // SEQDL_ANALYSIS_SAFETY_H_

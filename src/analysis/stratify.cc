@@ -1,0 +1,62 @@
+#include "src/analysis/stratify.h"
+
+#include <map>
+#include <set>
+
+namespace seqdl {
+
+Result<Program> AutoStratify(const std::vector<Rule>& rules) {
+  std::set<RelId> idb;
+  for (const Rule& r : rules) idb.insert(r.head.rel);
+
+  std::map<RelId, int> stratum;
+  for (RelId r : idb) stratum[r] = 0;
+
+  // Bellman-Ford style fixpoint; more than |idb| increments of any single
+  // relation implies a cycle through a negative edge.
+  bool changed = true;
+  size_t iterations = 0;
+  while (changed) {
+    changed = false;
+    if (++iterations > idb.size() * idb.size() + 2) {
+      return Status::InvalidArgument(
+          "program is not stratifiable (recursion through negation)");
+    }
+    for (const Rule& r : rules) {
+      int& h = stratum[r.head.rel];
+      for (const Literal& l : r.body) {
+        if (!l.is_predicate() || !idb.count(l.pred.rel)) continue;
+        int required = stratum[l.pred.rel] + (l.negated ? 1 : 0);
+        if (h < required) {
+          h = required;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  int max_stratum = 0;
+  for (const auto& [_, s] : stratum) max_stratum = std::max(max_stratum, s);
+
+  Program p;
+  p.strata.resize(static_cast<size_t>(max_stratum) + 1);
+  for (const Rule& r : rules) {
+    p.strata[static_cast<size_t>(stratum[r.head.rel])].rules.push_back(r);
+  }
+  // Drop empty strata (can occur when stratum numbers have gaps).
+  std::vector<Stratum> kept;
+  for (Stratum& s : p.strata) {
+    if (!s.rules.empty()) kept.push_back(std::move(s));
+  }
+  if (kept.empty()) kept.emplace_back();
+  p.strata = std::move(kept);
+  return p;
+}
+
+Result<Program> Restratify(const Program& p) {
+  std::vector<Rule> rules;
+  for (const Rule* r : p.AllRules()) rules.push_back(*r);
+  return AutoStratify(rules);
+}
+
+}  // namespace seqdl

@@ -1,0 +1,25 @@
+// Automatic stratification: partitions a rule set into the minimal sequence
+// of strata such that negation is stratified, or reports that none exists
+// (a negative cycle through the dependency graph).
+#ifndef SEQDL_ANALYSIS_STRATIFY_H_
+#define SEQDL_ANALYSIS_STRATIFY_H_
+
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/syntax/ast.h"
+
+namespace seqdl {
+
+/// Computes a stratification of `rules`. Rules whose heads have equal
+/// stratum number end up in the same stratum; stratum numbers satisfy
+///   stratum(H) >= stratum(B)      for positive IDB subgoals B, and
+///   stratum(H) >= stratum(B) + 1  for negated IDB subgoals B.
+Result<Program> AutoStratify(const std::vector<Rule>& rules);
+
+/// Flattens a program's strata and re-stratifies (canonical form).
+Result<Program> Restratify(const Program& p);
+
+}  // namespace seqdl
+
+#endif  // SEQDL_ANALYSIS_STRATIFY_H_

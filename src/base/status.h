@@ -1,0 +1,138 @@
+// Status and Result<T>: error handling without exceptions, in the style of
+// arrow::Status / rocksdb::Status. All fallible public APIs in seqdl return
+// Status or Result<T>.
+#ifndef SEQDL_BASE_STATUS_H_
+#define SEQDL_BASE_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace seqdl {
+
+/// Machine-readable category of an error.
+enum class StatusCode {
+  kOk = 0,
+  /// Malformed input: parse errors, unsafe rules, unstratifiable programs.
+  kInvalidArgument = 1,
+  /// A lookup failed (unknown relation, variable, ...).
+  kNotFound = 2,
+  /// An evaluation or search budget was exhausted. This is how the engine
+  /// reports (potential) nontermination of a Sequence Datalog program.
+  kResourceExhausted = 3,
+  /// A precondition of a transformation does not hold (e.g. eliminating
+  /// packing from a program that is recursive with the nonrecursive method).
+  kFailedPrecondition = 4,
+  /// An internal invariant was violated; always a bug in seqdl itself.
+  kInternal = 5,
+  /// The requested operation is not implemented for this input.
+  kUnimplemented = 6,
+};
+
+/// Returns a human-readable name for `code` ("OK", "InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A success-or-error outcome. Cheap to copy in the success case (no
+/// allocation); carries a message in the error case.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Never both.
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from values and from error statuses keeps call
+  // sites readable: `return 42;` / `return Status::InvalidArgument(...)`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires an error status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace seqdl
+
+/// Propagates an error Status from a fallible expression.
+#define SEQDL_RETURN_IF_ERROR(expr)        \
+  do {                                     \
+    ::seqdl::Status _st = (expr);          \
+    if (!_st.ok()) return _st;             \
+  } while (false)
+
+#define SEQDL_CONCAT_IMPL_(x, y) x##y
+#define SEQDL_CONCAT_(x, y) SEQDL_CONCAT_IMPL_(x, y)
+
+/// Evaluates a Result<T> expression; on error propagates the Status,
+/// otherwise moves the value into `lhs` (which may be a declaration).
+#define SEQDL_ASSIGN_OR_RETURN(lhs, rexpr)                             \
+  SEQDL_ASSIGN_OR_RETURN_IMPL_(SEQDL_CONCAT_(_seqdl_result_, __LINE__), lhs, \
+                               rexpr)
+
+#define SEQDL_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                 \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+#endif  // SEQDL_BASE_STATUS_H_

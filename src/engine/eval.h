@@ -1,0 +1,55 @@
+// Stratified evaluation of Sequence Datalog programs (paper §2.3).
+//
+// Strata are applied in sequence; each stratum is evaluated to its least
+// fixpoint with semi-naive iteration (naive iteration is available for the
+// ablation benchmark). Since Sequence Datalog programs need not terminate
+// (Example 2.3), evaluation enforces budgets and reports
+// kResourceExhausted when they are exceeded.
+#ifndef SEQDL_ENGINE_EVAL_H_
+#define SEQDL_ENGINE_EVAL_H_
+
+#include <cstddef>
+
+#include "src/base/status.h"
+#include "src/engine/instance.h"
+#include "src/syntax/ast.h"
+#include "src/term/universe.h"
+
+namespace seqdl {
+
+struct EvalOptions {
+  /// Maximum number of derived facts before giving up.
+  size_t max_facts = 5'000'000;
+  /// Maximum number of fixpoint rounds across all strata.
+  size_t max_iterations = 1'000'000;
+  /// Maximum length of any derived path.
+  size_t max_path_length = 1'000'000;
+  /// Use semi-naive (delta) iteration; false = naive re-evaluation.
+  bool seminaive = true;
+  /// Greedily reorder positive body scans so each joins on already-bound
+  /// variables where possible; false = scan in body order.
+  bool reorder_scans = true;
+  /// Validate safety/stratification before evaluating.
+  bool validate = true;
+};
+
+struct EvalStats {
+  size_t derived_facts = 0;
+  size_t rounds = 0;
+  size_t rule_firings = 0;
+};
+
+/// Evaluates `p` on `input`; returns input plus all derived IDB facts.
+Result<Instance> Eval(Universe& u, const Program& p, const Instance& input,
+                      const EvalOptions& opts = {},
+                      EvalStats* stats = nullptr);
+
+/// Evaluates and projects onto a single output relation (the paper's notion
+/// of a program computing a query from Γ to S).
+Result<Instance> EvalQuery(Universe& u, const Program& p,
+                           const Instance& input, RelId output,
+                           const EvalOptions& opts = {});
+
+}  // namespace seqdl
+
+#endif  // SEQDL_ENGINE_EVAL_H_

@@ -1,0 +1,114 @@
+#include "src/engine/instance.h"
+
+#include <algorithm>
+
+#include "src/syntax/ast.h"
+#include "src/syntax/parser.h"
+#include "src/syntax/printer.h"
+
+namespace seqdl {
+
+bool Instance::Add(RelId rel, Tuple t) {
+  return relations_[rel].insert(std::move(t)).second;
+}
+
+bool Instance::Contains(RelId rel, const Tuple& t) const {
+  auto it = relations_.find(rel);
+  return it != relations_.end() && it->second.count(t) > 0;
+}
+
+const TupleSet& Instance::Tuples(RelId rel) const {
+  static const TupleSet kEmpty;
+  auto it = relations_.find(rel);
+  return it != relations_.end() ? it->second : kEmpty;
+}
+
+std::vector<RelId> Instance::Relations() const {
+  std::vector<RelId> out;
+  for (const auto& [rel, tuples] : relations_) {
+    if (!tuples.empty()) out.push_back(rel);
+  }
+  return out;
+}
+
+size_t Instance::NumFacts() const {
+  size_t n = 0;
+  for (const auto& [_, tuples] : relations_) n += tuples.size();
+  return n;
+}
+
+size_t Instance::UnionWith(const Instance& other) {
+  size_t added = 0;
+  for (const auto& [rel, tuples] : other.relations_) {
+    for (const Tuple& t : tuples) {
+      if (relations_[rel].insert(t).second) ++added;
+    }
+  }
+  return added;
+}
+
+Instance Instance::Project(const std::vector<RelId>& rels) const {
+  Instance out;
+  for (RelId rel : rels) {
+    auto it = relations_.find(rel);
+    if (it != relations_.end()) out.relations_[rel] = it->second;
+  }
+  return out;
+}
+
+bool Instance::IsFlat(const Universe& u) const {
+  for (const auto& [_, tuples] : relations_) {
+    for (const Tuple& t : tuples) {
+      for (PathId p : t) {
+        if (!u.IsFlatPath(p)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::string Instance::ToString(const Universe& u) const {
+  std::vector<std::string> lines;
+  for (const auto& [rel, tuples] : relations_) {
+    for (const Tuple& t : tuples) {
+      std::string line = u.RelName(rel);
+      if (!t.empty()) {
+        line += "(";
+        for (size_t i = 0; i < t.size(); ++i) {
+          if (i > 0) line += ", ";
+          line += u.FormatPath(t[i]);
+        }
+        line += ")";
+      }
+      line += ".";
+      lines.push_back(std::move(line));
+    }
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const std::string& l : lines) {
+    out += l;
+    out += "\n";
+  }
+  return out;
+}
+
+Result<Instance> ParseInstance(Universe& u, std::string_view source) {
+  SEQDL_ASSIGN_OR_RETURN(Program p, ParseProgram(u, source));
+  Instance inst;
+  for (const Rule* r : p.AllRules()) {
+    if (!r->body.empty()) {
+      return Status::InvalidArgument("instance contains a non-fact rule: " +
+                                     FormatRule(u, *r));
+    }
+    Tuple t;
+    for (const PathExpr& e : r->head.args) {
+      SEQDL_ASSIGN_OR_RETURN(PathId path, EvalGroundExpr(u, e));
+      t.push_back(path);
+    }
+    inst.Add(r->head.rel, std::move(t));
+  }
+  return inst;
+}
+
+}  // namespace seqdl

@@ -1,0 +1,77 @@
+// Instances: finite relations over paths (paper §2.1/§2.3). An instance is
+// a set of facts R(p1, ..., pn); tuples hold interned PathIds.
+#ifndef SEQDL_ENGINE_INSTANCE_H_
+#define SEQDL_ENGINE_INSTANCE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/term/universe.h"
+
+namespace seqdl {
+
+/// A tuple of interned paths. Arity-0 relations hold the empty tuple.
+using Tuple = std::vector<PathId>;
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const {
+    size_t h = 0x51ed270b;
+    for (PathId p : t) {
+      h ^= p + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+using TupleSet = std::unordered_set<Tuple, TupleHash>;
+
+/// A set of facts over interned relation names.
+class Instance {
+ public:
+  /// Adds a fact; returns true if it was new. The tuple size must equal the
+  /// relation's arity (checked by assert).
+  bool Add(RelId rel, Tuple t);
+  bool Contains(RelId rel, const Tuple& t) const;
+
+  /// The tuples of `rel` (empty set if absent).
+  const TupleSet& Tuples(RelId rel) const;
+  /// All relations with at least one fact.
+  std::vector<RelId> Relations() const;
+
+  size_t NumFacts() const;
+  bool Empty() const { return NumFacts() == 0; }
+
+  /// Inserts all facts of `other`; returns number of new facts.
+  size_t UnionWith(const Instance& other);
+
+  /// Restriction of this instance to the given relations.
+  Instance Project(const std::vector<RelId>& rels) const;
+
+  /// True iff every path of every fact is flat (no packed values).
+  bool IsFlat(const Universe& u) const;
+
+  /// Deterministic multi-line rendering ("R(a·b)." per line, sorted).
+  std::string ToString(const Universe& u) const;
+
+  friend bool operator==(const Instance& a, const Instance& b) {
+    return a.relations_ == b.relations_;
+  }
+  friend bool operator!=(const Instance& a, const Instance& b) {
+    return !(a == b);
+  }
+
+ private:
+  std::map<RelId, TupleSet> relations_;
+};
+
+/// Parses an instance given as a list of ground facts, e.g.
+/// "R(a·b·c). R(eps). S(<a·b>·c)." Non-ground or non-fact input is an error.
+Result<Instance> ParseInstance(Universe& u, std::string_view source);
+
+}  // namespace seqdl
+
+#endif  // SEQDL_ENGINE_INSTANCE_H_

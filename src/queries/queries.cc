@@ -1,0 +1,168 @@
+#include "src/queries/queries.h"
+
+#include "src/syntax/parser.h"
+
+namespace seqdl {
+
+const std::vector<PaperQuery>& PaperCorpus() {
+  static const std::vector<PaperQuery>* corpus = new std::vector<PaperQuery>{
+      {"ex21_nfa", "Example 2.1",
+       "Strings from R accepted by the NFA (N initial, D transitions, F "
+       "final)",
+       "S(@q ++ $x, eps) <- R($x), N(@q).\n"
+       "S(@q2 ++ $y, $z ++ @a) <- S(@q1 ++ @a ++ $y, $z), D(@q1, @a, @q2).\n"
+       "A($x) <- S(@q, $x), F(@q).\n",
+       "A"},
+
+      {"ex22_three_occurrences", "Example 2.2",
+       "True iff strings from S occur as substrings of strings from R in at "
+       "least three different ways (uses packing and nonequalities)",
+       "T($u ++ <$s> ++ $v) <- R($u ++ $s ++ $v), S($s).\n"
+       "A <- T($x), T($y), T($z), $x != $y, $x != $z, $y != $z.\n",
+       "A"},
+
+      {"ex23_nonterminating", "Example 2.3",
+       "A two-rule program that terminates on no instance",
+       "T(a).\n"
+       "T(a ++ $x) <- T($x).\n",
+       "T", /*terminating=*/false},
+
+      {"ex31_only_as_e", "Example 3.1",
+       "Paths from R consisting exclusively of a's, via an equation "
+       "(fragment {E})",
+       "S($x) <- R($x), a ++ $x = $x ++ a.\n",
+       "S"},
+
+      {"ex31_only_as_air", "Example 3.1",
+       "Paths from R consisting exclusively of a's, via recursion "
+       "(fragment {A,I,R})",
+       "T($x, $x) <- R($x).\n"
+       "T($x, $y) <- T($x, $y ++ a).\n"
+       "S($x) <- T($x, eps).\n",
+       "S"},
+
+      {"ex43_reverse", "Example 4.3",
+       "Reversals of the paths in R (uses arity)",
+       "T($x, eps) <- R($x).\n"
+       "T($x, $y ++ @u) <- T($x ++ @u, $y).\n"
+       "S($x) <- T(eps, $x).\n",
+       "S"},
+
+      {"ex43_reverse_noarity", "Example 4.3",
+       "Reversals of the paths in R, arity eliminated by hand as in the "
+       "paper",
+       "T($x ++ a ++ a ++ $x ++ b) <- R($x).\n"
+       "T($x ++ a ++ $y ++ @u ++ a ++ $x ++ b ++ $y ++ @u) <- "
+       "T($x ++ @u ++ a ++ $y ++ a ++ $x ++ @u ++ b ++ $y).\n"
+       "S($x) <- T(a ++ $x ++ a ++ b ++ $x).\n",
+       "S"},
+
+      {"ex44_only_as_noeq", "Example 4.4",
+       "The only-a's query with its equation eliminated as in the paper",
+       "T(a ++ $x, $x) <- R($x).\n"
+       "S($x) <- T($x ++ a, $x).\n",
+       "S"},
+
+      {"ex46_marked", "Example 4.6",
+       "Paths of the form a1...an bn...b1 with ai != bi (negated "
+       "equations)",
+       "U($x, $x) <- R($x).\n"
+       "U($x, $y) <- U($x, @a ++ $y ++ @b), @a != @b.\n"
+       "S($x) <- U($x, eps).\n",
+       "S"},
+
+      {"squaring", "Theorem 5.3",
+       "For R(a^n), outputs a^(n^2) (witness that recursion is primitive)",
+       "T(eps, $x, $x) <- R($x).\n"
+       "T($y ++ $x, $x, $z) <- T($y, $x, a ++ $z).\n"
+       "S($y) <- T($y, $x, eps).\n",
+       "S"},
+
+      {"reach_ab", "Section 5.1.1",
+       "Boolean reachability of b from a over edges encoded as length-2 "
+       "paths",
+       "T(@x ++ @y) <- R(@x ++ @y).\n"
+       "T(@x ++ @z) <- T(@x ++ @y), R(@y ++ @z).\n"
+       "S <- T(a ++ b).\n",
+       "S"},
+
+      {"sec52_black", "Section 5.2",
+       "Nodes all of whose out-edges lead to black nodes (semipositive-"
+       "inexpressible; fragment {I,N})",
+       "W(@x) <- R(@x ++ @y), !B(@y).\n"
+       "---\n"
+       "S(@x) <- R(@x ++ @y), !W(@x).\n",
+       "S"},
+
+      {"doubling", "Theorem 4.15",
+       "Doubles every path of R (k1...kn -> k1 k1 ... kn kn) without "
+       "negation",
+       "T(eps, $x) <- R($x).\n"
+       "T($x ++ @y ++ @y, $z) <- T($x, @y ++ $z).\n"
+       "S($x) <- T($x, eps).\n",
+       "S"},
+
+      {"undoubling", "Theorem 4.15",
+       "Inverse of the doubling program",
+       "T($x, eps) <- R($x).\n"
+       "T($x, @y ++ $z) <- T($x ++ @y ++ @y, $z).\n"
+       "S($x) <- T(eps, $x).\n",
+       "S"},
+
+      {"process_mining", "Introduction",
+       "Event logs in which every 'co' (complete order) is eventually "
+       "followed by an 'rp' (receive payment)",
+       "HasRp($v) <- R($u ++ co ++ $v), $v = $s ++ rp ++ $t.\n"
+       "---\n"
+       "Bad($x) <- R($x), $x = $u ++ co ++ $v, !HasRp($v).\n"
+       "---\n"
+       "Good($x) <- R($x), !Bad($x).\n",
+       "Good"},
+
+      {"json_sales", "Introduction",
+       "Restructures item-year-amount triples (stored as length-3 paths) to "
+       "group by year instead of item",
+       "ByYear(@y ++ @i ++ @a) <- Sales(@i ++ @y ++ @a).\n",
+       "ByYear"},
+
+      {"deep_equal", "Introduction",
+       "True iff the two unary relations A0 and B0 hold the same set of "
+       "paths",
+       "DiffAB <- A0($x), !B0($x).\n"
+       "DiffAB <- B0($x), !A0($x).\n"
+       "---\n"
+       "Equal <- !DiffAB.\n",
+       "Equal"},
+
+      {"gcore_common_nodes", "Introduction",
+       "Nodes that belong to every path in the stored set of paths P",
+       "Occurs(@n ++ $p) <- P($p), $p = $u ++ @n ++ $v.\n"
+       "Node(@n) <- P($u ++ @n ++ $v).\n"
+       "---\n"
+       "NotAll(@n) <- Node(@n), P($p), !Occurs(@n ++ $p).\n"
+       "---\n"
+       "S(@n) <- Node(@n), !NotAll(@n).\n",
+       "S"},
+  };
+  return *corpus;
+}
+
+Result<const PaperQuery*> FindPaperQuery(const std::string& id) {
+  for (const PaperQuery& q : PaperCorpus()) {
+    if (q.id == id) return &q;
+  }
+  return Status::NotFound("no corpus query with id " + id);
+}
+
+Result<ParsedQuery> ParsePaperQuery(Universe& u, const PaperQuery& q) {
+  SEQDL_ASSIGN_OR_RETURN(Program p, ParseProgram(u, q.program_text));
+  SEQDL_ASSIGN_OR_RETURN(RelId out, u.FindRel(q.output_rel));
+  return ParsedQuery{std::move(p), out};
+}
+
+Result<ParsedQuery> ParsePaperQuery(Universe& u, const std::string& id) {
+  SEQDL_ASSIGN_OR_RETURN(const PaperQuery* q, FindPaperQuery(id));
+  return ParsePaperQuery(u, *q);
+}
+
+}  // namespace seqdl

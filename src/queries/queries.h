@@ -1,0 +1,42 @@
+// The paper's example programs as a reusable corpus. Each entry carries the
+// program text (in seqdl surface syntax), the output relation, and the
+// paper reference. Programs are parsed into a caller-provided Universe.
+#ifndef SEQDL_QUERIES_QUERIES_H_
+#define SEQDL_QUERIES_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/syntax/ast.h"
+#include "src/term/universe.h"
+
+namespace seqdl {
+
+struct PaperQuery {
+  std::string id;           // e.g. "ex21_nfa"
+  std::string reference;    // e.g. "Example 2.1"
+  std::string description;
+  std::string program_text;
+  std::string output_rel;   // name of the output relation
+  bool terminating = true;  // Example 2.3 is the deliberate exception
+};
+
+/// All corpus entries.
+const std::vector<PaperQuery>& PaperCorpus();
+
+/// Lookup by id; kNotFound if absent.
+Result<const PaperQuery*> FindPaperQuery(const std::string& id);
+
+/// Parses the program of a corpus entry into `u` and resolves its output
+/// relation.
+struct ParsedQuery {
+  Program program;
+  RelId output;
+};
+Result<ParsedQuery> ParsePaperQuery(Universe& u, const PaperQuery& q);
+Result<ParsedQuery> ParsePaperQuery(Universe& u, const std::string& id);
+
+}  // namespace seqdl
+
+#endif  // SEQDL_QUERIES_QUERIES_H_

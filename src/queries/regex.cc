@@ -1,0 +1,239 @@
+#include "src/queries/regex.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "src/syntax/builder.h"
+
+namespace seqdl {
+
+namespace {
+
+// Thompson NFA with ε-transitions; states are indices.
+struct EpsilonNfa {
+  struct Edge {
+    int to;
+    int letter;  // -1 for ε
+  };
+  std::vector<std::vector<Edge>> edges;
+
+  int NewState() {
+    edges.emplace_back();
+    return static_cast<int>(edges.size()) - 1;
+  }
+  void Add(int from, int to, int letter) {
+    edges[static_cast<size_t>(from)].push_back({to, letter});
+  }
+};
+
+// A sub-automaton with one entry and one exit state.
+struct Frag {
+  int start;
+  int accept;
+};
+
+class RegexParser {
+ public:
+  RegexParser(const std::string& pattern, EpsilonNfa* nfa)
+      : pattern_(pattern), nfa_(nfa) {}
+
+  Result<Frag> Parse() {
+    SEQDL_ASSIGN_OR_RETURN(Frag f, Alternation());
+    if (pos_ != pattern_.size()) {
+      return Status::InvalidArgument("regex: unexpected '" +
+                                     std::string(1, pattern_[pos_]) +
+                                     "' at position " + std::to_string(pos_));
+    }
+    return f;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= pattern_.size(); }
+  char Peek() const { return pattern_[pos_]; }
+
+  Result<Frag> Alternation() {
+    SEQDL_ASSIGN_OR_RETURN(Frag f, Concatenation());
+    while (!AtEnd() && Peek() == '|') {
+      ++pos_;
+      SEQDL_ASSIGN_OR_RETURN(Frag g, Concatenation());
+      int s = nfa_->NewState(), a = nfa_->NewState();
+      nfa_->Add(s, f.start, -1);
+      nfa_->Add(s, g.start, -1);
+      nfa_->Add(f.accept, a, -1);
+      nfa_->Add(g.accept, a, -1);
+      f = {s, a};
+    }
+    return f;
+  }
+
+  Result<Frag> Concatenation() {
+    SEQDL_ASSIGN_OR_RETURN(Frag f, Postfix());
+    while (!AtEnd() && Peek() != '|' && Peek() != ')') {
+      SEQDL_ASSIGN_OR_RETURN(Frag g, Postfix());
+      nfa_->Add(f.accept, g.start, -1);
+      f = {f.start, g.accept};
+    }
+    return f;
+  }
+
+  Result<Frag> Postfix() {
+    SEQDL_ASSIGN_OR_RETURN(Frag f, Atom());
+    while (!AtEnd() && (Peek() == '*' || Peek() == '+' || Peek() == '?')) {
+      char op = pattern_[pos_++];
+      int s = nfa_->NewState(), a = nfa_->NewState();
+      nfa_->Add(s, f.start, -1);
+      nfa_->Add(f.accept, a, -1);
+      if (op == '*' || op == '?') nfa_->Add(s, a, -1);
+      if (op == '*' || op == '+') nfa_->Add(f.accept, f.start, -1);
+      f = {s, a};
+    }
+    return f;
+  }
+
+  Result<Frag> Atom() {
+    if (AtEnd()) return Status::InvalidArgument("regex: unexpected end");
+    char c = pattern_[pos_];
+    if (c == '(') {
+      ++pos_;
+      SEQDL_ASSIGN_OR_RETURN(Frag f, Alternation());
+      if (AtEnd() || Peek() != ')') {
+        return Status::InvalidArgument("regex: missing ')'");
+      }
+      ++pos_;
+      return f;
+    }
+    if (c >= 'a' && c <= 'z') {
+      ++pos_;
+      int s = nfa_->NewState(), a = nfa_->NewState();
+      nfa_->Add(s, a, c - 'a');
+      return Frag{s, a};
+    }
+    return Status::InvalidArgument(std::string("regex: unexpected '") + c +
+                                   "'");
+  }
+
+  const std::string& pattern_;
+  EpsilonNfa* nfa_;
+  size_t pos_ = 0;
+};
+
+std::set<int> EpsilonClosure(const EpsilonNfa& nfa, int state) {
+  std::set<int> closure = {state};
+  std::vector<int> stack = {state};
+  while (!stack.empty()) {
+    int s = stack.back();
+    stack.pop_back();
+    for (const EpsilonNfa::Edge& e : nfa.edges[static_cast<size_t>(s)]) {
+      if (e.letter == -1 && closure.insert(e.to).second) {
+        stack.push_back(e.to);
+      }
+    }
+  }
+  return closure;
+}
+
+}  // namespace
+
+Result<Nfa> CompileRegex(const std::string& pattern) {
+  size_t alphabet = 0;
+  for (char c : pattern) {
+    if (c >= 'a' && c <= 'z') {
+      alphabet = std::max(alphabet, static_cast<size_t>(c - 'a') + 1);
+    }
+  }
+  if (alphabet == 0) alphabet = 1;  // e.g. pattern "()" or "" variants
+
+  EpsilonNfa enfa;
+  RegexParser parser(pattern, &enfa);
+  SEQDL_ASSIGN_OR_RETURN(Frag frag, parser.Parse());
+
+  // ε-elimination: state q has letter-l edge to q' iff some state in
+  // ε-closure(q) has a letter-l edge to q''. q is accepting iff its
+  // closure contains the fragment's accept state.
+  size_t n = enfa.edges.size();
+  Nfa out;
+  out.num_states = n;
+  out.alphabet = alphabet;
+  out.initial.assign(n, false);
+  out.accepting.assign(n, false);
+  out.delta.assign(n, std::vector<std::vector<uint32_t>>(alphabet));
+  out.initial[static_cast<size_t>(frag.start)] = true;
+  for (size_t q = 0; q < n; ++q) {
+    std::set<int> closure = EpsilonClosure(enfa, static_cast<int>(q));
+    if (closure.count(frag.accept)) out.accepting[q] = true;
+    for (int c : closure) {
+      for (const EpsilonNfa::Edge& e : enfa.edges[static_cast<size_t>(c)]) {
+        if (e.letter < 0) continue;
+        // Land in the ε-closure of the target so acceptance after the last
+        // letter is detected; it suffices to add the direct target since
+        // the accepting flags already account for closures.
+        out.delta[q][static_cast<size_t>(e.letter)].push_back(
+            static_cast<uint32_t>(e.to));
+      }
+    }
+  }
+  // Deduplicate transition lists.
+  for (auto& per_state : out.delta) {
+    for (auto& targets : per_state) {
+      std::sort(targets.begin(), targets.end());
+      targets.erase(std::unique(targets.begin(), targets.end()),
+                    targets.end());
+    }
+  }
+  return out;
+}
+
+Result<RegexQuery> RegexToDatalog(Universe& u, const std::string& pattern) {
+  SEQDL_ASSIGN_OR_RETURN(Nfa nfa, CompileRegex(pattern));
+
+  ProgramBuilder b(u);
+  // Fresh relation names so multiple matchers can coexist in one universe.
+  RelId input = u.FreshRel("ReStr", 1);
+  RelId n_rel = u.FreshRel("ReInit", 1);
+  RelId d_rel = u.FreshRel("ReDelta", 3);
+  RelId f_rel = u.FreshRel("ReFinal", 1);
+  RelId s_rel = u.FreshRel("ReState", 2);
+  RelId out_rel = u.FreshRel("ReMatch", 1);
+
+  Program p;
+  p.strata.emplace_back();
+  std::vector<Rule>& rules = p.strata.back().rules;
+
+  auto state_expr = [&](size_t q) {
+    return b.A("req" + std::to_string(q));
+  };
+  auto letter_expr = [&](size_t l) { return b.A(LetterName(l)); };
+
+  // Automaton facts.
+  for (size_t q = 0; q < nfa.num_states; ++q) {
+    if (nfa.initial[q]) rules.push_back(b.R({n_rel, {state_expr(q)}}, {}));
+    if (nfa.accepting[q]) rules.push_back(b.R({f_rel, {state_expr(q)}}, {}));
+    for (size_t l = 0; l < nfa.alphabet; ++l) {
+      for (uint32_t q2 : nfa.delta[q][l]) {
+        rules.push_back(b.R(
+            {d_rel, {state_expr(q), letter_expr(l), state_expr(q2)}}, {}));
+      }
+    }
+  }
+
+  // The Example 2.1 acceptance program over the fresh names:
+  //   S(@q·$x, ϵ)      <- R($x), N(@q).
+  //   S(@q2·$y, $z·@a) <- S(@q1·@a·$y, $z), D(@q1, @a, @q2).
+  //   A($x)            <- S(@q, $x), F(@q).
+  PathExpr x = b.PV("re_x"), y = b.PV("re_y"), z = b.PV("re_z");
+  PathExpr q0 = b.AV("re_q"), q1 = b.AV("re_q1"), q2 = b.AV("re_q2");
+  PathExpr a = b.AV("re_a");
+  rules.push_back(b.R({s_rel, {b.Cat({q0, x}), b.Eps()}},
+                      {b.Lit({input, {x}}), b.Lit({n_rel, {q0}})}));
+  rules.push_back(
+      b.R({s_rel, {b.Cat({q2, y}), b.Cat({z, a})}},
+          {b.Lit({s_rel, {b.Cat({q1, a, y}), z}}),
+           b.Lit({d_rel, {q1, a, q2}})}));
+  rules.push_back(b.R({out_rel, {x}},
+                      {b.Lit({s_rel, {q0, x}}), b.Lit({f_rel, {q0}})}));
+
+  return RegexQuery{std::move(p), input, out_rel};
+}
+
+}  // namespace seqdl

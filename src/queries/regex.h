@@ -1,0 +1,40 @@
+// Regular-expression matching compiled to Sequence Datalog. The paper
+// notes (§1, discussing document spanners) that built-in regular
+// expression matching "may be viewed as very useful syntactic sugar, as
+// [it is] also expressible using recursion". This module makes that
+// concrete: a regex is compiled by Thompson construction to an ε-free NFA,
+// which is embedded as facts into the recursive acceptance program of
+// Example 2.1.
+//
+// Supported syntax: literal letters 'a'..'z', concatenation, alternation
+// '|', grouping '(...)', and the postfix operators '*', '+', '?'.
+#ifndef SEQDL_QUERIES_REGEX_H_
+#define SEQDL_QUERIES_REGEX_H_
+
+#include <string>
+
+#include "src/base/status.h"
+#include "src/syntax/ast.h"
+#include "src/term/universe.h"
+#include "src/workload/generators.h"
+
+namespace seqdl {
+
+/// Compiles `pattern` to an ε-free NFA over the letters that occur in it
+/// (alphabet indices are letter - 'a').
+Result<Nfa> CompileRegex(const std::string& pattern);
+
+/// A regex matcher packaged as a Sequence Datalog query: the program
+/// embeds the automaton as facts and accepts into `output` every string
+/// of `input` matched by the pattern.
+struct RegexQuery {
+  Program program;
+  RelId input;   // unary relation holding candidate strings
+  RelId output;  // unary relation of matched strings
+};
+
+Result<RegexQuery> RegexToDatalog(Universe& u, const std::string& pattern);
+
+}  // namespace seqdl
+
+#endif  // SEQDL_QUERIES_REGEX_H_

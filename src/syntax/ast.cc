@@ -1,0 +1,293 @@
+#include "src/syntax/ast.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace seqdl {
+
+ExprItem ExprItem::Const(Value v) {
+  assert(v.is_atom() && "packed constants must use ExprItem::Pack");
+  ExprItem it;
+  it.kind = Kind::kConst;
+  it.atom = v;
+  return it;
+}
+
+ExprItem ExprItem::AtomVar(VarId v) {
+  ExprItem it;
+  it.kind = Kind::kAtomVar;
+  it.var = v;
+  return it;
+}
+
+ExprItem ExprItem::PathVar(VarId v) {
+  ExprItem it;
+  it.kind = Kind::kPathVar;
+  it.var = v;
+  return it;
+}
+
+ExprItem ExprItem::Pack(PathExpr inner) {
+  ExprItem it;
+  it.kind = Kind::kPack;
+  it.pack = std::make_shared<const PathExpr>(std::move(inner));
+  return it;
+}
+
+bool operator==(const ExprItem& a, const ExprItem& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case ExprItem::Kind::kConst:
+      return a.atom == b.atom;
+    case ExprItem::Kind::kAtomVar:
+    case ExprItem::Kind::kPathVar:
+      return a.var == b.var;
+    case ExprItem::Kind::kPack:
+      return *a.pack == *b.pack;
+  }
+  return false;
+}
+
+bool PathExpr::IsGround() const {
+  for (const ExprItem& it : items) {
+    if (it.is_var()) return false;
+    if (it.kind == ExprItem::Kind::kPack && !it.pack->IsGround()) return false;
+  }
+  return true;
+}
+
+bool PathExpr::HasPacking() const {
+  for (const ExprItem& it : items) {
+    if (it.kind == ExprItem::Kind::kPack) return true;
+  }
+  return false;
+}
+
+PathExpr ConcatExpr(const PathExpr& a, const PathExpr& b) {
+  PathExpr out;
+  out.items.reserve(a.items.size() + b.items.size());
+  out.items.insert(out.items.end(), a.items.begin(), a.items.end());
+  out.items.insert(out.items.end(), b.items.begin(), b.items.end());
+  return out;
+}
+
+PathExpr ConcatExprs(const std::vector<PathExpr>& parts) {
+  PathExpr out;
+  for (const PathExpr& p : parts) {
+    out.items.insert(out.items.end(), p.items.begin(), p.items.end());
+  }
+  return out;
+}
+
+PathExpr ConstExpr(Value atom) {
+  return PathExpr({ExprItem::Const(atom)});
+}
+
+PathExpr VarExpr(const Universe& u, VarId v) {
+  if (u.VarKindOf(v) == VarKind::kAtomic) {
+    return PathExpr({ExprItem::AtomVar(v)});
+  }
+  return PathExpr({ExprItem::PathVar(v)});
+}
+
+PathExpr PackExpr(PathExpr inner) {
+  return PathExpr({ExprItem::Pack(std::move(inner))});
+}
+
+PathExpr ExprOfPath(const Universe& u, PathId p) {
+  PathExpr out;
+  for (Value v : u.GetPath(p)) {
+    if (v.is_atom()) {
+      out.items.push_back(ExprItem::Const(v));
+    } else {
+      out.items.push_back(ExprItem::Pack(ExprOfPath(u, v.packed_path())));
+    }
+  }
+  return out;
+}
+
+namespace {
+void CollectVarsInto(const PathExpr& e, std::vector<VarId>* out,
+                     std::set<VarId>* seen) {
+  for (const ExprItem& it : e.items) {
+    if (it.is_var()) {
+      if (seen->insert(it.var).second) out->push_back(it.var);
+    } else if (it.kind == ExprItem::Kind::kPack) {
+      CollectVarsInto(*it.pack, out, seen);
+    }
+  }
+}
+}  // namespace
+
+void CollectVars(const PathExpr& e, std::vector<VarId>* out) {
+  std::set<VarId> seen(out->begin(), out->end());
+  CollectVarsInto(e, out, &seen);
+}
+
+std::set<VarId> VarSet(const PathExpr& e) {
+  std::vector<VarId> vars;
+  CollectVars(e, &vars);
+  return std::set<VarId>(vars.begin(), vars.end());
+}
+
+Result<PathId> EvalGroundExpr(Universe& u, const PathExpr& e) {
+  std::vector<Value> values;
+  for (const ExprItem& it : e.items) {
+    switch (it.kind) {
+      case ExprItem::Kind::kConst:
+        values.push_back(it.atom);
+        break;
+      case ExprItem::Kind::kPack: {
+        SEQDL_ASSIGN_OR_RETURN(PathId inner, EvalGroundExpr(u, *it.pack));
+        values.push_back(Value::Packed(inner));
+        break;
+      }
+      case ExprItem::Kind::kAtomVar:
+      case ExprItem::Kind::kPathVar:
+        return Status::InvalidArgument(
+            "EvalGroundExpr: expression contains variable " +
+            u.VarName(it.var));
+    }
+  }
+  return u.InternPath(values);
+}
+
+PathExpr SubstituteExpr(const PathExpr& e, const ExprSubst& subst) {
+  PathExpr out;
+  for (const ExprItem& it : e.items) {
+    if (it.is_var()) {
+      auto found = subst.find(it.var);
+      if (found == subst.end()) {
+        out.items.push_back(it);
+      } else {
+        const PathExpr& image = found->second;
+        // An atomic variable must map to a single atom-valued item; a path
+        // variable's image is spliced in place (associativity).
+        assert(it.kind != ExprItem::Kind::kAtomVar || image.items.size() == 1);
+        out.items.insert(out.items.end(), image.items.begin(),
+                         image.items.end());
+      }
+    } else if (it.kind == ExprItem::Kind::kPack) {
+      out.items.push_back(ExprItem::Pack(SubstituteExpr(*it.pack, subst)));
+    } else {
+      out.items.push_back(it);
+    }
+  }
+  return out;
+}
+
+Literal Literal::Pred(Predicate p, bool negated) {
+  Literal l;
+  l.kind = Kind::kPredicate;
+  l.negated = negated;
+  l.pred = std::move(p);
+  return l;
+}
+
+Literal Literal::Eq(PathExpr lhs, PathExpr rhs, bool negated) {
+  Literal l;
+  l.kind = Kind::kEquation;
+  l.negated = negated;
+  l.lhs = std::move(lhs);
+  l.rhs = std::move(rhs);
+  return l;
+}
+
+bool operator==(const Literal& a, const Literal& b) {
+  if (a.kind != b.kind || a.negated != b.negated) return false;
+  if (a.kind == Literal::Kind::kPredicate) return a.pred == b.pred;
+  return a.lhs == b.lhs && a.rhs == b.rhs;
+}
+
+std::vector<const Rule*> Program::AllRules() const {
+  std::vector<const Rule*> out;
+  for (const Stratum& s : strata) {
+    for (const Rule& r : s.rules) out.push_back(&r);
+  }
+  return out;
+}
+
+size_t Program::NumRules() const {
+  size_t n = 0;
+  for (const Stratum& s : strata) n += s.rules.size();
+  return n;
+}
+
+std::set<RelId> IdbRels(const Program& p) {
+  std::set<RelId> out;
+  for (const Rule* r : p.AllRules()) out.insert(r->head.rel);
+  return out;
+}
+
+std::set<RelId> AllRels(const Program& p) {
+  std::set<RelId> out;
+  for (const Rule* r : p.AllRules()) {
+    out.insert(r->head.rel);
+    for (const Literal& l : r->body) {
+      if (l.is_predicate()) out.insert(l.pred.rel);
+    }
+  }
+  return out;
+}
+
+std::set<RelId> EdbRels(const Program& p) {
+  std::set<RelId> all = AllRels(p);
+  std::set<RelId> idb = IdbRels(p);
+  std::set<RelId> out;
+  std::set_difference(all.begin(), all.end(), idb.begin(), idb.end(),
+                      std::inserter(out, out.begin()));
+  return out;
+}
+
+void CollectVars(const Literal& l, std::vector<VarId>* out) {
+  if (l.is_predicate()) {
+    for (const PathExpr& e : l.pred.args) CollectVars(e, out);
+  } else {
+    CollectVars(l.lhs, out);
+    CollectVars(l.rhs, out);
+  }
+}
+
+void CollectVars(const Rule& r, std::vector<VarId>* out) {
+  for (const PathExpr& e : r.head.args) CollectVars(e, out);
+  for (const Literal& l : r.body) CollectVars(l, out);
+}
+
+Literal SubstituteLiteral(const Literal& l, const ExprSubst& subst) {
+  Literal out = l;
+  if (l.is_predicate()) {
+    for (PathExpr& e : out.pred.args) e = SubstituteExpr(e, subst);
+  } else {
+    out.lhs = SubstituteExpr(l.lhs, subst);
+    out.rhs = SubstituteExpr(l.rhs, subst);
+  }
+  return out;
+}
+
+Rule SubstituteRule(const Rule& r, const ExprSubst& subst) {
+  Rule out;
+  out.head = r.head;
+  for (PathExpr& e : out.head.args) e = SubstituteExpr(e, subst);
+  for (const Literal& l : r.body) {
+    out.body.push_back(SubstituteLiteral(l, subst));
+  }
+  return out;
+}
+
+bool RuleHasPacking(const Rule& r) {
+  for (const PathExpr& e : r.head.args) {
+    if (e.HasPacking()) return true;
+  }
+  for (const Literal& l : r.body) {
+    if (l.is_predicate()) {
+      for (const PathExpr& e : l.pred.args) {
+        if (e.HasPacking()) return true;
+      }
+    } else {
+      if (l.lhs.HasPacking() || l.rhs.HasPacking()) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace seqdl

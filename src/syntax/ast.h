@@ -1,0 +1,174 @@
+// Abstract syntax of Sequence Datalog (paper §2.2).
+//
+// A *path expression* is a (flattened) sequence of items, where an item is
+// an atomic constant, an atomic variable @x, a path variable $x, or a packed
+// subexpression <e>. A *predicate* applies a relation name to path
+// expressions; an *equation* equates two path expressions. Literals are
+// possibly negated atoms; rules are head <- body; programs are sequences of
+// strata.
+#ifndef SEQDL_SYNTAX_AST_H_
+#define SEQDL_SYNTAX_AST_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/term/universe.h"
+#include "src/term/value.h"
+
+namespace seqdl {
+
+struct PathExpr;
+
+/// One item of a path expression.
+struct ExprItem {
+  enum class Kind : uint8_t { kConst, kAtomVar, kPathVar, kPack };
+
+  Kind kind = Kind::kConst;
+  Value atom;  // kConst: an atomic value (always Value::Atom).
+  VarId var = 0;  // kAtomVar / kPathVar
+  std::shared_ptr<const PathExpr> pack;  // kPack
+
+  static ExprItem Const(Value v);
+  static ExprItem AtomVar(VarId v);
+  static ExprItem PathVar(VarId v);
+  static ExprItem Pack(PathExpr inner);
+
+  bool is_var() const {
+    return kind == Kind::kAtomVar || kind == Kind::kPathVar;
+  }
+
+  friend bool operator==(const ExprItem& a, const ExprItem& b);
+  friend bool operator!=(const ExprItem& a, const ExprItem& b) {
+    return !(a == b);
+  }
+};
+
+/// A path expression: a flat sequence of items (concatenation is
+/// associative, so nesting of concatenations is never represented).
+struct PathExpr {
+  std::vector<ExprItem> items;
+
+  PathExpr() = default;
+  explicit PathExpr(std::vector<ExprItem> its) : items(std::move(its)) {}
+
+  bool empty() const { return items.empty(); }
+  size_t size() const { return items.size(); }
+
+  /// True iff no variable occurs (at any packing depth).
+  bool IsGround() const;
+  /// True iff a <...> item occurs (at any depth).
+  bool HasPacking() const;
+  /// True iff the expression is exactly one variable item.
+  bool IsSingleVar() const {
+    return items.size() == 1 && items[0].is_var();
+  }
+
+  friend bool operator==(const PathExpr& a, const PathExpr& b) {
+    return a.items == b.items;
+  }
+  friend bool operator!=(const PathExpr& a, const PathExpr& b) {
+    return !(a == b);
+  }
+};
+
+/// e1 · e2 (flattening).
+PathExpr ConcatExpr(const PathExpr& a, const PathExpr& b);
+/// Concatenation of many expressions.
+PathExpr ConcatExprs(const std::vector<PathExpr>& parts);
+/// Single-item expressions.
+PathExpr ConstExpr(Value atom);
+PathExpr VarExpr(const Universe& u, VarId v);
+PathExpr PackExpr(PathExpr inner);
+/// The ground expression denoting an interned path (packs become <...>).
+PathExpr ExprOfPath(const Universe& u, PathId p);
+
+/// Collects all variables of `e` (at any depth) into `out`, in order of
+/// first occurrence, without duplicates.
+void CollectVars(const PathExpr& e, std::vector<VarId>* out);
+/// Convenience: set form.
+std::set<VarId> VarSet(const PathExpr& e);
+
+/// Evaluates a ground expression to an interned path.
+Result<PathId> EvalGroundExpr(Universe& u, const PathExpr& e);
+
+/// A substitution mapping variables to path expressions. Atomic variables
+/// may only map to a single atomic-constant or atomic-variable item.
+using ExprSubst = std::unordered_map<VarId, PathExpr>;
+
+/// Applies `subst` to `e` (splicing path-variable images in place).
+PathExpr SubstituteExpr(const PathExpr& e, const ExprSubst& subst);
+
+/// P(e1, ..., en). Arity 0 predicates have no arguments.
+struct Predicate {
+  RelId rel = 0;
+  std::vector<PathExpr> args;
+
+  friend bool operator==(const Predicate& a, const Predicate& b) {
+    return a.rel == b.rel && a.args == b.args;
+  }
+};
+
+/// A body literal: possibly negated predicate or equation.
+struct Literal {
+  enum class Kind : uint8_t { kPredicate, kEquation };
+
+  Kind kind = Kind::kPredicate;
+  bool negated = false;
+  Predicate pred;      // kPredicate
+  PathExpr lhs, rhs;   // kEquation
+
+  static Literal Pred(Predicate p, bool negated = false);
+  static Literal Eq(PathExpr lhs, PathExpr rhs, bool negated = false);
+
+  bool is_predicate() const { return kind == Kind::kPredicate; }
+  bool is_equation() const { return kind == Kind::kEquation; }
+
+  friend bool operator==(const Literal& a, const Literal& b);
+};
+
+/// H <- B.
+struct Rule {
+  Predicate head;
+  std::vector<Literal> body;
+};
+
+/// A set of rules evaluated jointly to a fixpoint.
+struct Stratum {
+  std::vector<Rule> rules;
+};
+
+/// A finite sequence of strata (paper §2.2). Negation must be stratified;
+/// analysis/safety.h validates this.
+struct Program {
+  std::vector<Stratum> strata;
+
+  /// Flat view over all rules in stratum order.
+  std::vector<const Rule*> AllRules() const;
+  size_t NumRules() const;
+};
+
+/// Relation names appearing in some head (IDB) of the whole program.
+std::set<RelId> IdbRels(const Program& p);
+/// Relation names appearing anywhere but in no head (EDB).
+std::set<RelId> EdbRels(const Program& p);
+/// All relation names used by the program.
+std::set<RelId> AllRels(const Program& p);
+
+/// Variables occurring anywhere in the literal / rule.
+void CollectVars(const Literal& l, std::vector<VarId>* out);
+void CollectVars(const Rule& r, std::vector<VarId>* out);
+
+/// Applies a substitution to every expression of a literal / rule.
+Literal SubstituteLiteral(const Literal& l, const ExprSubst& subst);
+Rule SubstituteRule(const Rule& r, const ExprSubst& subst);
+
+/// True iff any expression in the rule (head or body) uses packing.
+bool RuleHasPacking(const Rule& r);
+
+}  // namespace seqdl
+
+#endif  // SEQDL_SYNTAX_AST_H_

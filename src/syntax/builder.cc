@@ -1,0 +1,40 @@
+#include "src/syntax/builder.h"
+
+#include <cstdlib>
+
+namespace seqdl {
+
+PathExpr ProgramBuilder::A(std::string_view name) const {
+  return ConstExpr(Value::Atom(u_.InternAtom(name)));
+}
+
+PathExpr ProgramBuilder::PV(std::string_view name) const {
+  return PathExpr({ExprItem::PathVar(u_.InternVar(VarKind::kPath, name))});
+}
+
+PathExpr ProgramBuilder::AV(std::string_view name) const {
+  return PathExpr({ExprItem::AtomVar(u_.InternVar(VarKind::kAtomic, name))});
+}
+
+PathExpr ProgramBuilder::Cat(const std::vector<PathExpr>& parts) const {
+  return ConcatExprs(parts);
+}
+
+PathExpr ProgramBuilder::Pk(PathExpr inner) const {
+  return PackExpr(std::move(inner));
+}
+
+Predicate ProgramBuilder::P(std::string_view rel,
+                            std::vector<PathExpr> args) const {
+  Result<RelId> id = u_.InternRel(rel, static_cast<uint32_t>(args.size()));
+  if (!id.ok()) {
+    // Builder programs are static; an arity conflict is a programming error.
+    std::abort();
+  }
+  Predicate p;
+  p.rel = *id;
+  p.args = std::move(args);
+  return p;
+}
+
+}  // namespace seqdl

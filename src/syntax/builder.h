@@ -1,0 +1,59 @@
+// Thin fluent helper for constructing seqdl ASTs from C++ (used by the
+// transformation passes, the query corpus, and tests). For anything
+// human-authored, prefer ParseProgram.
+#ifndef SEQDL_SYNTAX_BUILDER_H_
+#define SEQDL_SYNTAX_BUILDER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "src/syntax/ast.h"
+#include "src/term/universe.h"
+
+namespace seqdl {
+
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(Universe& u) : u_(u) {}
+
+  /// Atomic constant expression.
+  PathExpr A(std::string_view name) const;
+  /// Path variable expression ($name).
+  PathExpr PV(std::string_view name) const;
+  /// Atomic variable expression (@name).
+  PathExpr AV(std::string_view name) const;
+  /// Empty path expression.
+  PathExpr Eps() const { return PathExpr(); }
+  /// Concatenation.
+  PathExpr Cat(const std::vector<PathExpr>& parts) const;
+  /// Packed expression <e>.
+  PathExpr Pk(PathExpr inner) const;
+
+  /// Predicate over a relation interned with arity = args.size(). Aborts on
+  /// arity conflicts — builder call sites are compile-time-known programs.
+  Predicate P(std::string_view rel, std::vector<PathExpr> args) const;
+
+  Literal Lit(Predicate p) const { return Literal::Pred(std::move(p)); }
+  Literal NotLit(Predicate p) const {
+    return Literal::Pred(std::move(p), /*negated=*/true);
+  }
+  Literal Eq(PathExpr a, PathExpr b) const {
+    return Literal::Eq(std::move(a), std::move(b));
+  }
+  Literal Neq(PathExpr a, PathExpr b) const {
+    return Literal::Eq(std::move(a), std::move(b), /*negated=*/true);
+  }
+
+  Rule R(Predicate head, std::vector<Literal> body) const {
+    return Rule{std::move(head), std::move(body)};
+  }
+
+  Universe& universe() const { return u_; }
+
+ private:
+  Universe& u_;
+};
+
+}  // namespace seqdl
+
+#endif  // SEQDL_SYNTAX_BUILDER_H_

@@ -1,0 +1,198 @@
+#include "src/syntax/lexer.h"
+
+#include <cctype>
+
+namespace seqdl {
+
+const char* TokenKindToString(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kAtomVar: return "atomic variable";
+    case TokenKind::kPathVar: return "path variable";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLAngle: return "'<'";
+    case TokenKind::kRAngle: return "'>'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kPeriod: return "'.'";
+    case TokenKind::kConcat: return "concatenation";
+    case TokenKind::kEq: return "'='";
+    case TokenKind::kNeq: return "'!='";
+    case TokenKind::kBang: return "'!'";
+    case TokenKind::kNot: return "'not'";
+    case TokenKind::kEps: return "'eps'";
+    case TokenKind::kArrow: return "'<-'";
+    case TokenKind::kStratumSep: return "'---'";
+    case TokenKind::kEnd: return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+class Scanner {
+ public:
+  explicit Scanner(std::string_view src) : src_(src) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> out;
+    while (true) {
+      SkipWhitespaceAndComments();
+      if (AtEnd()) break;
+      int line = line_, col = col_;
+      SEQDL_ASSIGN_OR_RETURN(Token tok, Next());
+      tok.line = line;
+      tok.col = col;
+      out.push_back(std::move(tok));
+    }
+    out.push_back(Token{TokenKind::kEnd, "", line_, col_});
+    return out;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= src_.size(); }
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char Advance() {
+    char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+  bool Match(char c) {
+    if (Peek() == c) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  void SkipWhitespaceAndComments() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+      } else if (c == '%' || c == '#' ||
+                 (c == '/' && Peek(1) == '/')) {
+        while (!AtEnd() && Peek() != '\n') Advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  Status Error(const std::string& msg) const {
+    return Status::InvalidArgument("lex error at " + std::to_string(line_) +
+                                   ":" + std::to_string(col_) + ": " + msg);
+  }
+
+  Result<Token> Next() {
+    char c = Peek();
+    // Interpunct '·' is UTF-8 0xC2 0xB7.
+    if (static_cast<unsigned char>(c) == 0xC2 &&
+        static_cast<unsigned char>(Peek(1)) == 0xB7) {
+      Advance();
+      Advance();
+      return Token{TokenKind::kConcat, "·"};
+    }
+    if (IsIdentStart(c) || IsDigit(c)) {
+      std::string name;
+      while (!AtEnd() && IsIdentChar(Peek())) name += Advance();
+      if (name == "not") return Token{TokenKind::kNot, name};
+      if (name == "eps") return Token{TokenKind::kEps, name};
+      return Token{TokenKind::kIdent, name};
+    }
+    switch (c) {
+      case '"': {
+        Advance();
+        std::string name;
+        while (!AtEnd() && Peek() != '"') name += Advance();
+        if (AtEnd()) return Error("unterminated string");
+        Advance();  // closing quote
+        return Token{TokenKind::kIdent, name};
+      }
+      case '@':
+      case '$': {
+        char sigil = Advance();
+        if (!IsIdentStart(Peek()) && !IsDigit(Peek())) {
+          return Error(std::string("expected variable name after '") + sigil +
+                       "'");
+        }
+        std::string name;
+        while (!AtEnd() && IsIdentChar(Peek())) name += Advance();
+        return Token{sigil == '@' ? TokenKind::kAtomVar : TokenKind::kPathVar,
+                     name};
+      }
+      case '(':
+        Advance();
+        return Token{TokenKind::kLParen, "("};
+      case ')':
+        Advance();
+        return Token{TokenKind::kRParen, ")"};
+      case '<':
+        Advance();
+        if (Match('-')) return Token{TokenKind::kArrow, "<-"};
+        return Token{TokenKind::kLAngle, "<"};
+      case '>':
+        Advance();
+        return Token{TokenKind::kRAngle, ">"};
+      case ',':
+        Advance();
+        return Token{TokenKind::kComma, ","};
+      case '.':
+        Advance();
+        return Token{TokenKind::kPeriod, "."};
+      case '=':
+        Advance();
+        return Token{TokenKind::kEq, "="};
+      case '!':
+        Advance();
+        if (Match('=')) return Token{TokenKind::kNeq, "!="};
+        return Token{TokenKind::kBang, "!"};
+      case ':':
+        Advance();
+        if (Match('-')) return Token{TokenKind::kArrow, ":-"};
+        return Error("expected '-' after ':'");
+      case '+':
+        Advance();
+        if (Match('+')) return Token{TokenKind::kConcat, "++"};
+        return Error("expected '+' after '+'");
+      case '-':
+        if (Peek(1) == '-' && Peek(2) == '-') {
+          Advance();
+          Advance();
+          Advance();
+          return Token{TokenKind::kStratumSep, "---"};
+        }
+        return Error("unexpected '-'");
+      default:
+        return Error(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view source) {
+  return Scanner(source).Run();
+}
+
+}  // namespace seqdl

@@ -1,0 +1,60 @@
+// Tokenizer for the seqdl surface syntax.
+//
+//   program   := stratum ('---' stratum)*
+//   rule      := predicate [ ('<-' | ':-') body ] '.'
+//   body      := literal (',' literal)*
+//   literal   := [ '!' | 'not' ] (predicate | equation)
+//   equation  := pathexpr ('=' | '!=') pathexpr
+//   predicate := IDENT [ '(' pathexpr (',' pathexpr)* ')' ]
+//   pathexpr  := item (('·' | '++') item)*
+//   item      := IDENT | NUMBER | STRING | '@'IDENT | '$'IDENT
+//              | '<' pathexpr '>' | 'eps' | '(' ')'
+//
+// Comments run from '%', '#', or '//' to end of line.
+#ifndef SEQDL_SYNTAX_LEXER_H_
+#define SEQDL_SYNTAX_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace seqdl {
+
+enum class TokenKind {
+  kIdent,       // atom / relation name (also numbers and quoted strings)
+  kAtomVar,     // @x
+  kPathVar,     // $x
+  kLParen,
+  kRParen,
+  kLAngle,      // <
+  kRAngle,      // >
+  kComma,
+  kPeriod,      // rule terminator
+  kConcat,      // '·' or '++'
+  kEq,          // =
+  kNeq,         // !=
+  kBang,        // !
+  kNot,         // keyword 'not'
+  kEps,         // keyword 'eps'
+  kArrow,       // '<-' or ':-'
+  kStratumSep,  // ---
+  kEnd,
+};
+
+const char* TokenKindToString(TokenKind kind);
+
+struct Token {
+  TokenKind kind;
+  std::string text;  // identifier / variable name without sigil
+  int line = 1;
+  int col = 1;
+};
+
+/// Tokenizes `source`; on success the result ends with a kEnd token.
+Result<std::vector<Token>> Tokenize(std::string_view source);
+
+}  // namespace seqdl
+
+#endif  // SEQDL_SYNTAX_LEXER_H_

@@ -1,0 +1,221 @@
+#include "src/syntax/parser.h"
+
+#include <vector>
+
+#include "src/syntax/lexer.h"
+
+namespace seqdl {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(Universe& u, std::vector<Token> tokens)
+      : u_(u), tokens_(std::move(tokens)) {}
+
+  Result<Program> ParseProgram() {
+    Program p;
+    p.strata.emplace_back();
+    while (!Check(TokenKind::kEnd)) {
+      if (Match(TokenKind::kStratumSep)) {
+        p.strata.emplace_back();
+        continue;
+      }
+      SEQDL_ASSIGN_OR_RETURN(Rule r, ParseRule());
+      p.strata.back().rules.push_back(std::move(r));
+    }
+    // Drop empty strata (e.g. a trailing '---').
+    std::vector<Stratum> kept;
+    for (Stratum& s : p.strata) {
+      if (!s.rules.empty()) kept.push_back(std::move(s));
+    }
+    if (kept.empty()) kept.emplace_back();
+    p.strata = std::move(kept);
+    return p;
+  }
+
+  Result<Rule> ParseRule() {
+    Rule r;
+    SEQDL_ASSIGN_OR_RETURN(r.head, ParsePredicate());
+    if (Match(TokenKind::kArrow)) {
+      // An empty body before '.' is allowed (e.g. "A <- ." from Lemma 7.2
+      // form 6); otherwise literals separated by commas.
+      if (!Check(TokenKind::kPeriod)) {
+        while (true) {
+          SEQDL_ASSIGN_OR_RETURN(Literal lit, ParseLiteral());
+          r.body.push_back(std::move(lit));
+          if (!Match(TokenKind::kComma)) break;
+        }
+      }
+    }
+    SEQDL_RETURN_IF_ERROR(Expect(TokenKind::kPeriod));
+    return r;
+  }
+
+  Result<PathExpr> ParsePathExprTop() {
+    SEQDL_ASSIGN_OR_RETURN(PathExpr e, ParsePathExpr());
+    SEQDL_RETURN_IF_ERROR(Expect(TokenKind::kEnd));
+    return e;
+  }
+
+  Status ExpectEnd() { return Expect(TokenKind::kEnd); }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  bool Check(TokenKind k) const { return Peek().kind == k; }
+  bool Match(TokenKind k) {
+    if (Check(k)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Token Take() { return tokens_[pos_++]; }
+
+  Status Expect(TokenKind k) {
+    if (Match(k)) return Status::OK();
+    return ErrorHere(std::string("expected ") + TokenKindToString(k) +
+                     ", found " + TokenKindToString(Peek().kind));
+  }
+
+  Status ErrorHere(const std::string& msg) const {
+    const Token& t = Peek();
+    return Status::InvalidArgument("parse error at " + std::to_string(t.line) +
+                                   ":" + std::to_string(t.col) + ": " + msg);
+  }
+
+  Result<Predicate> ParsePredicate() {
+    if (!Check(TokenKind::kIdent)) {
+      return ErrorHere("expected relation name");
+    }
+    std::string name = Take().text;
+    Predicate pred;
+    if (Match(TokenKind::kLParen)) {
+      if (!Match(TokenKind::kRParen)) {
+        while (true) {
+          SEQDL_ASSIGN_OR_RETURN(PathExpr e, ParsePathExpr());
+          pred.args.push_back(std::move(e));
+          if (!Match(TokenKind::kComma)) break;
+        }
+        SEQDL_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      }
+    }
+    SEQDL_ASSIGN_OR_RETURN(
+        pred.rel, u_.InternRel(name, static_cast<uint32_t>(pred.args.size())));
+    return pred;
+  }
+
+  Result<Literal> ParseLiteral() {
+    bool negated = false;
+    if (Match(TokenKind::kBang) || Match(TokenKind::kNot)) negated = true;
+
+    // Disambiguate predicate vs equation. "Ident(" is always a predicate
+    // application; a bare identifier followed by '=' / '!=' / concatenation
+    // starts an equation; otherwise a bare identifier is an arity-0
+    // predicate.
+    bool is_predicate = false;
+    if (Check(TokenKind::kIdent)) {
+      TokenKind next = Peek(1).kind;
+      is_predicate = next == TokenKind::kLParen ||
+                     (next != TokenKind::kEq && next != TokenKind::kNeq &&
+                      next != TokenKind::kConcat);
+    }
+    if (is_predicate) {
+      SEQDL_ASSIGN_OR_RETURN(Predicate p, ParsePredicate());
+      return Literal::Pred(std::move(p), negated);
+    }
+
+    SEQDL_ASSIGN_OR_RETURN(PathExpr lhs, ParsePathExpr());
+    bool neq;
+    if (Match(TokenKind::kEq)) {
+      neq = false;
+    } else if (Match(TokenKind::kNeq)) {
+      neq = true;
+    } else {
+      return ErrorHere("expected '=' or '!=' in equation");
+    }
+    if (neq && negated) {
+      return ErrorHere("cannot negate a nonequality ('!' with '!=')");
+    }
+    SEQDL_ASSIGN_OR_RETURN(PathExpr rhs, ParsePathExpr());
+    return Literal::Eq(std::move(lhs), std::move(rhs), negated || neq);
+  }
+
+  Result<PathExpr> ParsePathExpr() {
+    PathExpr out;
+    SEQDL_RETURN_IF_ERROR(ParseItemInto(&out));
+    while (Match(TokenKind::kConcat)) {
+      SEQDL_RETURN_IF_ERROR(ParseItemInto(&out));
+    }
+    return out;
+  }
+
+  // Parses one item and appends it to `out` ('eps' and '()' contribute no
+  // items — the empty path is the empty item sequence).
+  Status ParseItemInto(PathExpr* out) {
+    if (Match(TokenKind::kEps)) return Status::OK();
+    if (Check(TokenKind::kLParen) && Peek(1).kind == TokenKind::kRParen) {
+      ++pos_;
+      ++pos_;
+      return Status::OK();
+    }
+    if (Check(TokenKind::kIdent)) {
+      Token t = Take();
+      out->items.push_back(
+          ExprItem::Const(Value::Atom(u_.InternAtom(t.text))));
+      return Status::OK();
+    }
+    if (Check(TokenKind::kAtomVar)) {
+      Token t = Take();
+      out->items.push_back(
+          ExprItem::AtomVar(u_.InternVar(VarKind::kAtomic, t.text)));
+      return Status::OK();
+    }
+    if (Check(TokenKind::kPathVar)) {
+      Token t = Take();
+      out->items.push_back(
+          ExprItem::PathVar(u_.InternVar(VarKind::kPath, t.text)));
+      return Status::OK();
+    }
+    if (Match(TokenKind::kLAngle)) {
+      PathExpr inner;
+      if (!Check(TokenKind::kRAngle)) {
+        SEQDL_ASSIGN_OR_RETURN(inner, ParsePathExpr());
+      }
+      SEQDL_RETURN_IF_ERROR(Expect(TokenKind::kRAngle));
+      out->items.push_back(ExprItem::Pack(std::move(inner)));
+      return Status::OK();
+    }
+    return ErrorHere("expected path expression item, found " +
+                     std::string(TokenKindToString(Peek().kind)));
+  }
+
+  Universe& u_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Program> ParseProgram(Universe& u, std::string_view source) {
+  SEQDL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  return Parser(u, std::move(tokens)).ParseProgram();
+}
+
+Result<Rule> ParseRule(Universe& u, std::string_view source) {
+  SEQDL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  Parser p(u, std::move(tokens));
+  SEQDL_ASSIGN_OR_RETURN(Rule r, p.ParseRule());
+  SEQDL_RETURN_IF_ERROR(p.ExpectEnd());
+  return r;
+}
+
+Result<PathExpr> ParsePathExpr(Universe& u, std::string_view source) {
+  SEQDL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  return Parser(u, std::move(tokens)).ParsePathExprTop();
+}
+
+}  // namespace seqdl

@@ -1,0 +1,25 @@
+// Recursive-descent parser for the seqdl surface syntax (see lexer.h for the
+// grammar). Interns all symbols into the given Universe.
+#ifndef SEQDL_SYNTAX_PARSER_H_
+#define SEQDL_SYNTAX_PARSER_H_
+
+#include <string_view>
+
+#include "src/base/status.h"
+#include "src/syntax/ast.h"
+#include "src/term/universe.h"
+
+namespace seqdl {
+
+/// Parses a full program (one or more strata separated by '---').
+Result<Program> ParseProgram(Universe& u, std::string_view source);
+
+/// Parses a single rule (must consume the entire input).
+Result<Rule> ParseRule(Universe& u, std::string_view source);
+
+/// Parses a path expression (must consume the entire input).
+Result<PathExpr> ParsePathExpr(Universe& u, std::string_view source);
+
+}  // namespace seqdl
+
+#endif  // SEQDL_SYNTAX_PARSER_H_

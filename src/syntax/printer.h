@@ -1,0 +1,21 @@
+// Pretty-printer for seqdl ASTs. Output re-parses to an equal AST
+// (round-trip property, tested in tests/syntax_test.cc).
+#ifndef SEQDL_SYNTAX_PRINTER_H_
+#define SEQDL_SYNTAX_PRINTER_H_
+
+#include <string>
+
+#include "src/syntax/ast.h"
+#include "src/term/universe.h"
+
+namespace seqdl {
+
+std::string FormatExpr(const Universe& u, const PathExpr& e);
+std::string FormatPredicate(const Universe& u, const Predicate& p);
+std::string FormatLiteral(const Universe& u, const Literal& l);
+std::string FormatRule(const Universe& u, const Rule& r);
+std::string FormatProgram(const Universe& u, const Program& p);
+
+}  // namespace seqdl
+
+#endif  // SEQDL_SYNTAX_PRINTER_H_

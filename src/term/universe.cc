@@ -1,0 +1,226 @@
+#include "src/term/universe.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace seqdl {
+
+namespace {
+size_t HashCombine(size_t seed, size_t v) {
+  return seed ^ (v + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2));
+}
+}  // namespace
+
+size_t Universe::PathKeyHash::operator()(const std::vector<Value>& p) const {
+  size_t h = 0x42d1a7u;
+  for (Value v : p) h = HashCombine(h, ValueHash()(v));
+  return h;
+}
+
+Universe::Universe() {
+  // Reserve PathId 0 for the empty path.
+  path_contents_.emplace_back();
+  path_ids_.emplace(std::vector<Value>{}, kEmptyPath);
+}
+
+AtomId Universe::InternAtom(std::string_view name) {
+  auto it = atom_ids_.find(std::string(name));
+  if (it != atom_ids_.end()) return it->second;
+  AtomId id = static_cast<AtomId>(atom_names_.size());
+  atom_names_.emplace_back(name);
+  atom_ids_.emplace(std::string(name), id);
+  return id;
+}
+
+AtomId Universe::FreshAtom(std::string_view hint) {
+  std::string name = UniqueName(hint, atom_ids_, &fresh_atom_counter_);
+  return InternAtom(name);
+}
+
+PathId Universe::InternPath(std::span<const Value> values) {
+  std::vector<Value> key(values.begin(), values.end());
+  auto it = path_ids_.find(key);
+  if (it != path_ids_.end()) return it->second;
+  PathId id = static_cast<PathId>(path_contents_.size());
+  path_contents_.push_back(key);
+  path_ids_.emplace(std::move(key), id);
+  return id;
+}
+
+std::span<const Value> Universe::GetPath(PathId id) const {
+  assert(id < path_contents_.size());
+  return path_contents_[id];
+}
+
+PathId Universe::Concat(PathId p1, PathId p2) {
+  if (p1 == kEmptyPath) return p2;
+  if (p2 == kEmptyPath) return p1;
+  std::span<const Value> a = GetPath(p1), b = GetPath(p2);
+  std::vector<Value> out;
+  out.reserve(a.size() + b.size());
+  out.insert(out.end(), a.begin(), a.end());
+  out.insert(out.end(), b.begin(), b.end());
+  return InternPath(out);
+}
+
+PathId Universe::Append(PathId p, Value v) {
+  std::span<const Value> a = GetPath(p);
+  std::vector<Value> out(a.begin(), a.end());
+  out.push_back(v);
+  return InternPath(out);
+}
+
+PathId Universe::SubPath(PathId p, size_t start, size_t len) {
+  std::span<const Value> a = GetPath(p);
+  assert(start + len <= a.size());
+  return InternPath(a.subspan(start, len));
+}
+
+PathId Universe::SingletonPath(Value v) {
+  return InternPath(std::span<const Value>(&v, 1));
+}
+
+bool Universe::IsFlatValue(Value v) const { return v.is_atom(); }
+
+bool Universe::IsFlatPath(PathId p) const {
+  for (Value v : GetPath(p)) {
+    // A value inside a flat path must be atomic; packed values are exactly
+    // the non-flat case, at any depth (the top level suffices because a
+    // packed value *is* non-flatness).
+    if (v.is_packed()) return false;
+  }
+  return true;
+}
+
+void Universe::CollectAtoms(PathId p, std::unordered_set<AtomId>* out) const {
+  for (Value v : GetPath(p)) {
+    if (v.is_atom()) {
+      out->insert(v.atom());
+    } else {
+      CollectAtoms(v.packed_path(), out);
+    }
+  }
+}
+
+std::vector<PathId> Universe::AllSubPaths(PathId p) {
+  std::span<const Value> a = GetPath(p);
+  std::vector<PathId> out;
+  out.push_back(kEmptyPath);
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t len = 1; i + len <= a.size(); ++len) {
+      out.push_back(InternPath(a.subspan(i, len)));
+    }
+  }
+  // Deduplicate (repeated contents intern to the same id).
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::string Universe::FormatValue(Value v) const {
+  if (v.is_atom()) return AtomName(v.atom());
+  return "<" + FormatPath(v.packed_path()) + ">";
+}
+
+std::string Universe::FormatPath(PathId p) const {
+  std::span<const Value> a = GetPath(p);
+  if (a.empty()) return "()";
+  std::string out;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (i > 0) out += "·";  // interpunct, as in the paper
+    out += FormatValue(a[i]);
+  }
+  return out;
+}
+
+VarId Universe::InternVar(VarKind kind, std::string_view name) {
+  std::string key = (kind == VarKind::kAtomic ? "@" : "$") + std::string(name);
+  auto it = var_ids_.find(key);
+  if (it != var_ids_.end()) return it->second;
+  VarId id = static_cast<VarId>(var_names_.size());
+  var_names_.emplace_back(name);
+  var_kinds_.push_back(kind);
+  var_ids_.emplace(std::move(key), id);
+  return id;
+}
+
+VarId Universe::FreshVar(VarKind kind, std::string_view hint) {
+  // Candidate names are checked against both sigil variants so the fresh
+  // name is unused regardless of kind.
+  for (uint32_t i = fresh_var_counter_;; ++i) {
+    std::string name = std::string(hint) + "_" + std::to_string(i);
+    if (!var_ids_.count("@" + name) && !var_ids_.count("$" + name)) {
+      fresh_var_counter_ = i + 1;
+      return InternVar(kind, name);
+    }
+  }
+}
+
+Result<RelId> Universe::InternRel(std::string_view name, uint32_t arity) {
+  auto it = rel_ids_.find(std::string(name));
+  if (it != rel_ids_.end()) {
+    if (rel_arities_[it->second] != arity) {
+      return Status::InvalidArgument(
+          "relation " + std::string(name) + " used with arity " +
+          std::to_string(arity) + " but previously declared with arity " +
+          std::to_string(rel_arities_[it->second]));
+    }
+    return it->second;
+  }
+  RelId id = static_cast<RelId>(rel_names_.size());
+  rel_names_.emplace_back(name);
+  rel_arities_.push_back(arity);
+  rel_ids_.emplace(std::string(name), id);
+  return id;
+}
+
+Result<RelId> Universe::FindRel(std::string_view name) const {
+  auto it = rel_ids_.find(std::string(name));
+  if (it == rel_ids_.end()) {
+    return Status::NotFound("unknown relation " + std::string(name));
+  }
+  return it->second;
+}
+
+RelId Universe::FreshRel(std::string_view hint, uint32_t arity) {
+  std::string name = UniqueName(hint, rel_ids_, &fresh_rel_counter_);
+  Result<RelId> r = InternRel(name, arity);
+  assert(r.ok());
+  return *r;
+}
+
+PathId Universe::PathOfChars(std::string_view chars) {
+  std::vector<Value> values;
+  values.reserve(chars.size());
+  for (char c : chars) {
+    values.push_back(Value::Atom(InternAtom(std::string_view(&c, 1))));
+  }
+  return InternPath(values);
+}
+
+PathId Universe::PathOfWords(std::string_view words) {
+  std::vector<Value> values;
+  size_t i = 0;
+  while (i < words.size()) {
+    while (i < words.size() && words[i] == ' ') ++i;
+    size_t j = i;
+    while (j < words.size() && words[j] != ' ') ++j;
+    if (j > i) values.push_back(Value::Atom(InternAtom(words.substr(i, j - i))));
+    i = j;
+  }
+  return InternPath(values);
+}
+
+std::string Universe::UniqueName(
+    std::string_view hint,
+    const std::unordered_map<std::string, uint32_t>& used, uint32_t* counter) {
+  for (uint32_t i = *counter;; ++i) {
+    std::string name = std::string(hint) + "_" + std::to_string(i);
+    if (!used.count(name)) {
+      *counter = i + 1;
+      return name;
+    }
+  }
+}
+
+}  // namespace seqdl

@@ -1,0 +1,144 @@
+// Universe: the owning context for all interned symbols of a seqdl session —
+// atomic values, paths (hash-consed), variables, and relation names. Every
+// seqdl component takes a Universe& explicitly; there is no global state.
+#ifndef SEQDL_TERM_UNIVERSE_H_
+#define SEQDL_TERM_UNIVERSE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/term/value.h"
+
+namespace seqdl {
+
+/// Identifier of a variable (atomic @x or path $x).
+using VarId = uint32_t;
+
+/// Identifier of a relation name.
+using RelId = uint32_t;
+
+/// The two kinds of variables of Sequence Datalog (paper §2.2): atomic
+/// variables range over atomic values, path variables over paths.
+enum class VarKind : uint8_t { kAtomic, kPath };
+
+/// Owning symbol context. Interns atoms, paths, variables and relation
+/// names, and generates fresh names for program transformations.
+class Universe {
+ public:
+  Universe();
+
+  Universe(const Universe&) = delete;
+  Universe& operator=(const Universe&) = delete;
+
+  // --- Atoms -------------------------------------------------------------
+
+  /// Interns an atomic value by name; idempotent.
+  AtomId InternAtom(std::string_view name);
+  /// The printed name of an atom.
+  const std::string& AtomName(AtomId id) const { return atom_names_[id]; }
+  /// A fresh atom whose name starts with `hint` and collides with nothing
+  /// interned so far.
+  AtomId FreshAtom(std::string_view hint);
+  size_t num_atoms() const { return atom_names_.size(); }
+
+  // --- Paths (hash-consed) ----------------------------------------------
+
+  /// Interns the path consisting of `values`; returns its id. The empty
+  /// span maps to kEmptyPath.
+  PathId InternPath(std::span<const Value> values);
+  /// The values of an interned path.
+  std::span<const Value> GetPath(PathId id) const;
+  size_t PathLength(PathId id) const { return GetPath(id).size(); }
+  size_t num_paths() const { return path_contents_.size(); }
+
+  /// Concatenation p1 · p2.
+  PathId Concat(PathId p1, PathId p2);
+  /// p · v.
+  PathId Append(PathId p, Value v);
+  /// The contiguous subpath [start, start+len).
+  PathId SubPath(PathId p, size_t start, size_t len);
+  /// A one-value path.
+  PathId SingletonPath(Value v);
+
+  /// True iff the path contains no packed value at any nesting depth.
+  bool IsFlatPath(PathId p) const;
+  bool IsFlatValue(Value v) const;
+
+  /// Inserts every atom occurring in `p` (at any depth) into `out`.
+  void CollectAtoms(PathId p, std::unordered_set<AtomId>* out) const;
+
+  /// All contiguous subpaths of p, including the empty path and p itself.
+  std::vector<PathId> AllSubPaths(PathId p);
+
+  // --- Formatting ---------------------------------------------------------
+
+  /// Formats a value: atom name, or "<p>" for packed values.
+  std::string FormatValue(Value v) const;
+  /// Formats a path with interpunct separators; "()" for the empty path.
+  std::string FormatPath(PathId p) const;
+
+  // --- Variables ----------------------------------------------------------
+
+  /// Interns a variable by kind + name; idempotent per (kind, name).
+  VarId InternVar(VarKind kind, std::string_view name);
+  VarKind VarKindOf(VarId id) const { return var_kinds_[id]; }
+  const std::string& VarName(VarId id) const { return var_names_[id]; }
+  /// Fresh variable of the given kind; name derived from `hint`.
+  VarId FreshVar(VarKind kind, std::string_view hint);
+  size_t num_vars() const { return var_names_.size(); }
+
+  // --- Relation names -----------------------------------------------------
+
+  /// Interns a relation name with the given arity. Re-interning with the
+  /// same arity returns the existing id; a different arity is an error.
+  Result<RelId> InternRel(std::string_view name, uint32_t arity);
+  /// Looks up a relation by name.
+  Result<RelId> FindRel(std::string_view name) const;
+  const std::string& RelName(RelId id) const { return rel_names_[id]; }
+  uint32_t RelArity(RelId id) const { return rel_arities_[id]; }
+  /// Fresh relation name with the given arity, derived from `hint`.
+  RelId FreshRel(std::string_view hint, uint32_t arity);
+  size_t num_rels() const { return rel_names_.size(); }
+
+  // --- Convenience constructors (mostly for tests and examples) -----------
+
+  /// Path of single-character atoms, e.g. "aab" -> a·a·b.
+  PathId PathOfChars(std::string_view chars);
+  /// Path of whitespace-separated atoms, e.g. "open pay close".
+  PathId PathOfWords(std::string_view words);
+
+ private:
+  std::string UniqueName(std::string_view hint,
+                         const std::unordered_map<std::string, uint32_t>& used,
+                         uint32_t* counter);
+
+  std::vector<std::string> atom_names_;
+  std::unordered_map<std::string, AtomId> atom_ids_;
+  uint32_t fresh_atom_counter_ = 0;
+
+  struct PathKeyHash {
+    size_t operator()(const std::vector<Value>& p) const;
+  };
+  std::vector<std::vector<Value>> path_contents_;
+  std::unordered_map<std::vector<Value>, PathId, PathKeyHash> path_ids_;
+
+  std::vector<std::string> var_names_;
+  std::vector<VarKind> var_kinds_;
+  std::unordered_map<std::string, VarId> var_ids_;  // key: sigil + name
+  uint32_t fresh_var_counter_ = 0;
+
+  std::vector<std::string> rel_names_;
+  std::vector<uint32_t> rel_arities_;
+  std::unordered_map<std::string, RelId> rel_ids_;
+  uint32_t fresh_rel_counter_ = 0;
+};
+
+}  // namespace seqdl
+
+#endif  // SEQDL_TERM_UNIVERSE_H_

@@ -1,0 +1,79 @@
+#include "src/transform/arity_elim.h"
+
+#include <map>
+
+namespace seqdl {
+
+PathExpr PairEncode(const PathExpr& e1, const PathExpr& e2, Value a, Value b) {
+  PathExpr ea = ConstExpr(a), eb = ConstExpr(b);
+  return ConcatExprs({e1, ea, e2, ea, e1, eb, e2});
+}
+
+namespace {
+
+// Folds an argument list into a single expression:
+// (e1, ..., en) -> enc(e1, enc(e2, ... enc(e_{n-1}, e_n))).
+PathExpr FoldArgs(const std::vector<PathExpr>& args, Value a, Value b) {
+  PathExpr acc = args.back();
+  for (size_t i = args.size() - 1; i-- > 0;) {
+    acc = PairEncode(args[i], acc, a, b);
+  }
+  return acc;
+}
+
+}  // namespace
+
+Result<Program> EliminateArity(Universe& u, const Program& p) {
+  std::set<RelId> idb = IdbRels(p);
+  for (RelId rel : EdbRels(p)) {
+    if (u.RelArity(rel) > 1) {
+      return Status::FailedPrecondition(
+          "EliminateArity: EDB relation " + u.RelName(rel) +
+          " has arity " + std::to_string(u.RelArity(rel)) +
+          " > 1; only IDB arities can be eliminated");
+    }
+  }
+
+  Value a = Value::Atom(u.InternAtom("0"));
+  Value b = Value::Atom(u.InternAtom("1"));
+
+  // Fresh unary replacement for every IDB relation of arity >= 2.
+  std::map<RelId, RelId> unary;
+  for (RelId rel : idb) {
+    if (u.RelArity(rel) >= 2) {
+      unary[rel] = u.FreshRel(u.RelName(rel) + "_enc", 1);
+    }
+  }
+
+  auto rewrite_pred = [&](const Predicate& pred) {
+    auto it = unary.find(pred.rel);
+    if (it == unary.end()) return pred;
+    Predicate out;
+    out.rel = it->second;
+    out.args.push_back(FoldArgs(pred.args, a, b));
+    return out;
+  };
+
+  Program out;
+  for (const Stratum& s : p.strata) {
+    Stratum ns;
+    for (const Rule& r : s.rules) {
+      Rule nr;
+      nr.head = rewrite_pred(r.head);
+      for (const Literal& l : r.body) {
+        if (l.is_predicate()) {
+          Literal nl = l;
+          nl.pred = rewrite_pred(l.pred);
+          nr.body.push_back(std::move(nl));
+        } else {
+          nr.body.push_back(l);
+        }
+      }
+      ns.rules.push_back(std::move(nr));
+    }
+    out.strata.push_back(std::move(ns));
+  }
+  return out;
+}
+
+}  // namespace seqdl

@@ -1,0 +1,30 @@
+// Arity elimination (paper §4.1, Theorem 4.2).
+//
+// Using the pairing encoding of Lemma 4.1 — for distinct atomic values a, b,
+//     (s1, s2) = (s1', s2')   iff
+//     s1·a·s2·a·s1·b·s2 = s1'·a·s2'·a·s1'·b·s2'
+// — every IDB predicate of arity n >= 2 is replaced by a unary predicate
+// whose single component encodes the n-tuple (folding the last two
+// components repeatedly). The encoding is injective for arbitrary paths,
+// even when a and b occur in the data.
+#ifndef SEQDL_TRANSFORM_ARITY_ELIM_H_
+#define SEQDL_TRANSFORM_ARITY_ELIM_H_
+
+#include "src/base/status.h"
+#include "src/syntax/ast.h"
+#include "src/term/universe.h"
+
+namespace seqdl {
+
+/// The pairing expression e1·a·e2·a·e1·b·e2 of Lemma 4.1.
+PathExpr PairEncode(const PathExpr& e1, const PathExpr& e2, Value a, Value b);
+
+/// Rewrites `p` so that no IDB predicate has arity greater than one.
+/// Requires every EDB relation to have arity <= 1 (the input instance
+/// cannot be re-encoded by a program transformation); otherwise
+/// kFailedPrecondition.
+Result<Program> EliminateArity(Universe& u, const Program& p);
+
+}  // namespace seqdl
+
+#endif  // SEQDL_TRANSFORM_ARITY_ELIM_H_

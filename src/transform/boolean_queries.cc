@@ -1,0 +1,36 @@
+#include "src/transform/boolean_queries.h"
+
+namespace seqdl {
+
+Result<Program> StripRecursionFromBooleanQuery(Universe& u,
+                                               const Program& p) {
+  std::set<RelId> idb = IdbRels(p);
+  if (idb.size() != 1) {
+    return Status::FailedPrecondition(
+        "StripRecursionFromBooleanQuery: program has " +
+        std::to_string(idb.size()) +
+        " IDB relations; the observation applies without intermediate "
+        "predicates");
+  }
+  RelId s = *idb.begin();
+  if (u.RelArity(s) != 0) {
+    return Status::FailedPrecondition(
+        "StripRecursionFromBooleanQuery: output relation " + u.RelName(s) +
+        " is not nullary (the observation is about boolean queries)");
+  }
+  Program out;
+  for (const Stratum& st : p.strata) {
+    Stratum ns;
+    for (const Rule& r : st.rules) {
+      bool recursive = false;
+      for (const Literal& l : r.body) {
+        recursive |= l.is_predicate() && l.pred.rel == s;
+      }
+      if (!recursive) ns.rules.push_back(r);
+    }
+    out.strata.push_back(std::move(ns));
+  }
+  return out;
+}
+
+}  // namespace seqdl

@@ -1,0 +1,23 @@
+// The boolean-query observation of §5.1.1: in the absence of intermediate
+// predicates, recursion is redundant for boolean (arity-0 output) queries.
+// If the single IDB relation is nullary, no recursive rule can fire before
+// some nonrecursive rule has fired — and once any rule fires the boolean
+// answer is already true. Hence dropping the recursive rules preserves the
+// query.
+#ifndef SEQDL_TRANSFORM_BOOLEAN_QUERIES_H_
+#define SEQDL_TRANSFORM_BOOLEAN_QUERIES_H_
+
+#include "src/base/status.h"
+#include "src/syntax/ast.h"
+#include "src/term/universe.h"
+
+namespace seqdl {
+
+/// Drops every recursive rule (a rule whose body mentions the program's
+/// single IDB relation positively or negatively). Requires the program to
+/// have exactly one IDB relation, of arity 0.
+Result<Program> StripRecursionFromBooleanQuery(Universe& u, const Program& p);
+
+}  // namespace seqdl
+
+#endif  // SEQDL_TRANSFORM_BOOLEAN_QUERIES_H_

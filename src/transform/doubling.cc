@@ -1,0 +1,189 @@
+#include "src/transform/doubling.h"
+
+#include <map>
+
+#include "src/syntax/builder.h"
+
+namespace seqdl {
+
+std::vector<Rule> DoubleRelationRules(Universe& u, RelId from, RelId to) {
+  ProgramBuilder b(u);
+  std::string t_name = "Dbl_" + u.RelName(from);
+  PathExpr x = b.PV("dx_" + u.RelName(from));
+  PathExpr y = b.AV("dy_" + u.RelName(from));
+  PathExpr z = b.PV("dz_" + u.RelName(from));
+  Predicate r_from{from, {x}};
+  Predicate r_to{to, {x}};
+  Predicate t0 = b.P(t_name, {b.Eps(), x});
+  Predicate t_step_head = b.P(t_name, {b.Cat({x, y, y}), z});
+  Predicate t_step_body = b.P(t_name, {x, b.Cat({y, z})});
+  Predicate t_done = b.P(t_name, {x, b.Eps()});
+  return {
+      b.R(t0, {b.Lit(r_from)}),
+      b.R(t_step_head, {b.Lit(t_step_body)}),
+      b.R(r_to, {b.Lit(t_done)}),
+  };
+}
+
+std::vector<Rule> UndoubleRelationRules(Universe& u, RelId from, RelId to) {
+  ProgramBuilder b(u);
+  std::string t_name = "Undbl_" + u.RelName(from);
+  PathExpr x = b.PV("ux_" + u.RelName(from));
+  PathExpr y = b.AV("uy_" + u.RelName(from));
+  PathExpr z = b.PV("uz_" + u.RelName(from));
+  Predicate s_from{from, {x}};
+  Predicate s_to{to, {x}};
+  Predicate t0 = b.P(t_name, {x, b.Eps()});
+  Predicate t_step_head = b.P(t_name, {x, b.Cat({y, z})});
+  Predicate t_step_body = b.P(t_name, {b.Cat({x, y, y}), z});
+  Predicate t_done = b.P(t_name, {b.Eps(), x});
+  return {
+      b.R(t0, {b.Lit(s_from)}),
+      b.R(t_step_head, {b.Lit(t_step_body)}),
+      b.R(s_to, {b.Lit(t_done)}),
+  };
+}
+
+PathId DoublePath(Universe& u, PathId p, Value lb, Value rb) {
+  std::vector<Value> out;
+  for (Value v : u.GetPath(p)) {
+    if (v.is_atom()) {
+      out.push_back(v);
+      out.push_back(v);
+    } else {
+      out.push_back(lb);
+      PathId inner = DoublePath(u, v.packed_path(), lb, rb);
+      std::span<const Value> iv = u.GetPath(inner);
+      out.insert(out.end(), iv.begin(), iv.end());
+      out.push_back(rb);
+    }
+  }
+  return u.InternPath(out);
+}
+
+namespace {
+
+// D(e): doubles constants and atomic variables, keeps path variables, and
+// encodes packs with delimiters.
+PathExpr DoubleExpr(const PathExpr& e, Value lb, Value rb) {
+  PathExpr out;
+  for (const ExprItem& it : e.items) {
+    switch (it.kind) {
+      case ExprItem::Kind::kConst:
+        out.items.push_back(it);
+        out.items.push_back(it);
+        break;
+      case ExprItem::Kind::kAtomVar:
+        out.items.push_back(it);
+        out.items.push_back(it);
+        break;
+      case ExprItem::Kind::kPathVar:
+        out.items.push_back(it);
+        break;
+      case ExprItem::Kind::kPack: {
+        out.items.push_back(ExprItem::Const(lb));
+        PathExpr inner = DoubleExpr(*it.pack, lb, rb);
+        out.items.insert(out.items.end(), inner.items.begin(),
+                         inner.items.end());
+        out.items.push_back(ExprItem::Const(rb));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Program> EliminatePackingViaDoubling(Universe& u, const Program& p,
+                                            RelId output) {
+  std::set<RelId> idb = IdbRels(p);
+  std::set<RelId> edb = EdbRels(p);
+  if (!idb.count(output)) {
+    return Status::InvalidArgument(
+        "EliminatePackingViaDoubling: output relation " + u.RelName(output) +
+        " is not an IDB relation");
+  }
+  if (u.RelArity(output) > 1) {
+    return Status::FailedPrecondition(
+        "EliminatePackingViaDoubling: output arity must be <= 1");
+  }
+  for (RelId r : edb) {
+    if (u.RelArity(r) > 1) {
+      return Status::FailedPrecondition(
+          "EliminatePackingViaDoubling: EDB relation " + u.RelName(r) +
+          " has arity > 1");
+    }
+  }
+
+  Value lb = Value::Atom(u.FreshAtom("lb"));
+  Value rb = Value::Atom(u.FreshAtom("rb"));
+
+  // Stratum 0: double every (unary) EDB relation. Arity-0 EDB relations are
+  // copied as-is.
+  Program out;
+  std::map<RelId, RelId> renamed;  // original -> doubled/simulated name
+  Stratum doubling;
+  for (RelId r : edb) {
+    RelId dbl = u.FreshRel(u.RelName(r) + "_dbl", u.RelArity(r));
+    renamed[r] = dbl;
+    if (u.RelArity(r) == 0) {
+      Rule copy;
+      copy.head.rel = dbl;
+      copy.body.push_back(Literal::Pred(Predicate{r, {}}));
+      doubling.rules.push_back(std::move(copy));
+    } else {
+      for (Rule& rule : DoubleRelationRules(u, r, dbl)) {
+        doubling.rules.push_back(std::move(rule));
+      }
+    }
+  }
+  out.strata.push_back(std::move(doubling));
+
+  // Middle: the original program over doubled relations, with packs
+  // simulated by delimiters.
+  for (RelId r : idb) {
+    renamed[r] = u.FreshRel(u.RelName(r) + "_sim", u.RelArity(r));
+  }
+  for (const Stratum& s : p.strata) {
+    Stratum ns;
+    for (const Rule& r : s.rules) {
+      Rule nr;
+      nr.head.rel = renamed.at(r.head.rel);
+      for (const PathExpr& e : r.head.args) {
+        nr.head.args.push_back(DoubleExpr(e, lb, rb));
+      }
+      for (const Literal& l : r.body) {
+        if (l.is_predicate()) {
+          Literal nl = l;
+          nl.pred.rel = renamed.at(l.pred.rel);
+          for (PathExpr& e : nl.pred.args) e = DoubleExpr(e, lb, rb);
+          nr.body.push_back(std::move(nl));
+        } else {
+          nr.body.push_back(Literal::Eq(DoubleExpr(l.lhs, lb, rb),
+                                        DoubleExpr(l.rhs, lb, rb),
+                                        l.negated));
+        }
+      }
+      ns.rules.push_back(std::move(nr));
+    }
+    out.strata.push_back(std::move(ns));
+  }
+
+  // Final stratum: undouble the output.
+  Stratum undoubling;
+  if (u.RelArity(output) == 0) {
+    Rule copy;
+    copy.head.rel = output;
+    copy.body.push_back(Literal::Pred(Predicate{renamed.at(output), {}}));
+    undoubling.rules.push_back(std::move(copy));
+  } else {
+    for (Rule& rule : UndoubleRelationRules(u, renamed.at(output), output)) {
+      undoubling.rules.push_back(std::move(rule));
+    }
+  }
+  out.strata.push_back(std::move(undoubling));
+  return out;
+}
+
+}  // namespace seqdl

@@ -1,0 +1,50 @@
+// The doubling encoding of Theorem 4.15, used to eliminate packing in the
+// presence of recursion. A path k1·k2·...·kn is *doubled* into
+// k1·k1·k2·k2·...·kn·kn; packing is then simulated with single-occurrence
+// delimiter atoms (which cannot be confused with data, because data atoms
+// always appear doubled):
+//
+//     <w>  ~~>  lb · D(w) · rb
+//
+// The full pipeline (EliminatePackingViaDoubling) is:
+//   1. a first stratum doubles every EDB relation (the printed rules of
+//      Theorem 4.15, which avoid negation by using arity instead);
+//   2. the program is rewritten to operate on doubled relations, with packs
+//      replaced by delimiters;
+//   3. a final stratum undoubles the output relation.
+//
+// Caveat (documented in DESIGN.md): step 2 follows the J-Logic flat-flat
+// construction, whose full correctness proof is outside this paper;
+// correctness here is established by differential testing. The delimiter
+// atoms are fresh with respect to the *program*; input instances must not
+// use them.
+#ifndef SEQDL_TRANSFORM_DOUBLING_H_
+#define SEQDL_TRANSFORM_DOUBLING_H_
+
+#include "src/base/status.h"
+#include "src/syntax/ast.h"
+#include "src/term/universe.h"
+
+namespace seqdl {
+
+/// The three doubling rules for a unary relation `from` into `to`
+/// (Theorem 4.15): T(ϵ,$x) <- R($x);  T($x·@y·@y,$z) <- T($x,@y·$z);
+/// R'($x) <- T($x,ϵ).
+std::vector<Rule> DoubleRelationRules(Universe& u, RelId from, RelId to);
+
+/// The three undoubling rules (inverse direction).
+std::vector<Rule> UndoubleRelationRules(Universe& u, RelId from, RelId to);
+
+/// Doubles a ground path (k1·...·kn -> k1·k1·...·kn·kn); packed values are
+/// encoded with the given delimiter atoms.
+PathId DoublePath(Universe& u, PathId p, Value lb, Value rb);
+
+/// Rewrites `p` (whose EDB relations must have arity <= 1 and whose output
+/// relation `output` must have arity <= 1) into a packing-free program that
+/// computes the same flat facts for `output` on flat instances.
+Result<Program> EliminatePackingViaDoubling(Universe& u, const Program& p,
+                                            RelId output);
+
+}  // namespace seqdl
+
+#endif  // SEQDL_TRANSFORM_DOUBLING_H_

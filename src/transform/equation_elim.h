@@ -1,0 +1,37 @@
+// Equation elimination (paper §4.2, Lemma 4.5 / Theorem 4.7).
+//
+// Positive equations are removed with the auxiliary-predicate trick of
+// Example 4.4: a rule H <- B ∧ e1 = e2 becomes
+//     T(e1, v1, ..., vn) <- B.        (v's = variables of B)
+//     H <- T(e2, v1, ..., vn), [negated literals of the original rule].
+//
+// Negated equations cannot be handled that way inside recursive strata
+// (stratification would break); they are removed by the stratum-duplication
+// construction of Lemma 4.5: a fresh stratum ∆' preceding ∆ recomputes ∆'s
+// head relations under renamed names, materializes the *violating* tuples
+// in a fresh relation T, and the original rule tests ¬T.
+//
+// The output uses intermediate predicates and arity; compose with
+// EliminateArity to realize Theorem 4.7 (E redundant in the presence of I).
+#ifndef SEQDL_TRANSFORM_EQUATION_ELIM_H_
+#define SEQDL_TRANSFORM_EQUATION_ELIM_H_
+
+#include "src/base/status.h"
+#include "src/syntax/ast.h"
+#include "src/term/universe.h"
+
+namespace seqdl {
+
+/// Removes all negated equations (positive equations may be introduced).
+Result<Program> EliminateNegatedEquations(Universe& u, const Program& p);
+
+/// Removes all positive equations. Requires the program to have no negated
+/// equations (run EliminateNegatedEquations first).
+Result<Program> EliminatePositiveEquations(Universe& u, const Program& p);
+
+/// Removes all equations (negated first, then positive).
+Result<Program> EliminateEquations(Universe& u, const Program& p);
+
+}  // namespace seqdl
+
+#endif  // SEQDL_TRANSFORM_EQUATION_ELIM_H_

@@ -1,0 +1,83 @@
+#include "src/transform/fold_intermediates.h"
+
+#include <deque>
+#include <map>
+
+#include "src/analysis/dependency_graph.h"
+#include "src/syntax/printer.h"
+#include "src/transform/rewrite.h"
+
+namespace seqdl {
+
+Result<Program> FoldIntermediates(Universe& u, const Program& p, RelId output,
+                                  const FoldOptions& opts) {
+  std::set<RelId> idb = IdbRels(p);
+  if (!idb.count(output)) {
+    return Status::InvalidArgument("FoldIntermediates: " + u.RelName(output) +
+                                   " is not an IDB relation of the program");
+  }
+  if (HasCycle(BuildDependencyGraph(p))) {
+    return Status::FailedPrecondition(
+        "FoldIntermediates: program is recursive");
+  }
+  for (const Rule* r : p.AllRules()) {
+    for (const Literal& l : r->body) {
+      if (l.is_predicate() && l.negated && idb.count(l.pred.rel)) {
+        return Status::FailedPrecondition(
+            "FoldIntermediates: negated IDB predicate in rule " +
+            FormatRule(u, *r));
+      }
+    }
+  }
+
+  std::map<RelId, std::vector<Rule>> defs;
+  for (const Rule* r : p.AllRules()) defs[r->head.rel].push_back(*r);
+
+  std::deque<Rule> work(defs[output].begin(), defs[output].end());
+  std::vector<Rule> done;
+  while (!work.empty()) {
+    Rule r = std::move(work.front());
+    work.pop_front();
+
+    // Find the first positive IDB subgoal.
+    size_t target = r.body.size();
+    for (size_t i = 0; i < r.body.size(); ++i) {
+      const Literal& l = r.body[i];
+      if (l.is_predicate() && !l.negated && idb.count(l.pred.rel)) {
+        target = i;
+        break;
+      }
+    }
+    if (target == r.body.size()) {
+      done.push_back(std::move(r));
+      continue;
+    }
+
+    const Predicate call = r.body[target].pred;
+    for (const Rule& def : defs[call.rel]) {
+      Rule fresh = FreshenVars(u, def);
+      Rule folded;
+      folded.head = r.head;
+      for (size_t i = 0; i < r.body.size(); ++i) {
+        if (i != target) folded.body.push_back(r.body[i]);
+      }
+      for (const Literal& l : fresh.body) folded.body.push_back(l);
+      for (size_t i = 0; i < call.args.size(); ++i) {
+        folded.body.push_back(
+            Literal::Eq(call.args[i], fresh.head.args[i], /*negated=*/false));
+      }
+      work.push_back(std::move(folded));
+      if (work.size() + done.size() > opts.max_rules) {
+        return Status::ResourceExhausted(
+            "FoldIntermediates: rule blow-up exceeded max_rules");
+      }
+    }
+  }
+
+  Program out;
+  out.strata.emplace_back();
+  out.strata.back().rules = std::move(done);
+  return out;
+}
+
+}  // namespace seqdl

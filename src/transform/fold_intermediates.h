@@ -1,0 +1,31 @@
+// Folding away intermediate predicates (paper Theorem 4.16): in the
+// absence of negation (on IDB relations) and recursion, intermediate
+// predicates are redundant in the presence of equations. Each IDB subgoal
+// P(e1, ..., en) in a rule of the output relation is unfolded against every
+// rule P(h1, ..., hn) <- C (variables renamed apart), producing
+//     head <- (body \ {P(...)}) ∪ C ∪ {e1 = h1, ..., en = hn}.
+// Repeated to a fixpoint, the result defines the output relation alone.
+#ifndef SEQDL_TRANSFORM_FOLD_INTERMEDIATES_H_
+#define SEQDL_TRANSFORM_FOLD_INTERMEDIATES_H_
+
+#include "src/base/status.h"
+#include "src/syntax/ast.h"
+#include "src/term/universe.h"
+
+namespace seqdl {
+
+struct FoldOptions {
+  /// Guard against exponential blow-up.
+  size_t max_rules = 100000;
+};
+
+/// Produces a program whose only IDB relation is `output`. Requires the
+/// program to be nonrecursive and free of negated IDB predicates
+/// (negated equations and negated EDB predicates are allowed — a slight
+/// relaxation of the theorem's statement that does not affect soundness).
+Result<Program> FoldIntermediates(Universe& u, const Program& p, RelId output,
+                                  const FoldOptions& opts = {});
+
+}  // namespace seqdl
+
+#endif  // SEQDL_TRANSFORM_FOLD_INTERMEDIATES_H_

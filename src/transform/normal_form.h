@@ -1,0 +1,36 @@
+// The six-form normal form of Lemma 7.2, used as the bridge between
+// nonrecursive Sequence Datalog and the sequence relational algebra
+// (Theorem 7.1). Every rule of the output program has one of the forms:
+//
+//   1. R1(v1,...,vn)        <- R2(e1,...,em);          (extraction)
+//   2. R1(v1,...,vn, e)     <- R2(v1,...,vn);          (generalized proj.)
+//   3. R1(v1,...,vn)        <- R2(x1,...,xk), R3(y...);(join)
+//   4. R1(v1,...,vn)        <- R2(v1,...,vn), ¬R3(v'); (antijoin)
+//   5. R1(v'1,...,v'm)      <- R2(v1,...,vn);          (projection)
+//   6. R(p1,...,pk)         <- .                       (constant)
+//
+// with the side conditions of the paper (v's distinct; path variables only
+// in forms 2-6; in form 3 the head variables come from the body; in forms
+// 4-5 the primed variables are taken from the v's).
+#ifndef SEQDL_TRANSFORM_NORMAL_FORM_H_
+#define SEQDL_TRANSFORM_NORMAL_FORM_H_
+
+#include "src/base/status.h"
+#include "src/syntax/ast.h"
+#include "src/term/universe.h"
+
+namespace seqdl {
+
+/// Rewrites a nonrecursive, equation-free program into normal form
+/// (computing the same query; paper Lemma 7.2).
+Result<Program> ToNormalForm(Universe& u, const Program& p);
+
+/// Returns 1..6 if the rule matches a normal form, else an error.
+Result<int> NormalFormOf(const Universe& u, const Rule& r);
+
+/// OK iff every rule of `p` is in one of the six normal forms.
+Status ValidateNormalForm(const Universe& u, const Program& p);
+
+}  // namespace seqdl
+
+#endif  // SEQDL_TRANSFORM_NORMAL_FORM_H_

@@ -1,0 +1,449 @@
+#include "src/transform/packing_elim.h"
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "src/analysis/dependency_graph.h"
+#include "src/analysis/packing_structure.h"
+#include "src/analysis/purity.h"
+#include "src/syntax/printer.h"
+#include "src/transform/rewrite.h"
+#include "src/transform/simplify.h"
+#include "src/unify/unify.h"
+
+namespace seqdl {
+
+namespace {
+
+using PsVec = std::vector<PackingStructure>;
+
+struct Variant {
+  PsVec structures;
+  RelId rel;
+};
+
+// Registry of packing-structure variants per (original) relation.
+using Registry = std::map<RelId, std::vector<Variant>>;
+
+bool AllStar(const PsVec& psv) {
+  for (const PackingStructure& ps : psv) {
+    if (!ps.IsStar()) return false;
+  }
+  return true;
+}
+
+const Variant* FindVariant(const Registry& reg, RelId rel, const PsVec& psv) {
+  auto it = reg.find(rel);
+  if (it == reg.end()) return nullptr;
+  for (const Variant& v : it->second) {
+    if (v.structures == psv) return &v;
+  }
+  return nullptr;
+}
+
+class PackingEliminator {
+ public:
+  PackingEliminator(Universe& u, const PackingElimOptions& opts)
+      : u_(u), opts_(opts) {}
+
+  Result<Program> Run(const Program& p) {
+    if (HasCycle(BuildDependencyGraph(p))) {
+      return Status::FailedPrecondition(
+          "EliminatePackingNonrecursive: program is recursive; use the "
+          "doubling encoding (Theorem 4.15) instead");
+    }
+
+    // Gather definitions and compute a dependency-first order of the IDB
+    // relations.
+    std::map<RelId, std::vector<Rule>> defs;
+    for (const Rule* r : p.AllRules()) defs[r->head.rel].push_back(*r);
+    original_idb_ = IdbRels(p);
+    SEQDL_ASSIGN_OR_RETURN(std::vector<RelId> order, TopoOrder(p));
+
+    // EDB relations are flat and have only the all-star variant.
+    for (RelId r : EdbRels(p)) {
+      flat_rels_.insert(r);
+      registry_[r].push_back(
+          Variant{PsVec(u_.RelArity(r), PackingStructure{}), r});
+    }
+
+    Program out;
+    for (RelId rel : order) {
+      SEQDL_ASSIGN_OR_RETURN(Stratum s, ProcessRelation(rel, defs[rel]));
+      out.strata.push_back(std::move(s));
+    }
+    // Sanity: nothing may still use packing.
+    for (const Rule* r : out.AllRules()) {
+      if (RuleHasPacking(*r)) {
+        return Status::Internal("packing survived elimination in rule: " +
+                                FormatRule(u_, *r));
+      }
+    }
+    return out;
+  }
+
+ private:
+  Result<std::vector<RelId>> TopoOrder(const Program& p) {
+    // Edges head -> body (dependencies); emit dependencies first.
+    DependencyGraph g = BuildDependencyGraph(p);
+    std::map<RelId, int> state;  // 0 unvisited, 1 in progress, 2 done
+    std::vector<RelId> order;
+    Status status = Status::OK();
+    std::function<void(RelId)> visit = [&](RelId r) {
+      if (!status.ok() || state[r] == 2) return;
+      if (state[r] == 1) {
+        status = Status::Internal("cycle in supposedly acyclic program");
+        return;
+      }
+      state[r] = 1;
+      auto it = g.edges.find(r);
+      if (it != g.edges.end()) {
+        for (RelId dep : it->second) visit(dep);
+      }
+      state[r] = 2;
+      order.push_back(r);
+    };
+    for (const auto& [rel, _] : g.edges) visit(rel);
+    if (!status.ok()) return status;
+    return order;
+  }
+
+  Result<Stratum> ProcessRelation(RelId rel, const std::vector<Rule>& rules) {
+    // --- Step 1: expand calls to processed relations. ---
+    std::vector<Rule> work;
+    for (const Rule& r : rules) {
+      Rule acc;
+      acc.head = r.head;
+      SEQDL_RETURN_IF_ERROR(ExpandCalls(r, 0, &acc, &work));
+    }
+
+    // --- Step 2: drop rules with packing in positive flat predicates. ---
+    std::vector<Rule> kept;
+    for (Rule& r : work) {
+      bool dead = false;
+      for (const Literal& l : r.body) {
+        if (l.is_predicate() && !l.negated && flat_rels_.count(l.pred.rel)) {
+          for (const PathExpr& e : l.pred.args) dead |= e.HasPacking();
+        }
+      }
+      if (!dead) kept.push_back(std::move(r));
+    }
+
+    // --- Step 3: purification (Lemma 4.10). ---
+    std::deque<Rule> purify(kept.begin(), kept.end());
+    std::vector<Rule> pure;
+    size_t steps = 0;
+    while (!purify.empty()) {
+      if (++steps > opts_.max_steps) {
+        return Status::ResourceExhausted(
+            "packing elimination: purification exceeded max_steps");
+      }
+      Rule r = std::move(purify.front());
+      purify.pop_front();
+      PurityInfo info = AnalyzePurity(r, flat_rels_);
+      size_t half_pure_idx = r.body.size();
+      for (const auto& [idx, cls] : info.equation_class) {
+        if (cls == EquationPurity::kHalfPure) {
+          half_pure_idx = idx;
+          break;
+        }
+      }
+      if (half_pure_idx == r.body.size()) {
+        pure.push_back(std::move(r));
+        continue;
+      }
+      SEQDL_RETURN_IF_ERROR(
+          SolveHalfPure(r, half_pure_idx, info, &purify));
+      if (purify.size() + pure.size() > opts_.max_rules) {
+        return Status::ResourceExhausted(
+            "packing elimination: purification exceeded max_rules");
+      }
+    }
+
+    // Defensive check: after purification every variable must be pure
+    // (paper §4.3.3: a safe rule with an impure variable has a half-pure
+    // equation, so the loop above cannot get stuck).
+    for (const Rule& r : pure) {
+      PurityInfo info = AnalyzePurity(r, flat_rels_);
+      if (!info.RuleAllPure(r)) {
+        return Status::Internal(
+            "purification left an impure variable in rule: " +
+            FormatRule(u_, r));
+      }
+    }
+
+    // --- Step 4: rewrite negated predicates through the registry. ---
+    std::vector<Rule> neg_done;
+    for (const Rule& r : pure) {
+      Rule nr;
+      nr.head = r.head;
+      for (const Literal& l : r.body) {
+        if (l.is_predicate() && l.negated) {
+          PsVec psv;
+          for (const PathExpr& e : l.pred.args) psv.push_back(Delta(e));
+          const Variant* v = FindVariant(registry_, l.pred.rel, psv);
+          if (v == nullptr) continue;  // no variant: literal is true
+          Predicate np;
+          np.rel = v->rel;
+          for (const PathExpr& e : l.pred.args) {
+            for (PathExpr& c : Components(e)) np.args.push_back(std::move(c));
+          }
+          nr.body.push_back(Literal::Pred(std::move(np), /*negated=*/true));
+        } else {
+          nr.body.push_back(l);
+        }
+      }
+      neg_done.push_back(std::move(nr));
+    }
+
+    // --- Step 5: packing-structure splitting of equations (Lemma 4.12). ---
+    std::deque<Rule> split(neg_done.begin(), neg_done.end());
+    std::vector<Rule> no_packing_eqs;
+    while (!split.empty()) {
+      if (++steps > opts_.max_steps) {
+        return Status::ResourceExhausted(
+            "packing elimination: splitting exceeded max_steps");
+      }
+      Rule r = std::move(split.front());
+      split.pop_front();
+      size_t idx = r.body.size();
+      for (size_t i = 0; i < r.body.size(); ++i) {
+        const Literal& l = r.body[i];
+        if (l.is_equation() && (l.lhs.HasPacking() || l.rhs.HasPacking())) {
+          idx = i;
+          break;
+        }
+      }
+      if (idx == r.body.size()) {
+        no_packing_eqs.push_back(std::move(r));
+        continue;
+      }
+      const Literal eq = r.body[idx];
+      PackingStructure dl = Delta(eq.lhs), dr = Delta(eq.rhs);
+      if (!eq.negated) {
+        if (dl != dr) continue;  // unsatisfiable on flat data: drop rule
+        std::vector<PathExpr> lc = Components(eq.lhs);
+        std::vector<PathExpr> rc = Components(eq.rhs);
+        Rule nr;
+        nr.head = r.head;
+        for (size_t i = 0; i < r.body.size(); ++i) {
+          if (i != idx) nr.body.push_back(r.body[i]);
+        }
+        for (size_t i = 0; i < lc.size(); ++i) {
+          nr.body.push_back(Literal::Eq(lc[i], rc[i], /*negated=*/false));
+        }
+        split.push_back(std::move(nr));
+      } else {
+        if (dl != dr) {
+          // Always true on flat data: drop the literal.
+          Rule nr;
+          nr.head = r.head;
+          for (size_t i = 0; i < r.body.size(); ++i) {
+            if (i != idx) nr.body.push_back(r.body[i]);
+          }
+          split.push_back(std::move(nr));
+        } else {
+          // Split the rule: the paths differ iff some component differs.
+          std::vector<PathExpr> lc = Components(eq.lhs);
+          std::vector<PathExpr> rc = Components(eq.rhs);
+          for (size_t c = 0; c < lc.size(); ++c) {
+            Rule nr;
+            nr.head = r.head;
+            for (size_t i = 0; i < r.body.size(); ++i) {
+              if (i != idx) nr.body.push_back(r.body[i]);
+            }
+            nr.body.push_back(Literal::Eq(lc[c], rc[c], /*negated=*/true));
+            split.push_back(std::move(nr));
+          }
+        }
+      }
+      if (split.size() + no_packing_eqs.size() > opts_.max_rules) {
+        return Status::ResourceExhausted(
+            "packing elimination: splitting exceeded max_rules");
+      }
+    }
+
+    // Copy-propagation is only safe now: every remaining equation is
+    // packing-free, so simplification cannot push packing into predicates
+    // over flat relations.
+    std::vector<Rule> simplified;
+    for (const Rule& r : no_packing_eqs) {
+      std::optional<Rule> s = SimplifyRule(u_, r);
+      if (s.has_value()) simplified.push_back(std::move(*s));
+    }
+
+    // --- Step 6: head rewriting. ---
+    Stratum out;
+    for (const Rule& r : simplified) {
+      PsVec psv;
+      for (const PathExpr& e : r.head.args) psv.push_back(Delta(e));
+      const Variant* v = FindVariant(registry_, rel, psv);
+      RelId vrel;
+      if (v != nullptr) {
+        vrel = v->rel;
+      } else if (AllStar(psv)) {
+        vrel = rel;  // the all-star variant keeps the original name
+        registry_[rel].push_back(Variant{psv, vrel});
+        flat_rels_.insert(vrel);
+      } else {
+        size_t arity = 0;
+        for (const PackingStructure& ps : psv) arity += ps.NumStars();
+        vrel = u_.FreshRel(u_.RelName(rel) + "_ps",
+                           static_cast<uint32_t>(arity));
+        registry_[rel].push_back(Variant{psv, vrel});
+        flat_rels_.insert(vrel);
+      }
+      Rule nr;
+      nr.head.rel = vrel;
+      for (const PathExpr& e : r.head.args) {
+        for (PathExpr& c : Components(e)) nr.head.args.push_back(std::move(c));
+      }
+      nr.body = r.body;
+      std::optional<Rule> s = SimplifyRule(u_, nr);
+      if (s.has_value()) out.rules.push_back(std::move(*s));
+    }
+
+    // Alpha-equivalent deduplication.
+    Program tmp;
+    tmp.strata.push_back(std::move(out));
+    tmp = SimplifyProgram(u_, tmp);
+    return std::move(tmp.strata[0]);
+  }
+
+  // Step 1 helper: expands positive calls to already-processed IDB
+  // relations into their variants, one body literal at a time.
+  Status ExpandCalls(const Rule& r, size_t lit_idx, Rule* acc,
+                     std::vector<Rule>* out) {
+    if (lit_idx == r.body.size()) {
+      out->push_back(*acc);
+      if (out->size() > opts_.max_rules) {
+        return Status::ResourceExhausted(
+            "packing elimination: call expansion exceeded max_rules");
+      }
+      return Status::OK();
+    }
+    const Literal& l = r.body[lit_idx];
+    bool is_processed_idb_call = l.is_predicate() && !l.negated &&
+                                 original_idb_.count(l.pred.rel) > 0 &&
+                                 registry_.count(l.pred.rel) > 0;
+    if (!is_processed_idb_call) {
+      // Calls to unprocessed IDB relations cannot occur (dependency order);
+      // EDB calls and negated literals pass through.
+      acc->body.push_back(l);
+      SEQDL_RETURN_IF_ERROR(ExpandCalls(r, lit_idx + 1, acc, out));
+      acc->body.pop_back();
+      return Status::OK();
+    }
+    // If the relation has no variants, it is empty: the rule is dead.
+    for (const Variant& v : registry_.at(l.pred.rel)) {
+      Predicate call;
+      call.rel = v.rel;
+      std::vector<Literal> eqs;
+      for (size_t i = 0; i < l.pred.args.size(); ++i) {
+        size_t m = v.structures[i].NumStars();
+        std::vector<PathExpr> fresh;
+        for (size_t k = 0; k < m; ++k) {
+          fresh.push_back(VarExpr(u_, u_.FreshVar(VarKind::kPath, "e")));
+          call.args.push_back(fresh.back());
+        }
+        Result<PathExpr> shape = FromComponents(v.structures[i], fresh);
+        if (!shape.ok()) return shape.status();
+        eqs.push_back(Literal::Eq(l.pred.args[i], std::move(*shape),
+                                  /*negated=*/false));
+      }
+      size_t pushed = 1 + eqs.size();
+      acc->body.push_back(Literal::Pred(std::move(call)));
+      for (Literal& e : eqs) acc->body.push_back(std::move(e));
+      SEQDL_RETURN_IF_ERROR(ExpandCalls(r, lit_idx + 1, acc, out));
+      for (size_t k = 0; k < pushed; ++k) acc->body.pop_back();
+    }
+    return Status::OK();
+  }
+
+  // Step 3 helper: applies Lemma 4.10 to the half-pure equation at
+  // `eq_idx`, appending the resulting rules to the work list.
+  Status SolveHalfPure(const Rule& r, size_t eq_idx, const PurityInfo& info,
+                       std::deque<Rule>* out) {
+    const Literal& eq = r.body[eq_idx];
+    bool lhs_pure = info.AllVarsPure(eq.lhs);
+    const PathExpr& pure_side = lhs_pure ? eq.lhs : eq.rhs;
+    const PathExpr& impure_side = lhs_pure ? eq.rhs : eq.lhs;
+
+    // Replace each variable *occurrence* of the pure side with a fresh
+    // variable, collecting the bridging equations u_i = v_i.
+    std::vector<Literal> bridges;
+    PathExpr linear = LinearizeOccurrences(pure_side, &bridges);
+
+    // Solve the (one-sided nonlinear) equation linear = impure_side.
+    UnifyOptions uopts;
+    uopts.max_nodes = opts_.max_unify_nodes;
+    uopts.allow_empty = true;
+    SEQDL_ASSIGN_OR_RETURN(UnifyResult unified,
+                           UnifyExprs(u_, linear, impure_side, uopts));
+
+    // r'' = r with the equation replaced by the bridges.
+    Rule rpp;
+    rpp.head = r.head;
+    for (size_t i = 0; i < r.body.size(); ++i) {
+      if (i != eq_idx) rpp.body.push_back(r.body[i]);
+    }
+    for (const Literal& b : bridges) rpp.body.push_back(b);
+
+    PurityInfo rpp_info = AnalyzePurity(rpp, flat_rels_);
+    for (const ExprSubst& rho : unified.solutions) {
+      bool valid = true;
+      for (const auto& [var, image] : rho) {
+        if (rpp_info.IsPure(var) && image.HasPacking()) {
+          valid = false;
+          break;
+        }
+      }
+      if (valid) out->push_back(SubstituteRule(rpp, rho));
+    }
+    return Status::OK();
+  }
+
+  // Replaces every variable occurrence in `e` by a fresh variable of the
+  // same kind, recording u_i = v_i equations.
+  PathExpr LinearizeOccurrences(const PathExpr& e,
+                                std::vector<Literal>* bridges) {
+    PathExpr out;
+    for (const ExprItem& it : e.items) {
+      if (it.is_var()) {
+        VarKind kind = it.kind == ExprItem::Kind::kAtomVar ? VarKind::kAtomic
+                                                           : VarKind::kPath;
+        VarId fresh = u_.FreshVar(kind, u_.VarName(it.var));
+        bridges->push_back(Literal::Eq(VarExpr(u_, it.var),
+                                       VarExpr(u_, fresh), /*negated=*/false));
+        out.items.push_back(kind == VarKind::kAtomic
+                                ? ExprItem::AtomVar(fresh)
+                                : ExprItem::PathVar(fresh));
+      } else if (it.kind == ExprItem::Kind::kPack) {
+        out.items.push_back(ExprItem::Pack(LinearizeOccurrences(*it.pack,
+                                                                bridges)));
+      } else {
+        out.items.push_back(it);
+      }
+    }
+    return out;
+  }
+
+  Universe& u_;
+  PackingElimOptions opts_;
+  std::set<RelId> original_idb_;
+  std::set<RelId> flat_rels_;
+  Registry registry_;
+};
+
+}  // namespace
+
+Result<Program> EliminatePackingNonrecursive(Universe& u, const Program& p,
+                                             const PackingElimOptions& opts) {
+  PackingEliminator pe(u, opts);
+  return pe.Run(p);
+}
+
+}  // namespace seqdl

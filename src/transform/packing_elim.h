@@ -1,0 +1,49 @@
+// Packing elimination for nonrecursive programs (paper §4.3, Lemmas
+// 4.10–4.13): on flat input instances, every nonrecursive program can be
+// rewritten without the packing feature.
+//
+// Pipeline, per IDB relation in dependency order:
+//   1. Rewrite calls to already-processed relations into their
+//      packing-structure variants, introducing equations (Lemma 4.13).
+//   2. Drop rules whose positive flat predicates mention packing (they can
+//      never match a flat fact).
+//   3. Purify: eliminate impure variables by solving half-pure equations
+//      with associative unification, keeping only valid solutions
+//      (Lemma 4.10).
+//   4. Rewrite negated predicates through the packing-structure registry;
+//      drop negated literals whose structure matches no variant.
+//   5. Split pure equations with packing into component equations; split
+//      rules on negated equations with packing (Lemma 4.12).
+//   6. Rewrite heads: a rule with head structure vector psv defines the
+//      psv-variant of its relation, whose columns are the packing-free
+//      components (Lemma 4.13). The all-star variant keeps the original
+//      relation name, so query outputs are unaffected.
+//
+// The result computes the same flat facts for every original relation name
+// on every flat input instance.
+#ifndef SEQDL_TRANSFORM_PACKING_ELIM_H_
+#define SEQDL_TRANSFORM_PACKING_ELIM_H_
+
+#include "src/base/status.h"
+#include "src/syntax/ast.h"
+#include "src/term/universe.h"
+
+namespace seqdl {
+
+struct PackingElimOptions {
+  /// Guard against rule blow-up.
+  size_t max_rules = 100000;
+  /// Guard for the purification work-list.
+  size_t max_steps = 100000;
+  /// Node budget for each associative-unification call.
+  size_t max_unify_nodes = 1'000'000;
+};
+
+/// Rewrites the nonrecursive program `p` into an equivalent (on flat
+/// instances) program that does not use packing.
+Result<Program> EliminatePackingNonrecursive(
+    Universe& u, const Program& p, const PackingElimOptions& opts = {});
+
+}  // namespace seqdl
+
+#endif  // SEQDL_TRANSFORM_PACKING_ELIM_H_

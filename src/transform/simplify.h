@@ -1,0 +1,35 @@
+// Rule simplification: copy propagation for variable equations, removal of
+// trivially true/false literals, and deduplication of alpha-equivalent
+// rules. Used to keep transformation outputs small (and to reproduce the
+// paper's rule counts, e.g. the 28 rules of Example 4.14).
+#ifndef SEQDL_TRANSFORM_SIMPLIFY_H_
+#define SEQDL_TRANSFORM_SIMPLIFY_H_
+
+#include <optional>
+
+#include "src/base/status.h"
+#include "src/syntax/ast.h"
+#include "src/term/universe.h"
+
+namespace seqdl {
+
+/// Simplifies one rule:
+///  * positive equations $v = e with $v not occurring in e are substituted
+///    away; @v = t likewise when t is a single atomic item;
+///  * equations with identical sides are dropped; ground equations are
+///    evaluated (a false one kills the rule);
+///  * duplicate literals are dropped.
+/// Returns nullopt if the rule is unsatisfiable.
+std::optional<Rule> SimplifyRule(Universe& u, const Rule& r);
+
+/// Canonical form of a rule under variable renaming and body reordering
+/// (used to detect alpha-equivalent duplicates).
+std::string AlphaCanonicalKey(const Universe& u, const Rule& r);
+
+/// SimplifyRule on every rule plus alpha-equivalent deduplication within
+/// each stratum.
+Program SimplifyProgram(Universe& u, const Program& p);
+
+}  // namespace seqdl
+
+#endif  // SEQDL_TRANSFORM_SIMPLIFY_H_

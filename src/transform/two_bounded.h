@@ -1,0 +1,51 @@
+// The two-bounded simulation of Lemma 5.4: a Sequence Datalog program in
+// the fragment {E, N, R} (one IDB relation, no arity, no packing) whose
+// results on *two-bounded* instances (only paths of length one or two) are
+// again two-bounded can be simulated by a classical Datalog program over
+// the encoded schema Γc, which has relations R1 (unary) and R2 (binary)
+// for every R ∈ Γ:
+//
+//     Ic(R1) = { a    | a ∈ I(R) }
+//     Ic(R2) = { (a,b)| a·b ∈ I(R) }
+//
+// The construction eliminates path variables (each becomes ϵ, one atomic
+// variable, or two), then residuates the remaining equations away, drops
+// predicates of impossible lengths, and splits every predicate into its
+// R1/R2 versions. This is the tool behind Theorem 5.5 (I is primitive in
+// the presence of N): it reduces Sequence Datalog inexpressibility on
+// two-bounded instances to classical results.
+#ifndef SEQDL_TRANSFORM_TWO_BOUNDED_H_
+#define SEQDL_TRANSFORM_TWO_BOUNDED_H_
+
+#include <map>
+
+#include "src/base/status.h"
+#include "src/engine/instance.h"
+#include "src/syntax/ast.h"
+#include "src/term/universe.h"
+
+namespace seqdl {
+
+/// The R -> (R1, R2) relation mapping of the encoding.
+struct ClassicalEncoding {
+  std::map<RelId, std::pair<RelId, RelId>> rels;
+};
+
+/// OK iff every fact path has length one or two (and is flat).
+Status CheckTwoBounded(const Universe& u, const Instance& i);
+
+/// Encodes a two-bounded instance over Γc, creating (or reusing) R1/R2
+/// relation names recorded in `*enc`.
+Result<Instance> EncodeTwoBounded(Universe& u, const Instance& i,
+                                  ClassicalEncoding* enc);
+
+/// Lemma 5.4: simulates `p` (fragment {E,N,R}: unary predicates, no
+/// packing) by a classical program over Γc. Relations are mapped via
+/// `*enc` (extended as needed). Atomic nonequalities may remain in rule
+/// bodies; everything else is classical.
+Result<Program> SimulateTwoBounded(Universe& u, const Program& p,
+                                   ClassicalEncoding* enc);
+
+}  // namespace seqdl
+
+#endif  // SEQDL_TRANSFORM_TWO_BOUNDED_H_

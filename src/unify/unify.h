@@ -1,0 +1,80 @@
+// Associative unification for path expressions (paper §4.3.1–§4.3.2).
+//
+// Implements Plotkin's "pig-pug" rewriting procedure for word equations,
+// extended with the paper's rules (h)–(m) for atomic variables and packing.
+// Given an equation e1 = e2, produces a *complete set of symbolic
+// solutions*: variable substitutions ρ with ρ(e1) and ρ(e2) the same path
+// expression, such that every concrete solution factors through some ρ.
+//
+// The classical procedure assumes variables take nonempty words; the
+// empty word is accommodated by the footnote-4 closure (solving eq_Y for
+// every subset Y of path variables replaced by ϵ).
+//
+// Termination: guaranteed for one-sided nonlinear equations (all variables
+// occurring more than once occur in only one side; Durán et al.). For other
+// equations the procedure may diverge; divergence is detected as a cycle in
+// the rewrite graph and reported as kInvalidArgument, and a node budget
+// guards against blow-up.
+#ifndef SEQDL_UNIFY_UNIFY_H_
+#define SEQDL_UNIFY_UNIFY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/syntax/ast.h"
+#include "src/term/universe.h"
+
+namespace seqdl {
+
+struct UnifyOptions {
+  /// Maximum number of rewrite nodes to explore.
+  size_t max_nodes = 1'000'000;
+  /// Apply the empty-word closure (footnote 4). When false, solutions
+  /// assign nonempty paths to all path variables (the classical setting,
+  /// matching Figure 2 of the paper).
+  bool allow_empty = true;
+  /// Prune solutions that are instances of other solutions (the complete
+  /// set stays complete but becomes minimal-ish; the empty-word closure in
+  /// particular produces many redundant specializations).
+  bool minimize = true;
+};
+
+struct UnifyResult {
+  /// A complete set of symbolic solutions.
+  std::vector<ExprSubst> solutions;
+  /// Number of rewrite nodes explored.
+  size_t nodes_explored = 0;
+  /// Number of successful leaf branches (before deduplication); for the
+  /// Figure 2 equation with allow_empty = false this is 4.
+  size_t successful_branches = 0;
+};
+
+/// Solves e1 = e2.
+Result<UnifyResult> UnifyExprs(Universe& u, const PathExpr& lhs,
+                               const PathExpr& rhs,
+                               const UnifyOptions& opts = {});
+
+/// True iff every variable occurring more than once in the equation occurs
+/// in one side only (the termination condition).
+bool IsOneSidedNonlinear(const PathExpr& lhs, const PathExpr& rhs);
+
+/// Human-readable rendering of a substitution, e.g.
+/// "{$x -> @w·$x, $u -> @w}".
+std::string FormatSubst(const Universe& u, const ExprSubst& subst);
+
+/// Structural equality of substitutions (as maps).
+bool SubstEquals(const ExprSubst& a, const ExprSubst& b);
+
+/// True iff `specific` is an instance of `general` over the variables
+/// `eq_vars`: there is a substitution σ with σ(ĝ(v)) = ŝ(v) for every
+/// v ∈ eq_vars, where ĝ/ŝ extend the substitutions by identity. When
+/// `allow_empty` is false, σ may not map path variables to the empty
+/// expression (nonempty-assignment semantics).
+bool IsSymbolicInstance(const Universe& u, const std::vector<VarId>& eq_vars,
+                        const ExprSubst& general, const ExprSubst& specific,
+                        bool allow_empty);
+
+}  // namespace seqdl
+
+#endif  // SEQDL_UNIFY_UNIFY_H_

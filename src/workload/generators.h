@@ -1,0 +1,88 @@
+// Synthetic workload generators for tests and benchmarks: random flat
+// string databases, random NFAs (Example 2.1), random graphs encoded as
+// length-2 paths (Section 5.1.1), and random event logs (process mining).
+#ifndef SEQDL_WORKLOAD_GENERATORS_H_
+#define SEQDL_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/engine/instance.h"
+#include "src/term/universe.h"
+
+namespace seqdl {
+
+struct StringWorkload {
+  size_t count = 10;
+  size_t min_len = 0;
+  size_t max_len = 8;
+  size_t alphabet = 2;  // letters 'a', 'b', ...
+  uint64_t seed = 1;
+  std::string rel = "R";
+};
+
+/// A unary relation of random flat strings over a small alphabet.
+Result<Instance> RandomStrings(Universe& u, const StringWorkload& w);
+
+/// A direct (non-Datalog) NFA used as the baseline for Example 2.1.
+struct Nfa {
+  size_t num_states = 0;
+  size_t alphabet = 0;
+  std::vector<bool> initial;
+  std::vector<bool> accepting;
+  /// delta[state][letter] -> successor states.
+  std::vector<std::vector<std::vector<uint32_t>>> delta;
+
+  bool Accepts(const std::vector<uint32_t>& word) const;
+};
+
+struct NfaWorkload {
+  size_t num_states = 4;
+  size_t alphabet = 2;
+  double density = 0.3;  // probability of each transition
+  uint64_t seed = 1;
+};
+
+Nfa RandomNfa(const NfaWorkload& w);
+
+/// Encodes an NFA as the classical relations of Example 2.1: N (initial
+/// states), D (transitions), F (final states). States are atoms "q<i>",
+/// letters "a", "b", ....
+Result<Instance> NfaToInstance(Universe& u, const Nfa& nfa);
+
+/// The letter atoms "a", "b", ... used by NfaToInstance / RandomStrings.
+std::string LetterName(size_t letter);
+
+/// A random directed graph with `nodes` nodes ("n<i>", plus the designated
+/// atoms "a" and "b") and `edges` edges, encoded as length-2 paths in `rel`.
+struct GraphWorkload {
+  size_t nodes = 8;
+  size_t edges = 16;
+  uint64_t seed = 1;
+  std::string rel = "R";
+};
+struct Graph {
+  size_t nodes = 0;
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+};
+Graph RandomGraph(const GraphWorkload& w);
+Result<Instance> GraphToInstance(Universe& u, const Graph& g,
+                                 const std::string& rel);
+
+/// Random event logs over activity atoms, with occurrences of "co" and
+/// "rp" sprinkled in (for the process-mining query).
+struct EventLogWorkload {
+  size_t count = 10;
+  size_t len = 12;
+  size_t activities = 4;
+  uint64_t seed = 1;
+  std::string rel = "R";
+};
+Result<Instance> RandomEventLogs(Universe& u, const EventLogWorkload& w);
+
+}  // namespace seqdl
+
+#endif  // SEQDL_WORKLOAD_GENERATORS_H_

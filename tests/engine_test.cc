@@ -1,0 +1,521 @@
+#include <gtest/gtest.h>
+
+#include "src/engine/eval.h"
+#include "src/engine/instance.h"
+#include "src/engine/match.h"
+#include "src/syntax/parser.h"
+#include "src/term/universe.h"
+#include "src/workload/baselines.h"
+#include "src/workload/generators.h"
+
+namespace seqdl {
+namespace {
+
+Program MustParse(Universe& u, const std::string& text) {
+  Result<Program> p = ParseProgram(u, text);
+  EXPECT_TRUE(p.ok()) << p.status().ToString() << "\n" << text;
+  return std::move(p).value();
+}
+
+Instance MustInstance(Universe& u, const std::string& text) {
+  Result<Instance> i = ParseInstance(u, text);
+  EXPECT_TRUE(i.ok()) << i.status().ToString() << "\n" << text;
+  return std::move(i).value();
+}
+
+PathExpr MustExpr(Universe& u, const std::string& text) {
+  Result<PathExpr> e = ParsePathExpr(u, text);
+  EXPECT_TRUE(e.ok()) << e.status().ToString();
+  return std::move(e).value();
+}
+
+// --- Instance ---------------------------------------------------------------
+
+TEST(InstanceTest, AddAndContains) {
+  Universe u;
+  Instance i;
+  RelId r = *u.InternRel("R", 1);
+  EXPECT_TRUE(i.Add(r, {u.PathOfChars("ab")}));
+  EXPECT_FALSE(i.Add(r, {u.PathOfChars("ab")}));  // duplicate
+  EXPECT_TRUE(i.Contains(r, {u.PathOfChars("ab")}));
+  EXPECT_FALSE(i.Contains(r, {u.PathOfChars("ba")}));
+  EXPECT_EQ(i.NumFacts(), 1u);
+}
+
+TEST(InstanceTest, ParseAndToString) {
+  Universe u;
+  Instance i = MustInstance(u, "R(a ++ b). R(eps). S(<a> ++ c). A.");
+  EXPECT_EQ(i.NumFacts(), 4u);
+  EXPECT_EQ(i.ToString(u), "A.\nR(()).\nR(a·b).\nS(<a>·c).\n");
+}
+
+TEST(InstanceTest, ParseRejectsRules) {
+  Universe u;
+  EXPECT_FALSE(ParseInstance(u, "S($x) <- R($x).").ok());
+  EXPECT_FALSE(ParseInstance(u, "S($x).").ok());
+}
+
+TEST(InstanceTest, FlatCheck) {
+  Universe u;
+  EXPECT_TRUE(MustInstance(u, "R(a ++ b).").IsFlat(u));
+  EXPECT_FALSE(MustInstance(u, "Q(<a> ++ b).").IsFlat(u));
+}
+
+TEST(InstanceTest, EqualityAndUnion) {
+  Universe u;
+  Instance a = MustInstance(u, "R(a). R(b).");
+  Instance b = MustInstance(u, "R(b). R(a).");
+  EXPECT_EQ(a, b);
+  Instance c = MustInstance(u, "R(a). R(c).");
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.UnionWith(c), 1u);  // only R(c) is new
+  EXPECT_EQ(a.NumFacts(), 3u);
+}
+
+TEST(InstanceTest, Project) {
+  Universe u;
+  Instance i = MustInstance(u, "R(a). S(b).");
+  Instance p = i.Project({*u.FindRel("S")});
+  EXPECT_EQ(p.NumFacts(), 1u);
+  EXPECT_TRUE(p.Contains(*u.FindRel("S"), {u.PathOfChars("b")}));
+}
+
+// --- Matching ----------------------------------------------------------------
+
+size_t CountMatches(Universe& u, const std::string& expr,
+                    const std::string& path_expr) {
+  PathExpr e = MustExpr(u, expr);
+  Result<PathId> p = EvalGroundExpr(u, MustExpr(u, path_expr));
+  EXPECT_TRUE(p.ok());
+  size_t count = 0;
+  Valuation v;
+  MatchExpr(u, e, *p, v, [&count](Valuation&) {
+    ++count;
+    return true;
+  });
+  return count;
+}
+
+TEST(MatchTest, GroundMatch) {
+  Universe u;
+  EXPECT_EQ(CountMatches(u, "a ++ b", "a ++ b"), 1u);
+  EXPECT_EQ(CountMatches(u, "a ++ b", "a ++ c"), 0u);
+  EXPECT_EQ(CountMatches(u, "eps", "eps"), 1u);
+  EXPECT_EQ(CountMatches(u, "eps", "a"), 0u);
+}
+
+TEST(MatchTest, PathVariableSplits) {
+  Universe u;
+  // $x ++ $y over a·b: 3 splits.
+  EXPECT_EQ(CountMatches(u, "$x ++ $y", "a ++ b"), 3u);
+  // $x ++ $x over a·a: only ($x = a).
+  EXPECT_EQ(CountMatches(u, "$x ++ $x", "a ++ a"), 1u);
+  EXPECT_EQ(CountMatches(u, "$x ++ $x", "a ++ b"), 0u);
+}
+
+TEST(MatchTest, AtomVariableRequiresAtom) {
+  Universe u;
+  EXPECT_EQ(CountMatches(u, "@x", "a"), 1u);
+  EXPECT_EQ(CountMatches(u, "@x", "<a>"), 0u);
+  EXPECT_EQ(CountMatches(u, "@x", "a ++ b"), 0u);
+  EXPECT_EQ(CountMatches(u, "@x ++ @x", "a ++ a"), 1u);
+  EXPECT_EQ(CountMatches(u, "@x ++ @x", "a ++ b"), 0u);
+}
+
+TEST(MatchTest, PackMatchesRecursively) {
+  Universe u;
+  EXPECT_EQ(CountMatches(u, "<$x>", "<a ++ b>"), 1u);
+  EXPECT_EQ(CountMatches(u, "<$x ++ $y>", "<a ++ b>"), 3u);
+  EXPECT_EQ(CountMatches(u, "<a>", "a"), 0u);
+  EXPECT_EQ(CountMatches(u, "$u ++ <$s> ++ $v", "c ++ <a ++ b> ++ d"), 1u);
+}
+
+TEST(MatchTest, SharedVariableAcrossPackBoundary) {
+  Universe u;
+  EXPECT_EQ(CountMatches(u, "$x ++ <$x>", "a ++ b ++ <a ++ b>"), 1u);
+  EXPECT_EQ(CountMatches(u, "$x ++ <$x>", "a ++ <b>"), 0u);
+}
+
+TEST(MatchTest, PreboundVariableConstrains) {
+  Universe u;
+  PathExpr e = MustExpr(u, "$x ++ $y");
+  PathId p = u.PathOfChars("ab");
+  Valuation v;
+  v.Bind(u.InternVar(VarKind::kPath, "x"), u.PathOfChars("a"));
+  size_t count = 0;
+  MatchExpr(u, e, p, v, [&count](Valuation&) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(MatchTest, EarlyStopViaCallback) {
+  Universe u;
+  PathExpr e = MustExpr(u, "$x ++ $y");
+  PathId p = u.PathOfChars("abcd");
+  Valuation v;
+  size_t count = 0;
+  bool completed = MatchExpr(u, e, p, v, [&count](Valuation&) {
+    ++count;
+    return count < 2;
+  });
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(MatchTest, EvalExprBuildsPacks) {
+  Universe u;
+  Valuation v;
+  v.Bind(u.InternVar(VarKind::kPath, "x"), u.PathOfChars("ab"));
+  Result<PathId> p = EvalExpr(u, MustExpr(u, "c ++ <$x>"), v);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(u.FormatPath(*p), "c·<a·b>");
+}
+
+// --- Evaluation of the paper's examples ---------------------------------------
+
+TEST(EvalTest, FactsOnly) {
+  Universe u;
+  Program p = MustParse(u, "S(a ++ b). S(c).");
+  Result<Instance> out = Eval(u, p, Instance{});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->NumFacts(), 2u);
+}
+
+TEST(EvalTest, OnlyAsWithEquation) {
+  Universe u;
+  Program p = MustParse(u, "S($x) <- R($x), a ++ $x = $x ++ a.");
+  Instance in = MustInstance(u, "R(a ++ a ++ a). R(a ++ b). R(eps). R(a).");
+  Result<Instance> out = Eval(u, p, in);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  RelId s = *u.FindRel("S");
+  EXPECT_EQ(out->Tuples(s).size(), 3u);  // aaa, eps, a
+  EXPECT_TRUE(out->Contains(s, {u.PathOfChars("aaa")}));
+  EXPECT_TRUE(out->Contains(s, {kEmptyPath}));
+  EXPECT_TRUE(out->Contains(s, {u.PathOfChars("a")}));
+}
+
+TEST(EvalTest, OnlyAsWithRecursionAgrees) {
+  Universe u;
+  Program p = MustParse(u,
+                        "T($x, $x) <- R($x).\n"
+                        "T($x, $y) <- T($x, $y ++ a).\n"
+                        "S($x) <- T($x, eps).\n");
+  Instance in = MustInstance(u, "R(a ++ a ++ a). R(a ++ b). R(eps). R(a).");
+  Result<Instance> out = Eval(u, p, in);
+  ASSERT_TRUE(out.ok());
+  RelId s = *u.FindRel("S");
+  EXPECT_EQ(out->Tuples(s).size(), 3u);
+}
+
+TEST(EvalTest, ReversalExample43) {
+  Universe u;
+  Program p = MustParse(u,
+                        "T($x, eps) <- R($x).\n"
+                        "T($x, $y ++ @u) <- T($x ++ @u, $y).\n"
+                        "S($x) <- T(eps, $x).\n");
+  Instance in = MustInstance(u, "R(a ++ b ++ c). R(eps).");
+  Result<Instance> out = Eval(u, p, in);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  RelId s = *u.FindRel("S");
+  EXPECT_EQ(out->Tuples(s).size(), 2u);
+  EXPECT_TRUE(out->Contains(s, {u.PathOfChars("cba")}));
+  EXPECT_TRUE(out->Contains(s, {kEmptyPath}));
+}
+
+TEST(EvalTest, Example22PackingAndNonequalities) {
+  Universe u;
+  Program p = MustParse(u,
+                        "T($u ++ <$s> ++ $v) <- R($u ++ $s ++ $v), S($s).\n"
+                        "A <- T($x), T($y), T($z), $x != $y, $x != $z, "
+                        "$y != $z.\n");
+  // "abab" contains "ab" twice and "ba" once: 3 distinct marked strings.
+  Instance in3 = MustInstance(u, "R(a ++ b ++ a ++ b). S(a ++ b). S(b ++ a).");
+  Result<Instance> out3 = Eval(u, p, in3);
+  ASSERT_TRUE(out3.ok()) << out3.status().ToString();
+  EXPECT_TRUE(out3->Contains(*u.FindRel("A"), {}));
+
+  Universe u2;
+  Program p2 = MustParse(u2,
+                         "T($u ++ <$s> ++ $v) <- R($u ++ $s ++ $v), S($s).\n"
+                         "A <- T($x), T($y), T($z), $x != $y, $x != $z, "
+                         "$y != $z.\n");
+  // Only two occurrences of "ab" in "abab" - not enough.
+  Instance in2 = MustInstance(u2, "R(a ++ b ++ a ++ b). S(a ++ b).");
+  Result<Instance> out2 = Eval(u2, p2, in2);
+  ASSERT_TRUE(out2.ok());
+  EXPECT_FALSE(out2->Contains(*u2.FindRel("A"), {}));
+}
+
+TEST(EvalTest, Example23DoesNotTerminate) {
+  Universe u;
+  Program p = MustParse(u, "T(a). T(a ++ $x) <- T($x).");
+  EvalOptions opts;
+  opts.max_facts = 1000;
+  Result<Instance> out = Eval(u, p, Instance{}, opts);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(EvalTest, NonterminationCaughtByIterationBudget) {
+  Universe u;
+  Program p = MustParse(u, "T(a). T(a ++ $x) <- T($x).");
+  EvalOptions opts;
+  opts.max_iterations = 50;
+  Result<Instance> out = Eval(u, p, Instance{}, opts);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(EvalTest, SquaringQuery) {
+  Universe u;
+  Program p = MustParse(u,
+                        "T(eps, $x, $x) <- R($x).\n"
+                        "T($y ++ $x, $x, $z) <- T($y, $x, a ++ $z).\n"
+                        "S($y) <- T($y, $x, eps).\n");
+  Instance in = MustInstance(u, "R(a ++ a ++ a).");
+  Result<Instance> out = Eval(u, p, in);
+  ASSERT_TRUE(out.ok());
+  RelId s = *u.FindRel("S");
+  ASSERT_EQ(out->Tuples(s).size(), 1u);
+  EXPECT_TRUE(out->Contains(s, {u.PathOfChars(std::string(9, 'a'))}));
+}
+
+TEST(EvalTest, StratifiedNegationBlackNodes) {
+  Universe u;
+  Program p = MustParse(u,
+                        "W(@x) <- R(@x ++ @y), !B(@y).\n"
+                        "---\n"
+                        "S(@x) <- R(@x ++ @y), !W(@x).\n");
+  // Edges: a->b, a->c, d->b. Black: {b}. W = nodes with an edge to a
+  // non-black node = {a}. S = nodes with only-black successors = {d}.
+  Instance in = MustInstance(u, "R(a ++ b). R(a ++ c). R(d ++ b). B(b).");
+  Result<Instance> out = Eval(u, p, in);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  RelId s = *u.FindRel("S");
+  EXPECT_EQ(out->Tuples(s).size(), 1u);
+  EXPECT_TRUE(out->Contains(s, {u.PathOfChars("d")}));
+}
+
+TEST(EvalTest, UnstratifiedProgramRejected) {
+  Universe u;
+  Program p = MustParse(u, "P0($x) <- R($x), !Q0($x). Q0($x) <- P0($x).");
+  Result<Instance> out = Eval(u, p, MustInstance(u, "R(a)."));
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EvalTest, NaiveAndSeminaiveAgree) {
+  Universe u;
+  Program p = MustParse(u,
+                        "T(@x ++ @y) <- R(@x ++ @y).\n"
+                        "T(@x ++ @z) <- T(@x ++ @y), R(@y ++ @z).\n"
+                        "S <- T(a ++ b).\n");
+  Instance in = MustInstance(u, "R(a ++ c). R(c ++ d). R(d ++ b). R(b ++ a).");
+  EvalOptions naive;
+  naive.seminaive = false;
+  Result<Instance> o1 = Eval(u, p, in);
+  Result<Instance> o2 = Eval(u, p, in, naive);
+  ASSERT_TRUE(o1.ok());
+  ASSERT_TRUE(o2.ok());
+  EXPECT_EQ(*o1, *o2);
+  EXPECT_TRUE(o1->Contains(*u.FindRel("S"), {}));
+}
+
+TEST(EvalTest, EmptyBodyArityZeroRule) {
+  Universe u;
+  Program p = MustParse(u, "A <- .");
+  Result<Instance> out = Eval(u, p, Instance{});
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->Contains(*u.FindRel("A"), {}));
+}
+
+TEST(EvalTest, EquationBindingBothDirections) {
+  Universe u;
+  // The equation binds $y from the ground lhs; head uses $y.
+  Program p = MustParse(u, "S($y) <- R($x), $x = b ++ $y.");
+  Instance in = MustInstance(u, "R(b ++ c ++ d). R(a ++ c).");
+  Result<Instance> out = Eval(u, p, in);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  RelId s = *u.FindRel("S");
+  EXPECT_EQ(out->Tuples(s).size(), 1u);
+  EXPECT_TRUE(out->Contains(s, {u.PathOfChars("cd")}));
+}
+
+TEST(EvalTest, NegatedGroundEquationFilters) {
+  Universe u;
+  Program p = MustParse(u, "S($x) <- R($x), $x != a ++ b.");
+  Instance in = MustInstance(u, "R(a ++ b). R(a ++ c).");
+  Result<Instance> out = Eval(u, p, in);
+  ASSERT_TRUE(out.ok());
+  RelId s = *u.FindRel("S");
+  EXPECT_EQ(out->Tuples(s).size(), 1u);
+  EXPECT_TRUE(out->Contains(s, {u.PathOfChars("ac")}));
+}
+
+TEST(EvalTest, EvalQueryProjects) {
+  Universe u;
+  Program p = MustParse(u, "T($x) <- R($x). S($x) <- T($x).");
+  Instance in = MustInstance(u, "R(a).");
+  Result<Instance> out = EvalQuery(u, p, in, *u.FindRel("S"));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->NumFacts(), 1u);
+  EXPECT_TRUE(out->Contains(*u.FindRel("S"), {u.PathOfChars("a")}));
+}
+
+TEST(EvalTest, MaxPathLengthGuard) {
+  Universe u;
+  Program p = MustParse(u, "T(a). T($x ++ $x) <- T($x).");
+  EvalOptions opts;
+  opts.max_path_length = 64;
+  Result<Instance> out = Eval(u, p, Instance{}, opts);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kResourceExhausted);
+}
+
+// --- Differential tests against the direct baselines --------------------------
+
+TEST(EvalDifferentialTest, NfaAcceptanceMatchesSimulator) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Universe u;
+    Program p = MustParse(
+        u,
+        "S(@q ++ $x, eps) <- R($x), N(@q).\n"
+        "S(@q2 ++ $y, $z ++ @a) <- S(@q1 ++ @a ++ $y, $z), D(@q1, @a, @q2).\n"
+        "A($x) <- S(@q, $x), F(@q).\n");
+    NfaWorkload nw;
+    nw.num_states = 4;
+    nw.alphabet = 2;
+    nw.seed = seed;
+    Nfa nfa = RandomNfa(nw);
+    Result<Instance> in = NfaToInstance(u, nfa);
+    ASSERT_TRUE(in.ok());
+    StringWorkload sw;
+    sw.count = 12;
+    sw.max_len = 6;
+    sw.seed = seed + 100;
+    Result<Instance> strings = RandomStrings(u, sw);
+    ASSERT_TRUE(strings.ok());
+    in->UnionWith(*strings);
+
+    Result<Instance> out = Eval(u, p, *in);
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    RelId a_rel = *u.FindRel("A");
+    RelId r_rel = *u.FindRel("R");
+    for (const Tuple& t : out->Tuples(r_rel)) {
+      std::vector<uint32_t> word;
+      bool skip = false;
+      for (Value v : u.GetPath(t[0])) {
+        const std::string& name = u.AtomName(v.atom());
+        uint32_t letter = static_cast<uint32_t>(name[0] - 'a');
+        if (letter >= nfa.alphabet) skip = true;
+        word.push_back(letter);
+      }
+      if (skip) continue;
+      EXPECT_EQ(out->Contains(a_rel, t), nfa.Accepts(word))
+          << "string " << u.FormatPath(t[0]) << " seed " << seed;
+    }
+  }
+}
+
+TEST(EvalDifferentialTest, ReachabilityMatchesBfs) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Universe u;
+    Program p = MustParse(u,
+                          "T(@x ++ @y) <- R(@x ++ @y).\n"
+                          "T(@x ++ @z) <- T(@x ++ @y), R(@y ++ @z).\n"
+                          "S <- T(a ++ b).\n");
+    GraphWorkload gw;
+    gw.nodes = 7;
+    gw.edges = 10;
+    gw.seed = seed;
+    Graph g = RandomGraph(gw);
+    Result<Instance> in = GraphToInstance(u, g, "R");
+    ASSERT_TRUE(in.ok());
+    Result<Instance> out = Eval(u, p, *in);
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(out->Contains(*u.FindRel("S"), {}), Reachable(g, 0, 1))
+        << "seed " << seed;
+  }
+}
+
+TEST(EvalDifferentialTest, MarkedPairsMatchBaseline) {
+  Universe u;
+  Program p = MustParse(u,
+                        "U($x, $x) <- R($x).\n"
+                        "U($x, $y) <- U($x, @a ++ $y ++ @b), @a != @b.\n"
+                        "S($x) <- U($x, eps).\n");
+  StringWorkload sw;
+  sw.count = 30;
+  sw.max_len = 6;
+  sw.alphabet = 3;
+  sw.seed = 7;
+  Result<Instance> in = RandomStrings(u, sw);
+  ASSERT_TRUE(in.ok());
+  Result<Instance> out = Eval(u, p, *in);
+  ASSERT_TRUE(out.ok());
+  RelId s = *u.FindRel("S");
+  RelId r = *u.FindRel("R");
+  for (const Tuple& t : out->Tuples(r)) {
+    std::string str;
+    for (Value v : u.GetPath(t[0])) str += u.AtomName(v.atom());
+    EXPECT_EQ(out->Contains(s, t), IsMarkedPair(str)) << str;
+  }
+}
+
+TEST(EvalDifferentialTest, ProcessMiningMatchesBaseline) {
+  Universe u;
+  Program p = MustParse(
+      u,
+      "HasRp($v) <- R($u ++ co ++ $v), $v = $s ++ rp ++ $t.\n"
+      "---\n"
+      "Bad($x) <- R($x), $x = $u ++ co ++ $v, !HasRp($v).\n"
+      "---\n"
+      "Good($x) <- R($x), !Bad($x).\n");
+  EventLogWorkload ew;
+  ew.count = 25;
+  ew.len = 8;
+  ew.seed = 3;
+  Result<Instance> in = RandomEventLogs(u, ew);
+  ASSERT_TRUE(in.ok());
+  Result<Instance> out = Eval(u, p, *in);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  RelId good = *u.FindRel("Good");
+  RelId r = *u.FindRel("R");
+  for (const Tuple& t : out->Tuples(r)) {
+    std::vector<std::string> events;
+    for (Value v : u.GetPath(t[0])) events.push_back(u.AtomName(v.atom()));
+    EXPECT_EQ(out->Contains(good, t), EveryCoFollowedByRp(events))
+        << u.FormatPath(t[0]);
+  }
+}
+
+// --- Doubling / undoubling round-trip (Theorem 4.15 rules) --------------------
+
+TEST(EvalTest, DoubleThenUndoubleIsIdentity) {
+  Universe u2;
+  Program both = MustParse(u2,
+                           "T(eps, $x) <- R($x).\n"
+                           "T($x ++ @y ++ @y, $z) <- T($x, @y ++ $z).\n"
+                           "Rd($x) <- T($x, eps).\n"
+                           "---\n"
+                           "V($x, eps) <- Rd($x).\n"
+                           "V($x, @y ++ $z) <- V($x ++ @y ++ @y, $z).\n"
+                           "Back($x) <- V(eps, $x).\n");
+  Instance in = MustInstance(u2, "R(a ++ b ++ c). R(eps). R(a).");
+  Result<Instance> out = Eval(u2, both, in);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  RelId back = *u2.FindRel("Back");
+  RelId r = *u2.FindRel("R");
+  EXPECT_EQ(out->Tuples(back).size(), out->Tuples(r).size());
+  for (const Tuple& t : out->Tuples(r)) {
+    EXPECT_TRUE(out->Contains(back, t)) << u2.FormatPath(t[0]);
+  }
+  // And the doubled relation contains the doubled paths.
+  RelId rd = *u2.FindRel("Rd");
+  EXPECT_TRUE(out->Contains(rd, {u2.PathOfChars("aabbcc")}));
+}
+
+}  // namespace
+}  // namespace seqdl

@@ -1,0 +1,183 @@
+// Meta-consistency between Section 4 (the constructive redundancy
+// results) and Section 6 (the fragment lattice): every transformation must
+// deliver a program inside the fragment its theorem promises, and that
+// promise must be consistent with the Theorem 6.1 subsumption relation.
+#include <gtest/gtest.h>
+
+#include "src/analysis/dependency_graph.h"
+#include "src/analysis/features.h"
+#include "src/fragments/fragments.h"
+#include "src/queries/queries.h"
+#include "src/syntax/parser.h"
+#include "src/term/universe.h"
+#include "src/transform/arity_elim.h"
+#include "src/transform/doubling.h"
+#include "src/transform/equation_elim.h"
+#include "src/transform/fold_intermediates.h"
+#include "src/transform/normal_form.h"
+#include "src/transform/packing_elim.h"
+
+namespace seqdl {
+namespace {
+
+bool EdbIsNarrow(const Universe& u, const Program& p) {
+  for (RelId r : EdbRels(p)) {
+    if (u.RelArity(r) > 1) return false;
+  }
+  return true;
+}
+
+// Theorem 4.7 promise: eliminating equations lands in F - {E} + {A, I}.
+TEST(MetaTest, EquationEliminationRespectsItsFragmentPromise) {
+  size_t checked = 0;
+  for (const PaperQuery& q : PaperCorpus()) {
+    Universe u;
+    Result<ParsedQuery> parsed = ParsePaperQuery(u, q);
+    ASSERT_TRUE(parsed.ok()) << q.id;
+    FeatureSet f1 = DetectFeatures(parsed->program);
+    if (!f1.Contains(Feature::kEquations)) continue;
+    Result<Program> t = EliminateEquations(u, parsed->program);
+    ASSERT_TRUE(t.ok()) << q.id << ": " << t.status().ToString();
+    FeatureSet promised = f1.Without(Feature::kEquations)
+                              .With(Feature::kArity)
+                              .With(Feature::kIntermediate);
+    EXPECT_TRUE(DetectFeatures(*t).SubsetOf(promised))
+        << q.id << ": got " << DetectFeatures(*t).ToString()
+        << ", promised " << promised.ToString();
+    // Consistency with Theorem 6.1: the source fragment is subsumed by the
+    // promised target fragment.
+    EXPECT_TRUE(Subsumes(f1, promised)) << q.id;
+    ++checked;
+  }
+  EXPECT_GE(checked, 3u);
+}
+
+// Theorem 4.2 promise: arity elimination lands in F - {A}.
+TEST(MetaTest, ArityEliminationRespectsItsFragmentPromise) {
+  size_t checked = 0;
+  for (const PaperQuery& q : PaperCorpus()) {
+    Universe u;
+    Result<ParsedQuery> parsed = ParsePaperQuery(u, q);
+    ASSERT_TRUE(parsed.ok()) << q.id;
+    FeatureSet f1 = DetectFeatures(parsed->program);
+    if (!f1.Contains(Feature::kArity)) continue;
+    if (!EdbIsNarrow(u, parsed->program)) continue;
+    Result<Program> t = EliminateArity(u, parsed->program);
+    ASSERT_TRUE(t.ok()) << q.id << ": " << t.status().ToString();
+    FeatureSet promised = f1.Without(Feature::kArity);
+    EXPECT_TRUE(DetectFeatures(*t).SubsetOf(promised))
+        << q.id << ": got " << DetectFeatures(*t).ToString();
+    EXPECT_TRUE(Subsumes(f1, promised)) << q.id;
+    ++checked;
+  }
+  EXPECT_GE(checked, 3u);
+}
+
+// Lemma 4.13 promise: nonrecursive packing elimination lands in
+// F - {P} + {A, E, I}.
+TEST(MetaTest, PackingEliminationRespectsItsFragmentPromise) {
+  size_t checked = 0;
+  for (const PaperQuery& q : PaperCorpus()) {
+    Universe u;
+    Result<ParsedQuery> parsed = ParsePaperQuery(u, q);
+    ASSERT_TRUE(parsed.ok()) << q.id;
+    FeatureSet f1 = DetectFeatures(parsed->program);
+    if (!f1.Contains(Feature::kPacking) ||
+        f1.Contains(Feature::kRecursion)) {
+      continue;
+    }
+    Result<Program> t = EliminatePackingNonrecursive(u, parsed->program);
+    ASSERT_TRUE(t.ok()) << q.id << ": " << t.status().ToString();
+    FeatureSet promised = f1.Without(Feature::kPacking)
+                              .With(Feature::kArity)
+                              .With(Feature::kEquations)
+                              .With(Feature::kIntermediate);
+    EXPECT_TRUE(DetectFeatures(*t).SubsetOf(promised))
+        << q.id << ": got " << DetectFeatures(*t).ToString();
+    EXPECT_TRUE(Subsumes(f1, promised)) << q.id;
+    ++checked;
+  }
+  EXPECT_GE(checked, 1u);
+}
+
+// Theorem 4.15 promise: the doubling pipeline lands in F - {P} + {A, I, R}.
+TEST(MetaTest, DoublingRespectsItsFragmentPromise) {
+  Universe u;
+  Result<Program> p = ParseProgram(u,
+                                   "T(<$x>) <- R($x).\n"
+                                   "T(<$x>) <- T(<$x ++ @a>).\n"
+                                   "S($x) <- T(<$x>).\n");
+  ASSERT_TRUE(p.ok());
+  FeatureSet f1 = DetectFeatures(*p);
+  Result<Program> t = EliminatePackingViaDoubling(u, *p, *u.FindRel("S"));
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  FeatureSet promised = f1.Without(Feature::kPacking)
+                            .With(Feature::kArity)
+                            .With(Feature::kIntermediate)
+                            .With(Feature::kRecursion);
+  EXPECT_TRUE(DetectFeatures(*t).SubsetOf(promised))
+      << "got " << DetectFeatures(*t).ToString();
+  EXPECT_TRUE(Subsumes(f1, promised));
+}
+
+// Theorem 4.16 promise: folding lands in F - {I} + {E}.
+TEST(MetaTest, FoldingRespectsItsFragmentPromise) {
+  Universe u;
+  Result<Program> p = ParseProgram(u,
+                                   "T($x) <- R($x ++ a).\n"
+                                   "S($x ++ b) <- T($x).\n");
+  ASSERT_TRUE(p.ok());
+  FeatureSet f1 = DetectFeatures(*p);
+  Result<Program> t = FoldIntermediates(u, *p, *u.FindRel("S"));
+  ASSERT_TRUE(t.ok());
+  FeatureSet promised =
+      f1.Without(Feature::kIntermediate).With(Feature::kEquations);
+  EXPECT_TRUE(DetectFeatures(*t).SubsetOf(promised))
+      << "got " << DetectFeatures(*t).ToString();
+  EXPECT_TRUE(Subsumes(f1, promised));
+}
+
+// Lemma 7.2 promise: the normal form uses no equations or packing beyond
+// the input's, and adds at most A and I.
+TEST(MetaTest, NormalFormRespectsItsFragmentPromise) {
+  size_t checked = 0;
+  for (const PaperQuery& q : PaperCorpus()) {
+    Universe u;
+    Result<ParsedQuery> parsed = ParsePaperQuery(u, q);
+    ASSERT_TRUE(parsed.ok()) << q.id;
+    FeatureSet f1 = DetectFeatures(parsed->program);
+    if (f1.Contains(Feature::kRecursion) ||
+        f1.Contains(Feature::kEquations)) {
+      continue;
+    }
+    Result<Program> t = ToNormalForm(u, parsed->program);
+    ASSERT_TRUE(t.ok()) << q.id << ": " << t.status().ToString();
+    EXPECT_TRUE(ValidateNormalForm(u, *t).ok()) << q.id;
+    FeatureSet promised =
+        f1.With(Feature::kArity).With(Feature::kIntermediate);
+    EXPECT_TRUE(DetectFeatures(*t).SubsetOf(promised))
+        << q.id << ": got " << DetectFeatures(*t).ToString();
+    ++checked;
+  }
+  EXPECT_GE(checked, 1u);
+}
+
+// Every corpus program must land exactly in one of the paper's 11
+// Figure 1 classes, and that class must be consistent with the features
+// the corpus entry claims to exercise.
+TEST(MetaTest, EveryCorpusProgramHasAFigure1Class) {
+  for (const PaperQuery& q : PaperCorpus()) {
+    Universe u;
+    Result<ParsedQuery> parsed = ParsePaperQuery(u, q);
+    ASSERT_TRUE(parsed.ok()) << q.id;
+    FeatureSet f = DetectFeatures(parsed->program);
+    size_t matches = 0;
+    for (const FragmentClass& cls : CoreEquivalenceClasses()) {
+      matches += Equivalent(f, cls.Rep()) ? 1 : 0;
+    }
+    EXPECT_EQ(matches, 1u) << q.id << " features " << f.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace seqdl

@@ -1,0 +1,319 @@
+#include <gtest/gtest.h>
+
+#include "src/syntax/ast.h"
+#include "src/syntax/builder.h"
+#include "src/syntax/lexer.h"
+#include "src/syntax/parser.h"
+#include "src/syntax/printer.h"
+#include "src/term/universe.h"
+
+namespace seqdl {
+namespace {
+
+// --- Lexer ----------------------------------------------------------------
+
+TEST(LexerTest, BasicTokens) {
+  Result<std::vector<Token>> toks = Tokenize("S($x) <- R($x), a ++ $x = $x.");
+  ASSERT_TRUE(toks.ok());
+  std::vector<TokenKind> kinds;
+  for (const Token& t : *toks) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds.front(), TokenKind::kIdent);
+  EXPECT_EQ(kinds.back(), TokenKind::kEnd);
+}
+
+TEST(LexerTest, InterpunctAndPlusPlusAreConcat) {
+  Result<std::vector<Token>> t1 = Tokenize("a·b");
+  Result<std::vector<Token>> t2 = Tokenize("a ++ b");
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+  EXPECT_EQ((*t1)[1].kind, TokenKind::kConcat);
+  EXPECT_EQ((*t2)[1].kind, TokenKind::kConcat);
+}
+
+TEST(LexerTest, ArrowVersusAngle) {
+  Result<std::vector<Token>> toks = Tokenize("<- < > :-");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].kind, TokenKind::kArrow);
+  EXPECT_EQ((*toks)[1].kind, TokenKind::kLAngle);
+  EXPECT_EQ((*toks)[2].kind, TokenKind::kRAngle);
+  EXPECT_EQ((*toks)[3].kind, TokenKind::kArrow);
+}
+
+TEST(LexerTest, NeqVersusBang) {
+  Result<std::vector<Token>> toks = Tokenize("!= ! not");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].kind, TokenKind::kNeq);
+  EXPECT_EQ((*toks)[1].kind, TokenKind::kBang);
+  EXPECT_EQ((*toks)[2].kind, TokenKind::kNot);
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+  Result<std::vector<Token>> toks =
+      Tokenize("% comment\n# another\n// third\nS.");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].kind, TokenKind::kIdent);
+  EXPECT_EQ((*toks)[0].text, "S");
+}
+
+TEST(LexerTest, QuotedAtoms) {
+  Result<std::vector<Token>> toks = Tokenize("\"complete order\"");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].kind, TokenKind::kIdent);
+  EXPECT_EQ((*toks)[0].text, "complete order");
+}
+
+TEST(LexerTest, StratumSeparator) {
+  Result<std::vector<Token>> toks = Tokenize("---");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].kind, TokenKind::kStratumSep);
+}
+
+TEST(LexerTest, ErrorsCarryPosition) {
+  Result<std::vector<Token>> toks = Tokenize("S(^)");
+  ASSERT_FALSE(toks.ok());
+  EXPECT_NE(toks.status().message().find("1:3"), std::string::npos);
+}
+
+TEST(LexerTest, VariablesNeedNames) {
+  EXPECT_FALSE(Tokenize("$ x").ok());
+  EXPECT_FALSE(Tokenize("@ x").ok());
+}
+
+// --- Parser ----------------------------------------------------------------
+
+TEST(ParserTest, OnlyAsProgram) {
+  Universe u;
+  Result<Program> p = ParseProgram(u, "S($x) <- R($x), a ++ $x = $x ++ a.");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  ASSERT_EQ(p->strata.size(), 1u);
+  ASSERT_EQ(p->strata[0].rules.size(), 1u);
+  const Rule& r = p->strata[0].rules[0];
+  EXPECT_EQ(u.RelName(r.head.rel), "S");
+  ASSERT_EQ(r.body.size(), 2u);
+  EXPECT_TRUE(r.body[0].is_predicate());
+  EXPECT_TRUE(r.body[1].is_equation());
+  EXPECT_FALSE(r.body[1].negated);
+}
+
+TEST(ParserTest, FactsAndArityZero) {
+  Universe u;
+  Result<Program> p = ParseProgram(u, "A. R(a ++ b).");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->NumRules(), 2u);
+  EXPECT_EQ(u.RelArity(p->strata[0].rules[0].head.rel), 0u);
+  EXPECT_EQ(u.RelArity(p->strata[0].rules[1].head.rel), 1u);
+}
+
+TEST(ParserTest, EmptyPathForms) {
+  Universe u;
+  Result<Program> p1 = ParseProgram(u, "S(eps) <- R($x).");
+  Result<Program> p2 = ParseProgram(u, "S(()) <- R($x).");
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(p2.ok());
+  EXPECT_TRUE(p1->strata[0].rules[0].head.args[0].empty());
+  EXPECT_TRUE(p2->strata[0].rules[0].head.args[0].empty());
+}
+
+TEST(ParserTest, PackingNestsAndMixes) {
+  Universe u;
+  Result<PathExpr> e = ParsePathExpr(u, "@a ++ <<$x ++ $y> ++ $z> ++ <eps>");
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  ASSERT_EQ(e->items.size(), 3u);
+  EXPECT_EQ(e->items[0].kind, ExprItem::Kind::kAtomVar);
+  EXPECT_EQ(e->items[1].kind, ExprItem::Kind::kPack);
+  EXPECT_EQ(e->items[2].kind, ExprItem::Kind::kPack);
+  EXPECT_TRUE(e->items[2].pack->empty());
+}
+
+TEST(ParserTest, NegationForms) {
+  Universe u;
+  Result<Program> p = ParseProgram(
+      u, "S($x) <- R($x), !T($x), not W($x), $x != eps, not $x = a.");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  const Rule& r = p->strata[0].rules[0];
+  ASSERT_EQ(r.body.size(), 5u);
+  EXPECT_TRUE(r.body[1].negated);
+  EXPECT_TRUE(r.body[2].negated);
+  EXPECT_TRUE(r.body[3].negated);
+  EXPECT_TRUE(r.body[3].is_equation());
+  EXPECT_TRUE(r.body[4].negated);
+}
+
+TEST(ParserTest, DoubleNegatedNonequalityRejected) {
+  Universe u;
+  EXPECT_FALSE(ParseProgram(u, "S($x) <- R($x), !$x != a.").ok());
+}
+
+TEST(ParserTest, StrataSplit) {
+  Universe u;
+  Result<Program> p = ParseProgram(u,
+                                   "W(@x) <- R(@x).\n"
+                                   "---\n"
+                                   "S(@x) <- R(@x), !W(@x).\n");
+  ASSERT_TRUE(p.ok());
+  ASSERT_EQ(p->strata.size(), 2u);
+}
+
+TEST(ParserTest, ArityMismatchIsError) {
+  Universe u;
+  Result<Program> p = ParseProgram(u, "R(a). S($x) <- R($x, $y).");
+  EXPECT_FALSE(p.ok());
+}
+
+TEST(ParserTest, EquationWithAtomLhs) {
+  Universe u;
+  Result<Program> p = ParseProgram(u, "S($x) <- R($x), a = $x.");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->strata[0].rules[0].body[1].is_equation());
+}
+
+TEST(ParserTest, EmptyBodyWithArrow) {
+  Universe u;
+  Result<Program> p = ParseProgram(u, "R(a) <- .");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->strata[0].rules[0].body.empty());
+}
+
+TEST(ParserTest, MissingPeriodIsError) {
+  Universe u;
+  EXPECT_FALSE(ParseProgram(u, "S($x) <- R($x)").ok());
+}
+
+// --- Printer round-trips ----------------------------------------------------
+
+void ExpectRoundTrip(const std::string& text) {
+  Universe u;
+  Result<Program> p1 = ParseProgram(u, text);
+  ASSERT_TRUE(p1.ok()) << p1.status().ToString() << "\n" << text;
+  std::string printed = FormatProgram(u, *p1);
+  Result<Program> p2 = ParseProgram(u, printed);
+  ASSERT_TRUE(p2.ok()) << p2.status().ToString() << "\n" << printed;
+  EXPECT_EQ(FormatProgram(u, *p2), printed);
+}
+
+TEST(PrinterTest, RoundTripOnlyAs) {
+  ExpectRoundTrip("S($x) <- R($x), a ++ $x = $x ++ a.");
+}
+
+TEST(PrinterTest, RoundTripNfa) {
+  ExpectRoundTrip(
+      "S(@q ++ $x, eps) <- R($x), N(@q).\n"
+      "S(@q2 ++ $y, $z ++ @a) <- S(@q1 ++ @a ++ $y, $z), D(@q1, @a, @q2).\n"
+      "A($x) <- S(@q, $x), F(@q).\n");
+}
+
+TEST(PrinterTest, RoundTripPacking) {
+  ExpectRoundTrip(
+      "T($u ++ <$s> ++ $v) <- R($u ++ $s ++ $v), S($s).\n"
+      "A <- T($x), T($y), T($z), $x != $y, $x != $z, $y != $z.\n");
+}
+
+TEST(PrinterTest, RoundTripStrata) {
+  ExpectRoundTrip(
+      "W(@x) <- R(@x ++ @y), !B(@y).\n"
+      "---\n"
+      "S(@x) <- R(@x ++ @y), !W(@x).\n");
+}
+
+TEST(PrinterTest, FormatExprForms) {
+  Universe u;
+  ProgramBuilder b(u);
+  EXPECT_EQ(FormatExpr(u, b.Eps()), "eps");
+  EXPECT_EQ(FormatExpr(u, b.Cat({b.A("a"), b.PV("x"), b.AV("q")})),
+            "a·$x·@q");
+  EXPECT_EQ(FormatExpr(u, b.Pk(b.Cat({b.A("a"), b.A("b")}))), "<a·b>");
+}
+
+// --- AST helpers -------------------------------------------------------------
+
+TEST(AstTest, ExprEquality) {
+  Universe u;
+  ProgramBuilder b(u);
+  EXPECT_EQ(b.Cat({b.A("a"), b.PV("x")}), b.Cat({b.A("a"), b.PV("x")}));
+  EXPECT_NE(b.Cat({b.A("a"), b.PV("x")}), b.Cat({b.A("a"), b.PV("y")}));
+  EXPECT_EQ(b.Pk(b.A("a")), b.Pk(b.A("a")));
+  EXPECT_NE(b.Pk(b.A("a")), b.A("a"));
+}
+
+TEST(AstTest, CollectVarsOrderAndDedup) {
+  Universe u;
+  Result<PathExpr> e = ParsePathExpr(u, "$x ++ <@y ++ $x> ++ $z");
+  ASSERT_TRUE(e.ok());
+  std::vector<VarId> vars;
+  CollectVars(*e, &vars);
+  ASSERT_EQ(vars.size(), 3u);
+  EXPECT_EQ(u.VarName(vars[0]), "x");
+  EXPECT_EQ(u.VarName(vars[1]), "y");
+  EXPECT_EQ(u.VarName(vars[2]), "z");
+}
+
+TEST(AstTest, EvalGroundExpr) {
+  Universe u;
+  Result<PathExpr> e = ParsePathExpr(u, "a ++ <b ++ c> ++ d");
+  ASSERT_TRUE(e.ok());
+  Result<PathId> p = EvalGroundExpr(u, *e);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(u.FormatPath(*p), "a·<b·c>·d");
+  Result<PathExpr> bad = ParsePathExpr(u, "a ++ $x");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(EvalGroundExpr(u, *bad).ok());
+}
+
+TEST(AstTest, SubstituteSplicesPathVars) {
+  Universe u;
+  ProgramBuilder b(u);
+  PathExpr e = b.Cat({b.A("a"), b.PV("x"), b.A("b")});
+  ExprSubst subst;
+  subst[u.InternVar(VarKind::kPath, "x")] = b.Cat({b.A("c"), b.A("d")});
+  EXPECT_EQ(FormatExpr(u, SubstituteExpr(e, subst)), "a·c·d·b");
+}
+
+TEST(AstTest, SubstituteDescendsIntoPacks) {
+  Universe u;
+  ProgramBuilder b(u);
+  PathExpr e = b.Pk(b.PV("x"));
+  ExprSubst subst;
+  subst[u.InternVar(VarKind::kPath, "x")] = b.A("a");
+  EXPECT_EQ(FormatExpr(u, SubstituteExpr(e, subst)), "<a>");
+}
+
+TEST(AstTest, IdbEdbRels) {
+  Universe u;
+  Result<Program> p =
+      ParseProgram(u, "T($x) <- R($x).\nS($x) <- T($x), !Q($x).");
+  ASSERT_TRUE(p.ok());
+  std::set<RelId> idb = IdbRels(*p);
+  std::set<RelId> edb = EdbRels(*p);
+  EXPECT_EQ(idb.size(), 2u);
+  EXPECT_EQ(edb.size(), 2u);
+  EXPECT_TRUE(idb.count(*u.FindRel("T")));
+  EXPECT_TRUE(idb.count(*u.FindRel("S")));
+  EXPECT_TRUE(edb.count(*u.FindRel("R")));
+  EXPECT_TRUE(edb.count(*u.FindRel("Q")));
+}
+
+TEST(AstTest, ExprOfPathRoundTrip) {
+  Universe u;
+  PathId inner = u.PathOfChars("ab");
+  PathId p = u.Append(u.PathOfChars("c"), Value::Packed(inner));
+  PathExpr e = ExprOfPath(u, p);
+  Result<PathId> back = EvalGroundExpr(u, e);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, p);
+}
+
+TEST(AstTest, RuleHasPackingChecksEverywhere) {
+  Universe u;
+  Result<Rule> r1 = ParseRule(u, "S(<$x>) <- R($x).");
+  Result<Rule> r2 = ParseRule(u, "S($x) <- R($x), $x = <$y>.");
+  Result<Rule> r3 = ParseRule(u, "S($x) <- R($x).");
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  ASSERT_TRUE(r3.ok());
+  EXPECT_TRUE(RuleHasPacking(*r1));
+  EXPECT_TRUE(RuleHasPacking(*r2));
+  EXPECT_FALSE(RuleHasPacking(*r3));
+}
+
+}  // namespace
+}  // namespace seqdl

@@ -1,0 +1,295 @@
+// seqdl — command line front end for the Sequence Datalog library.
+//
+//   seqdl run <program.sdl> <instance.sdl> [--output=REL] [--naive]
+//       Evaluate a program on an instance and print the derived facts
+//       (all IDB relations, or just --output).
+//
+//   seqdl check <program.sdl>
+//       Validate safety/stratification, report the features used and the
+//       Figure 1 expressiveness class of the program's fragment.
+//
+//   seqdl transform <program.sdl> --eliminate=packing|equations|arity|all
+//       Apply the paper's redundancy transformations and print the result.
+//
+//   seqdl normalform <program.sdl>
+//       Print the Lemma 7.2 normal form (nonrecursive, equation-free
+//       programs; equations are eliminated first if present).
+//
+//   seqdl algebra <program.sdl> <REL>
+//       Print the Theorem 7.1 sequence relational algebra expression for
+//       an IDB relation of a nonrecursive program.
+//
+//   seqdl hasse [--dot]
+//       Print the Figure 1 Hasse diagram.
+//
+//   seqdl regex <pattern>
+//       Compile a regular expression to a Sequence Datalog matcher and
+//       print the program.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/algebra/algebra.h"
+#include "src/algebra/from_datalog.h"
+#include "src/analysis/features.h"
+#include "src/analysis/safety.h"
+#include "src/engine/eval.h"
+#include "src/engine/instance.h"
+#include "src/fragments/fragments.h"
+#include "src/queries/regex.h"
+#include "src/syntax/parser.h"
+#include "src/syntax/printer.h"
+#include "src/term/universe.h"
+#include "src/transform/arity_elim.h"
+#include "src/transform/equation_elim.h"
+#include "src/transform/normal_form.h"
+#include "src/transform/packing_elim.h"
+
+namespace {
+
+int Fail(const seqdl::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+seqdl::Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return seqdl::Status::NotFound("cannot open " + path);
+  }
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+bool HasFlag(const std::vector<std::string>& args, const std::string& flag) {
+  for (const std::string& a : args) {
+    if (a == flag) return true;
+  }
+  return false;
+}
+
+std::string FlagValue(const std::vector<std::string>& args,
+                      const std::string& prefix) {
+  for (const std::string& a : args) {
+    if (a.rfind(prefix, 0) == 0) return a.substr(prefix.size());
+  }
+  return "";
+}
+
+int CmdRun(const std::vector<std::string>& args) {
+  if (args.size() < 2) {
+    std::fprintf(stderr, "usage: seqdl run <program> <instance> "
+                         "[--output=REL] [--naive]\n");
+    return 2;
+  }
+  seqdl::Universe u;
+  auto program_text = ReadFile(args[0]);
+  if (!program_text.ok()) return Fail(program_text.status());
+  auto instance_text = ReadFile(args[1]);
+  if (!instance_text.ok()) return Fail(instance_text.status());
+  auto program = seqdl::ParseProgram(u, *program_text);
+  if (!program.ok()) return Fail(program.status());
+  auto instance = seqdl::ParseInstance(u, *instance_text);
+  if (!instance.ok()) return Fail(instance.status());
+
+  seqdl::EvalOptions opts;
+  opts.seminaive = !HasFlag(args, "--naive");
+  seqdl::EvalStats stats;
+  auto out = seqdl::Eval(u, *program, *instance, opts, &stats);
+  if (!out.ok()) return Fail(out.status());
+
+  std::string output_rel = FlagValue(args, "--output=");
+  if (!output_rel.empty()) {
+    auto rel = u.FindRel(output_rel);
+    if (!rel.ok()) return Fail(rel.status());
+    std::printf("%s", out->Project({*rel}).ToString(u).c_str());
+  } else {
+    std::set<seqdl::RelId> idb = seqdl::IdbRels(*program);
+    std::printf("%s",
+                out->Project({idb.begin(), idb.end()}).ToString(u).c_str());
+  }
+  std::fprintf(stderr, "-- %zu facts derived in %zu rounds (%zu firings)\n",
+               stats.derived_facts, stats.rounds, stats.rule_firings);
+  return 0;
+}
+
+int CmdCheck(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    std::fprintf(stderr, "usage: seqdl check <program>\n");
+    return 2;
+  }
+  seqdl::Universe u;
+  auto text = ReadFile(args[0]);
+  if (!text.ok()) return Fail(text.status());
+  auto program = seqdl::ParseProgram(u, *text);
+  if (!program.ok()) return Fail(program.status());
+  seqdl::Status valid = seqdl::ValidateProgram(u, *program);
+  std::printf("rules:      %zu in %zu strata\n", program->NumRules(),
+              program->strata.size());
+  std::printf("validation: %s\n", valid.ToString().c_str());
+  seqdl::FeatureSet f = seqdl::DetectFeatures(*program);
+  std::printf("features:   %s\n", f.ToString().c_str());
+  for (const seqdl::FragmentClass& cls : seqdl::CoreEquivalenceClasses()) {
+    if (seqdl::Equivalent(f, cls.Rep())) {
+      std::printf("class:      %s (Figure 1)\n", cls.Label().c_str());
+      break;
+    }
+  }
+  return valid.ok() ? 0 : 1;
+}
+
+int CmdTransform(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    std::fprintf(stderr, "usage: seqdl transform <program> "
+                         "--eliminate=packing|equations|arity|all\n");
+    return 2;
+  }
+  seqdl::Universe u;
+  auto text = ReadFile(args[0]);
+  if (!text.ok()) return Fail(text.status());
+  auto program = seqdl::ParseProgram(u, *text);
+  if (!program.ok()) return Fail(program.status());
+  std::string what = FlagValue(args, "--eliminate=");
+  if (what.empty()) what = "all";
+
+  seqdl::Program current = *program;
+  auto apply = [&](const std::string& name) -> seqdl::Status {
+    if (name == "packing") {
+      auto q = seqdl::EliminatePackingNonrecursive(u, current);
+      if (!q.ok()) return q.status();
+      current = std::move(*q);
+    } else if (name == "equations") {
+      auto q = seqdl::EliminateEquations(u, current);
+      if (!q.ok()) return q.status();
+      current = std::move(*q);
+    } else if (name == "arity") {
+      auto q = seqdl::EliminateArity(u, current);
+      if (!q.ok()) return q.status();
+      current = std::move(*q);
+    } else {
+      return seqdl::Status::InvalidArgument("unknown elimination " + name);
+    }
+    return seqdl::Status::OK();
+  };
+
+  if (what == "all") {
+    seqdl::FeatureSet f = seqdl::DetectFeatures(current);
+    if (f.Contains(seqdl::Feature::kPacking)) {
+      seqdl::Status s = apply("packing");
+      if (!s.ok()) return Fail(s);
+    }
+    f = seqdl::DetectFeatures(current);
+    if (f.Contains(seqdl::Feature::kEquations)) {
+      seqdl::Status s = apply("equations");
+      if (!s.ok()) return Fail(s);
+    }
+    f = seqdl::DetectFeatures(current);
+    if (f.Contains(seqdl::Feature::kArity)) {
+      seqdl::Status s = apply("arity");
+      if (!s.ok()) return Fail(s);
+    }
+  } else {
+    seqdl::Status s = apply(what);
+    if (!s.ok()) return Fail(s);
+  }
+  std::printf("%s", seqdl::FormatProgram(u, current).c_str());
+  std::fprintf(stderr, "-- %zu rules, features %s\n", current.NumRules(),
+               seqdl::DetectFeatures(current).ToString().c_str());
+  return 0;
+}
+
+int CmdNormalForm(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    std::fprintf(stderr, "usage: seqdl normalform <program>\n");
+    return 2;
+  }
+  seqdl::Universe u;
+  auto text = ReadFile(args[0]);
+  if (!text.ok()) return Fail(text.status());
+  auto program = seqdl::ParseProgram(u, *text);
+  if (!program.ok()) return Fail(program.status());
+  seqdl::Program staged = *program;
+  bool has_equations = false;
+  for (const seqdl::Rule* r : staged.AllRules()) {
+    for (const seqdl::Literal& l : r->body) {
+      has_equations |= l.is_equation();
+    }
+  }
+  if (has_equations) {
+    auto q = seqdl::EliminateEquations(u, staged);
+    if (!q.ok()) return Fail(q.status());
+    staged = std::move(*q);
+  }
+  auto normal = seqdl::ToNormalForm(u, staged);
+  if (!normal.ok()) return Fail(normal.status());
+  std::printf("%s", seqdl::FormatProgram(u, *normal).c_str());
+  return 0;
+}
+
+int CmdAlgebra(const std::vector<std::string>& args) {
+  if (args.size() < 2) {
+    std::fprintf(stderr, "usage: seqdl algebra <program> <REL>\n");
+    return 2;
+  }
+  seqdl::Universe u;
+  auto text = ReadFile(args[0]);
+  if (!text.ok()) return Fail(text.status());
+  auto program = seqdl::ParseProgram(u, *text);
+  if (!program.ok()) return Fail(program.status());
+  auto rel = u.FindRel(args[1]);
+  if (!rel.ok()) return Fail(rel.status());
+  auto alg = seqdl::DatalogToAlgebra(u, *program, *rel);
+  if (!alg.ok()) return Fail(alg.status());
+  std::printf("%s\n", seqdl::FormatAlgebra(u, **alg).c_str());
+  return 0;
+}
+
+int CmdHasse(const std::vector<std::string>& args) {
+  seqdl::HasseDiagram d = seqdl::BuildHasseDiagram();
+  if (HasFlag(args, "--dot")) {
+    std::printf("%s", seqdl::HasseToDot(d).c_str());
+  } else {
+    std::printf("%s", seqdl::RenderHasse(d).c_str());
+  }
+  return 0;
+}
+
+int CmdRegex(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    std::fprintf(stderr, "usage: seqdl regex <pattern>\n");
+    return 2;
+  }
+  seqdl::Universe u;
+  auto q = seqdl::RegexToDatalog(u, args[0]);
+  if (!q.ok()) return Fail(q.status());
+  std::printf("%% strings go into %s; matches appear in %s\n",
+              u.RelName(q->input).c_str(), u.RelName(q->output).c_str());
+  std::printf("%s", seqdl::FormatProgram(u, q->program).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: seqdl <run|check|transform|normalform|algebra|"
+                 "hasse|regex> ...\n");
+    return 2;
+  }
+  std::string cmd = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  if (cmd == "run") return CmdRun(args);
+  if (cmd == "check") return CmdCheck(args);
+  if (cmd == "transform") return CmdTransform(args);
+  if (cmd == "normalform") return CmdNormalForm(args);
+  if (cmd == "algebra") return CmdAlgebra(args);
+  if (cmd == "hasse") return CmdHasse(args);
+  if (cmd == "regex") return CmdRegex(args);
+  std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+  return 2;
+}
