@@ -1,10 +1,15 @@
-// Engine ablations: naive vs semi-naive fixpoint iteration on recursive
-// workloads (reachability over random graphs, NFA acceptance), sweeping
-// instance size.
+// Engine ablations on recursive workloads (reachability over random
+// graphs, stratified-negation pipelines), sweeping instance size:
+//
+//   * naive vs semi-naive fixpoint iteration;
+//   * one-shot Eval (re-validate + re-plan per call) vs prepared
+//     Engine::Compile + PreparedProgram::Run;
+//   * indexed scans (per-(relation, column) hash probes) vs full scans.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 
+#include "src/engine/engine.h"
 #include "src/engine/eval.h"
 #include "src/queries/queries.h"
 #include "src/workload/generators.h"
@@ -38,6 +43,97 @@ void PrintRoundCounts() {
   std::printf("\n");
 }
 
+void PrintIndexCounts() {
+  std::printf("=== Engine ablation: indexed vs full scans ===\n");
+  std::printf("%-8s %-14s %-14s %-12s %-14s\n", "nodes", "index probes",
+              "prefix probes", "full scans", "scans(noidx)");
+  for (size_t nodes : {16u, 32u, 64u}) {
+    Universe u;
+    Result<ParsedQuery> q = ParsePaperQuery(u, "reach_ab");
+    if (!q.ok()) std::abort();
+    GraphWorkload gw;
+    gw.nodes = nodes;
+    gw.edges = nodes * 2;
+    gw.seed = nodes;
+    Result<Instance> in = GraphToInstance(u, RandomGraph(gw), "R");
+    if (!in.ok()) std::abort();
+    Result<PreparedProgram> prog = Engine::Compile(u, q->program);
+    if (!prog.ok()) std::abort();
+    EvalStats indexed, scanned;
+    RunOptions no_index;
+    no_index.use_index = false;
+    Result<Instance> o1 = prog->Run(*in, {}, &indexed);
+    Result<Instance> o2 = prog->Run(*in, no_index, &scanned);
+    if (!o1.ok() || !o2.ok()) continue;
+    std::printf("%-8zu %-14zu %-14zu %-12zu %-14zu\n", nodes,
+                indexed.index_probes, indexed.prefix_probes,
+                indexed.full_scans, scanned.full_scans);
+  }
+  std::printf("\n");
+}
+
+// One-shot legacy path: validation + stratification + planning on every
+// call, exactly what pre-Engine call sites paid.
+void BM_ReachEvalOneShot(benchmark::State& state) {
+  size_t nodes = static_cast<size_t>(state.range(0));
+  Universe u;
+  Result<ParsedQuery> q = ParsePaperQuery(u, "reach_ab");
+  GraphWorkload gw;
+  gw.nodes = nodes;
+  gw.edges = nodes * 2;
+  gw.seed = 21;
+  Result<Instance> in = GraphToInstance(u, RandomGraph(gw), "R");
+  if (!q.ok() || !in.ok()) {
+    state.SkipWithError("workload setup failed");
+    return;
+  }
+  EvalOptions opts;
+  opts.use_index = false;  // the seed engine had no indexes
+  for (auto _ : state) {
+    Result<Instance> out = Eval(u, q->program, *in, opts);
+    if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_ReachEvalOneShot)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void RunPrepared(benchmark::State& state, bool use_index) {
+  size_t nodes = static_cast<size_t>(state.range(0));
+  Universe u;
+  Result<ParsedQuery> q = ParsePaperQuery(u, "reach_ab");
+  GraphWorkload gw;
+  gw.nodes = nodes;
+  gw.edges = nodes * 2;
+  gw.seed = 21;
+  Result<Instance> in = GraphToInstance(u, RandomGraph(gw), "R");
+  if (!q.ok() || !in.ok()) {
+    state.SkipWithError("workload setup failed");
+    return;
+  }
+  Result<PreparedProgram> prog = Engine::Compile(u, q->program);
+  if (!prog.ok()) {
+    state.SkipWithError(prog.status().ToString().c_str());
+    return;
+  }
+  RunOptions opts;
+  opts.use_index = use_index;
+  for (auto _ : state) {
+    Result<Instance> out = prog->Run(*in, opts);
+    if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
+    benchmark::DoNotOptimize(out);
+  }
+}
+
+void BM_ReachPreparedIndexed(benchmark::State& state) {
+  RunPrepared(state, true);
+}
+BENCHMARK(BM_ReachPreparedIndexed)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_ReachPreparedNoIndex(benchmark::State& state) {
+  RunPrepared(state, false);
+}
+BENCHMARK(BM_ReachPreparedNoIndex)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
 void RunReachability(benchmark::State& state, bool seminaive) {
   size_t nodes = static_cast<size_t>(state.range(0));
   Universe u;
@@ -47,6 +143,10 @@ void RunReachability(benchmark::State& state, bool seminaive) {
   gw.edges = nodes * 2;
   gw.seed = 21;
   Result<Instance> in = GraphToInstance(u, RandomGraph(gw), "R");
+  if (!q.ok() || !in.ok()) {
+    state.SkipWithError("workload setup failed");
+    return;
+  }
   EvalOptions opts;
   opts.seminaive = seminaive;
   for (auto _ : state) {
@@ -75,8 +175,17 @@ void BM_StratifiedNegationPipeline(benchmark::State& state) {
   ew.len = 10;
   ew.seed = 4;
   Result<Instance> in = RandomEventLogs(u, ew);
+  if (!q.ok() || !in.ok()) {
+    state.SkipWithError("workload setup failed");
+    return;
+  }
+  Result<PreparedProgram> prog = Engine::Compile(u, q->program);
+  if (!prog.ok()) {
+    state.SkipWithError(prog.status().ToString().c_str());
+    return;
+  }
   for (auto _ : state) {
-    Result<Instance> out = Eval(u, q->program, *in);
+    Result<Instance> out = prog->Run(*in);
     if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
     benchmark::DoNotOptimize(out);
   }
@@ -88,6 +197,7 @@ BENCHMARK(BM_StratifiedNegationPipeline)->Arg(8)->Arg(32)->Arg(128);
 
 int main(int argc, char** argv) {
   seqdl::PrintRoundCounts();
+  seqdl::PrintIndexCounts();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -1,13 +1,13 @@
-// Quickstart: parse a Sequence Datalog program, evaluate it on an
-// instance, and print the result.
+// Quickstart: parse a Sequence Datalog program, compile it once, and run
+// it against several instances.
 //
-//   $ ./build/examples/quickstart
+//   $ ./build/quickstart
 //
 // The program is Example 3.1 from the paper: all paths from R that consist
 // exclusively of a's, expressed with a single equation (fragment {E}).
 #include <cstdio>
 
-#include "src/engine/eval.h"
+#include "src/engine/engine.h"
 #include "src/engine/instance.h"
 #include "src/syntax/parser.h"
 #include "src/syntax/printer.h"
@@ -28,32 +28,44 @@ int main() {
   }
   std::printf("program:\n%s\n", seqdl::FormatProgram(u, *program).c_str());
 
-  // 2. Parse an input instance (a set of ground facts).
-  seqdl::Result<seqdl::Instance> input = seqdl::ParseInstance(u, R"(
-    R(a ++ a ++ a).
-    R(a ++ b ++ a).
-    R(a).
-    R(eps).
-  )");
-  if (!input.ok()) {
-    std::fprintf(stderr, "instance error: %s\n",
-                 input.status().ToString().c_str());
+  // 2. Compile once: validation (safety, stratification) and rule planning
+  //    happen here, not on every evaluation.
+  seqdl::Result<seqdl::PreparedProgram> prepared =
+      seqdl::Engine::Compile(u, std::move(*program));
+  if (!prepared.ok()) {
+    std::fprintf(stderr, "compile error: %s\n",
+                 prepared.status().ToString().c_str());
     return 1;
   }
 
-  // 3. Evaluate. Budgets guard against nonterminating programs
-  //    (see EvalOptions).
-  seqdl::Result<seqdl::Instance> output =
-      seqdl::Eval(u, *program, *input);
-  if (!output.ok()) {
-    std::fprintf(stderr, "eval error: %s\n",
-                 output.status().ToString().c_str());
-    return 1;
-  }
-
-  // 4. Project onto the query's output relation and print.
+  // 3. Run against any number of instances. Budgets in RunOptions guard
+  //    against nonterminating programs.
   seqdl::RelId s = *u.FindRel("S");
-  std::printf("S = the paths consisting exclusively of a's:\n%s",
-              output->Project({s}).ToString(u).c_str());
+  for (const char* instance_text : {
+           "R(a ++ a ++ a). R(a ++ b ++ a). R(a). R(eps).",
+           "R(a ++ a). R(b).",
+       }) {
+    seqdl::Result<seqdl::Instance> input =
+        seqdl::ParseInstance(u, instance_text);
+    if (!input.ok()) {
+      std::fprintf(stderr, "instance error: %s\n",
+                   input.status().ToString().c_str());
+      return 1;
+    }
+    seqdl::EvalStats stats;
+    seqdl::Result<seqdl::Instance> output =
+        prepared->Run(*input, {}, &stats);
+    if (!output.ok()) {
+      std::fprintf(stderr, "eval error: %s\n",
+                   output.status().ToString().c_str());
+      return 1;
+    }
+    // 4. Project onto the query's output relation and print.
+    std::printf("input: %s\nS = the paths consisting exclusively of a's:\n%s",
+                instance_text, output->Project({s}).ToString(u).c_str());
+    std::printf("(%zu facts derived; compile %.3f ms, run %.3f ms)\n\n",
+                stats.derived_facts, stats.compile_seconds * 1e3,
+                stats.run_seconds * 1e3);
+  }
   return 0;
 }

@@ -28,6 +28,8 @@ enum class StatusCode {
   kInternal = 5,
   /// The requested operation is not implemented for this input.
   kUnimplemented = 6,
+  /// The caller cancelled the operation (e.g. via RunOptions::cancel).
+  kCancelled = 7,
 };
 
 /// Returns a human-readable name for `code` ("OK", "InvalidArgument", ...).
@@ -60,6 +62,9 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

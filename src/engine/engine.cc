@@ -1,0 +1,391 @@
+#include "src/engine/engine.h"
+
+#include <cassert>
+#include <chrono>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "src/analysis/safety.h"
+#include "src/engine/index.h"
+#include "src/engine/match.h"
+
+namespace seqdl {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Sentinel for "no scan step is restricted to the delta this pass".
+constexpr size_t kNoDeltaStep = static_cast<size_t>(-1);
+
+/// How many rule firings pass between cancellation polls.
+constexpr size_t kCancelPollInterval = 256;
+
+}  // namespace
+
+namespace internal {
+
+// One run of a prepared program. Owns all mutable evaluation state, so a
+// (const) PreparedProgram can execute any number of runs.
+class Executor {
+ public:
+  Executor(Universe& u, const PreparedProgram& prog, const RunOptions& opts,
+           EvalStats* stats)
+      : u_(u), prog_(prog), opts_(opts), stats_(stats) {}
+
+  Result<Instance> Run(const Instance& input) {
+    store_ = IndexedInstance(u_, input);
+    for (const auto& stratum : StrataOf(prog_)) {
+      if (stats_) stats_->per_stratum.emplace_back();
+      SEQDL_RETURN_IF_ERROR(EvalStratum(stratum));
+    }
+    return store_.TakeInstance();
+  }
+
+ private:
+  using CompiledStratum = PreparedProgram::CompiledStratum;
+
+  static const std::vector<CompiledStratum>& StrataOf(
+      const PreparedProgram& prog) {
+    return prog.strata_;
+  }
+
+  StratumStats* CurrentStratumStats() {
+    return stats_ ? &stats_->per_stratum.back() : nullptr;
+  }
+
+  Status EvalStratum(const CompiledStratum& stratum) {
+    if (!opts_.seminaive) return EvalStratumNaive(stratum);
+
+    // Round 0: all rules, full scans.
+    std::map<RelId, TupleSet> delta;
+    pending_.clear();
+    for (const RulePlan& plan : stratum.plans) {
+      SEQDL_RETURN_IF_ERROR(ApplyRule(plan, kNoDeltaStep, nullptr));
+    }
+    SEQDL_RETURN_IF_ERROR(MergePending(&delta));
+
+    // Delta rounds: re-run each rule once per recursive scan occurrence,
+    // with that occurrence restricted to the previous round's delta.
+    while (!delta.empty()) {
+      SEQDL_RETURN_IF_ERROR(BumpRound());
+      pending_.clear();
+      for (const RulePlan& plan : stratum.plans) {
+        for (size_t step_idx : plan.recursive_scan_steps) {
+          SEQDL_RETURN_IF_ERROR(ApplyRule(plan, step_idx, &delta));
+        }
+      }
+      std::map<RelId, TupleSet> new_delta;
+      SEQDL_RETURN_IF_ERROR(MergePending(&new_delta));
+      delta = std::move(new_delta);
+    }
+    return Status::OK();
+  }
+
+  Status EvalStratumNaive(const CompiledStratum& stratum) {
+    while (true) {
+      SEQDL_RETURN_IF_ERROR(BumpRound());
+      pending_.clear();
+      for (const RulePlan& plan : stratum.plans) {
+        SEQDL_RETURN_IF_ERROR(ApplyRule(plan, kNoDeltaStep, nullptr));
+      }
+      std::map<RelId, TupleSet> new_facts;
+      SEQDL_RETURN_IF_ERROR(MergePending(&new_facts));
+      if (new_facts.empty()) return Status::OK();
+    }
+  }
+
+  Status BumpRound() {
+    SEQDL_RETURN_IF_ERROR(PollCancel());
+    if (stats_) {
+      ++stats_->rounds;
+      ++CurrentStratumStats()->rounds;
+    }
+    if (++rounds_ > opts_.max_iterations) {
+      return Status::ResourceExhausted(
+          "evaluation exceeded max_iterations = " +
+          std::to_string(opts_.max_iterations) +
+          " (the program may not terminate)");
+    }
+    return Status::OK();
+  }
+
+  Status PollCancel() {
+    if (opts_.cancel && opts_.cancel()) {
+      return Status::Cancelled("evaluation cancelled by RunOptions::cancel");
+    }
+    return Status::OK();
+  }
+
+  // Runs one rule; derived facts go to pending_. If `delta_step` is not
+  // kNoDeltaStep, that scan step enumerates `*delta` instead of the store.
+  Status ApplyRule(const RulePlan& plan, size_t delta_step,
+                   const std::map<RelId, TupleSet>* delta) {
+    Valuation v;
+    status_ = Status::OK();
+    ExecuteStep(plan, 0, v, delta_step, delta);
+    return status_;
+  }
+
+  // Returns false to abort enumeration (on error).
+  bool ExecuteStep(const RulePlan& plan, size_t step_idx, Valuation& v,
+                   size_t delta_step, const std::map<RelId, TupleSet>* delta) {
+    if (!status_.ok()) return false;
+    if (step_idx == plan.steps.size()) return DeriveHead(plan, v);
+
+    const PlanStep& step = plan.steps[step_idx];
+    const Literal& lit = plan.rule->body[step.lit_idx];
+    auto next = [&](Valuation& v2) {
+      return ExecuteStep(plan, step_idx + 1, v2, delta_step, delta);
+    };
+
+    switch (step.kind) {
+      case PlanStep::Kind::kScan: {
+        if (step_idx == delta_step) {
+          assert(delta != nullptr);
+          if (stats_) ++stats_->delta_scans;
+          auto it = delta->find(lit.pred.rel);
+          if (it == delta->end()) return true;
+          for (const Tuple& t : it->second) {
+            if (!MatchArgs(u_, lit.pred.args, t, v, next)) return false;
+          }
+          return true;
+        }
+        if (opts_.use_index && step.index_arg >= 0) {
+          // The planner proved this argument ground under every valuation
+          // reaching the step: evaluate it and probe the column index.
+          PathId key;
+          if (!EvalTo(lit.pred.args[static_cast<size_t>(step.index_arg)], v,
+                      &key)) {
+            return false;
+          }
+          if (stats_) ++stats_->index_probes;
+          for (const Tuple* t : store_.Probe(
+                   lit.pred.rel, static_cast<uint32_t>(step.index_arg),
+                   key)) {
+            if (!MatchArgs(u_, lit.pred.args, *t, v, next)) return false;
+          }
+          return true;
+        }
+        if (opts_.use_index && step.prefix_arg >= 0) {
+          // A leading prefix of this argument is ground: a matching tuple
+          // must start with the prefix's first value, so probe the
+          // first-value index (MatchArgs still filters exactly). An empty
+          // prefix (a bound path variable holding eps) constrains nothing;
+          // fall through to a full scan then.
+          PathId prefix;
+          if (!EvalTo(step.prefix_expr, v, &prefix)) return false;
+          if (prefix != kEmptyPath) {
+            if (stats_) ++stats_->prefix_probes;
+            for (const Tuple* t : store_.ProbeFirst(
+                     lit.pred.rel, static_cast<uint32_t>(step.prefix_arg),
+                     u_.GetPath(prefix).front())) {
+              if (!MatchArgs(u_, lit.pred.args, *t, v, next)) return false;
+            }
+            return true;
+          }
+        }
+        if (stats_) ++stats_->full_scans;
+        for (const Tuple& t : store_.Tuples(lit.pred.rel)) {
+          if (!MatchArgs(u_, lit.pred.args, t, v, next)) return false;
+        }
+        return true;
+      }
+      case PlanStep::Kind::kEq: {
+        bool lhs_bound = AllVarsBound(lit.lhs, v);
+        bool rhs_bound = AllVarsBound(lit.rhs, v);
+        if (lhs_bound && rhs_bound) {
+          PathId a, b;
+          if (!EvalTo(lit.lhs, v, &a) || !EvalTo(lit.rhs, v, &b)) return false;
+          if (a != b) return true;
+          return next(v);
+        }
+        if (lhs_bound) {
+          PathId a;
+          if (!EvalTo(lit.lhs, v, &a)) return false;
+          return MatchExpr(u_, lit.rhs, a, v, next);
+        }
+        if (rhs_bound) {
+          PathId b;
+          if (!EvalTo(lit.rhs, v, &b)) return false;
+          return MatchExpr(u_, lit.lhs, b, v, next);
+        }
+        status_ = Status::Internal("equation scheduled before being ground");
+        return false;
+      }
+      case PlanStep::Kind::kNegPred: {
+        Tuple t;
+        t.reserve(lit.pred.args.size());
+        for (const PathExpr& e : lit.pred.args) {
+          PathId p;
+          if (!EvalTo(e, v, &p)) return false;
+          t.push_back(p);
+        }
+        // The negated relation is complete here (stratified negation): it is
+        // either EDB or defined in an earlier stratum, so the store holds
+        // all of its facts.
+        if (store_.Contains(lit.pred.rel, t)) return true;
+        return next(v);
+      }
+      case PlanStep::Kind::kNegEq: {
+        PathId a, b;
+        if (!EvalTo(lit.lhs, v, &a) || !EvalTo(lit.rhs, v, &b)) return false;
+        if (a == b) return true;
+        return next(v);
+      }
+    }
+    return true;
+  }
+
+  bool EvalTo(const PathExpr& e, const Valuation& v, PathId* out) {
+    Result<PathId> r = EvalExpr(u_, e, v);
+    if (!r.ok()) {
+      status_ = r.status();
+      return false;
+    }
+    *out = *r;
+    return true;
+  }
+
+  bool DeriveHead(const RulePlan& plan, const Valuation& v) {
+    if (stats_) {
+      ++stats_->rule_firings;
+      ++CurrentStratumStats()->rule_firings;
+    }
+    if (++firings_since_poll_ >= kCancelPollInterval) {
+      firings_since_poll_ = 0;
+      status_ = PollCancel();
+      if (!status_.ok()) return false;
+    }
+    Tuple t;
+    t.reserve(plan.rule->head.args.size());
+    for (const PathExpr& e : plan.rule->head.args) {
+      PathId p;
+      if (!EvalTo(e, v, &p)) return false;
+      if (u_.PathLength(p) > opts_.max_path_length) {
+        status_ = Status::ResourceExhausted(
+            "derived path longer than max_path_length = " +
+            std::to_string(opts_.max_path_length) +
+            " (the program may not terminate)");
+        return false;
+      }
+      t.push_back(p);
+    }
+    RelId rel = plan.rule->head.rel;
+    if (store_.Contains(rel, t)) return true;
+    if (pending_[rel].insert(std::move(t)).second) {
+      ++derived_;
+      if (stats_) {
+        ++stats_->derived_facts;
+        ++CurrentStratumStats()->derived_facts;
+      }
+      if (derived_ > opts_.max_facts) {
+        status_ = Status::ResourceExhausted(
+            "evaluation derived more than max_facts = " +
+            std::to_string(opts_.max_facts) +
+            " facts (the program may not terminate)");
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // Moves pending facts into the store; facts that were genuinely new
+  // are reported in `*fresh`.
+  Status MergePending(std::map<RelId, TupleSet>* fresh) {
+    fresh->clear();
+    for (auto& [rel, tuples] : pending_) {
+      for (const Tuple& t : tuples) {
+        if (store_.Add(rel, t)) (*fresh)[rel].insert(t);
+      }
+    }
+    pending_.clear();
+    return Status::OK();
+  }
+
+  Universe& u_;
+  const PreparedProgram& prog_;
+  const RunOptions& opts_;
+  EvalStats* stats_;
+  IndexedInstance store_;
+  std::map<RelId, TupleSet> pending_;
+  Status status_;
+  size_t rounds_ = 0;
+  size_t derived_ = 0;
+  size_t firings_since_poll_ = 0;
+};
+
+}  // namespace internal
+
+Result<PreparedProgram> Engine::Compile(Universe& u, Program p,
+                                        const CompileOptions& opts) {
+  return CompileShared(u, std::make_shared<Program>(std::move(p)), opts);
+}
+
+Result<PreparedProgram> Engine::CompileBorrowed(Universe& u,
+                                                const Program& p,
+                                                const CompileOptions& opts) {
+  // Aliasing constructor: shares no ownership; the caller keeps `p` alive.
+  return CompileShared(
+      u, std::shared_ptr<const Program>(std::shared_ptr<void>(), &p), opts);
+}
+
+Result<PreparedProgram> Engine::CompileShared(
+    Universe& u, std::shared_ptr<const Program> p,
+    const CompileOptions& opts) {
+  auto start = std::chrono::steady_clock::now();
+  if (opts.validate) {
+    SEQDL_RETURN_IF_ERROR(ValidateProgram(u, *p));
+  }
+  PreparedProgram prep(u, std::move(p));
+  for (const Stratum& s : prep.program_->strata) {
+    std::set<RelId> stratum_idb;
+    for (const Rule& r : s.rules) stratum_idb.insert(r.head.rel);
+
+    PreparedProgram::CompiledStratum compiled;
+    for (const Rule& r : s.rules) {
+      SEQDL_ASSIGN_OR_RETURN(RulePlan plan,
+                             PlanRule(u, r, opts.reorder_scans));
+      for (size_t i = 0; i < plan.steps.size(); ++i) {
+        const PlanStep& st = plan.steps[i];
+        if (st.kind == PlanStep::Kind::kScan &&
+            stratum_idb.count(r.body[st.lit_idx].pred.rel)) {
+          plan.recursive_scan_steps.push_back(i);
+        }
+      }
+      compiled.plans.push_back(std::move(plan));
+    }
+    prep.strata_.push_back(std::move(compiled));
+  }
+  prep.compile_seconds_ = SecondsSince(start);
+  return prep;
+}
+
+Result<Instance> PreparedProgram::Run(const Instance& input,
+                                      const RunOptions& opts,
+                                      EvalStats* stats) const {
+  auto start = std::chrono::steady_clock::now();
+  if (stats) {
+    *stats = EvalStats{};
+    stats->compile_seconds = compile_seconds_;
+  }
+  internal::Executor exec(*universe_, *this, opts, stats);
+  Result<Instance> out = exec.Run(input);
+  if (stats) stats->run_seconds = SecondsSince(start);
+  return out;
+}
+
+Result<Instance> PreparedProgram::RunQuery(const Instance& input,
+                                           RelId output,
+                                           const RunOptions& opts,
+                                           EvalStats* stats) const {
+  SEQDL_ASSIGN_OR_RETURN(Instance full, Run(input, opts, stats));
+  return full.Project({output});
+}
+
+}  // namespace seqdl

@@ -1,0 +1,176 @@
+// Compile-once/run-many evaluation of Sequence Datalog programs.
+//
+// Engine::Compile validates (safety, stratification) and plans a program
+// exactly once, producing an immutable PreparedProgram. The prepared
+// program can then be run against any number of input instances over the
+// same Universe:
+//
+//   SEQDL_ASSIGN_OR_RETURN(PreparedProgram prog,
+//                          Engine::Compile(u, std::move(program)));
+//   SEQDL_ASSIGN_OR_RETURN(Instance out1, prog.Run(input1));
+//   SEQDL_ASSIGN_OR_RETURN(Instance out2, prog.Run(input2));
+//
+// Execution uses stratified semi-naive fixpoint iteration (paper §2.3)
+// over an indexed relation store: scans whose key position is ground under
+// the current valuation become hash probes instead of full relation scans
+// (see plan.h / index.h). Since Sequence Datalog programs need not
+// terminate (Example 2.3), Run enforces budgets and reports
+// kResourceExhausted when they are exceeded; a cancellation callback in
+// RunOptions can stop a run early with kCancelled.
+//
+// The legacy one-shot Eval()/EvalQuery() entry points in eval.h are thin
+// wrappers over this API.
+#ifndef SEQDL_ENGINE_ENGINE_H_
+#define SEQDL_ENGINE_ENGINE_H_
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/engine/instance.h"
+#include "src/engine/plan.h"
+#include "src/syntax/ast.h"
+#include "src/term/universe.h"
+
+namespace seqdl {
+
+namespace internal {
+class Executor;
+}  // namespace internal
+
+/// Options fixed at compilation time.
+struct CompileOptions {
+  /// Validate safety/stratification before planning.
+  bool validate = true;
+  /// Greedily reorder positive body scans so each joins on already-bound
+  /// variables where possible; false = scan in body order.
+  bool reorder_scans = true;
+};
+
+/// Options chosen per run.
+struct RunOptions {
+  /// Maximum number of derived facts before giving up.
+  size_t max_facts = 5'000'000;
+  /// Maximum number of fixpoint rounds across all strata.
+  size_t max_iterations = 1'000'000;
+  /// Maximum length of any derived path.
+  size_t max_path_length = 1'000'000;
+  /// Use semi-naive (delta) iteration; false = naive re-evaluation.
+  bool seminaive = true;
+  /// Probe per-(relation, column) hash indexes for scans whose key
+  /// position is ground; false = always full scans (ablation).
+  bool use_index = true;
+  /// Cancellation/budget callback, polled at every fixpoint round and
+  /// periodically between rule firings. Return true to cancel the run;
+  /// Run then fails with kCancelled. Leave empty for no callback.
+  std::function<bool()> cancel;
+};
+
+/// Per-stratum execution counters.
+struct StratumStats {
+  size_t rounds = 0;
+  size_t rule_firings = 0;
+  size_t derived_facts = 0;
+};
+
+/// Execution statistics, filled by PreparedProgram::Run (and the legacy
+/// Eval wrapper).
+struct EvalStats {
+  size_t derived_facts = 0;
+  size_t rounds = 0;
+  size_t rule_firings = 0;
+  /// Scans answered through a whole-value (relation, column) index probe
+  /// (the argument position was fully ground).
+  size_t index_probes = 0;
+  /// Scans answered through a first-value index probe (only a leading
+  /// prefix of the argument was ground).
+  size_t prefix_probes = 0;
+  /// Scans that fell back to a full relation scan (no ground key position,
+  /// an empty ground prefix, or use_index = false).
+  size_t full_scans = 0;
+  /// Scans over per-round delta sets (semi-naive iteration).
+  size_t delta_scans = 0;
+  /// Wall time Engine::Compile spent validating + planning the program.
+  double compile_seconds = 0;
+  /// Wall time of this run.
+  double run_seconds = 0;
+  /// One entry per stratum, in program order.
+  std::vector<StratumStats> per_stratum;
+};
+
+/// A validated, planned program bound to a Universe. Move-only (plans
+/// point into the owned Program). Create via Engine::Compile.
+class PreparedProgram {
+ public:
+  PreparedProgram(PreparedProgram&&) = default;
+  PreparedProgram& operator=(PreparedProgram&&) = default;
+  PreparedProgram(const PreparedProgram&) = delete;
+  PreparedProgram& operator=(const PreparedProgram&) = delete;
+
+  /// Evaluates on `input`; returns input plus all derived IDB facts.
+  /// `input` must be an instance over the Universe the program was
+  /// compiled against. On success fills `*stats` (if non-null), including
+  /// the compile time recorded by Engine::Compile. Runs are independent:
+  /// each gets its own working store, so a PreparedProgram may be run any
+  /// number of times (sequentially; the shared Universe interns paths and
+  /// is not synchronized).
+  Result<Instance> Run(const Instance& input, const RunOptions& opts = {},
+                       EvalStats* stats = nullptr) const;
+
+  /// Runs and projects onto a single output relation (the paper's notion
+  /// of a program computing a query from Γ to S).
+  Result<Instance> RunQuery(const Instance& input, RelId output,
+                            const RunOptions& opts = {},
+                            EvalStats* stats = nullptr) const;
+
+  const Program& program() const { return *program_; }
+  Universe& universe() const { return *universe_; }
+  /// Wall time spent in Engine::Compile for this program.
+  double compile_seconds() const { return compile_seconds_; }
+
+ private:
+  friend class Engine;
+  friend class internal::Executor;
+
+  struct CompiledStratum {
+    std::vector<RulePlan> plans;
+  };
+
+  PreparedProgram(Universe& u, std::shared_ptr<const Program> p)
+      : universe_(&u), program_(std::move(p)) {}
+
+  Universe* universe_;
+  /// Owned for Compile(); non-owning (aliasing, null deleter) for
+  /// CompileBorrowed(). Rule plans point into this program.
+  std::shared_ptr<const Program> program_;
+  std::vector<CompiledStratum> strata_;
+  double compile_seconds_ = 0;
+};
+
+/// Stateless compiler front end.
+class Engine {
+ public:
+  /// Validates and plans `p` against `u`. The returned PreparedProgram
+  /// keeps a reference to `u`, which must outlive it.
+  static Result<PreparedProgram> Compile(Universe& u, Program p,
+                                         const CompileOptions& opts = {});
+
+  /// As Compile, but borrows `p` instead of taking ownership: the caller
+  /// must keep `p` alive and unchanged for the PreparedProgram's
+  /// lifetime. Avoids copying the program AST when it already outlives
+  /// the prepared program (the one-shot Eval wrapper, long-lived program
+  /// registries).
+  static Result<PreparedProgram> CompileBorrowed(
+      Universe& u, const Program& p, const CompileOptions& opts = {});
+
+ private:
+  static Result<PreparedProgram> CompileShared(
+      Universe& u, std::shared_ptr<const Program> p,
+      const CompileOptions& opts);
+};
+
+}  // namespace seqdl
+
+#endif  // SEQDL_ENGINE_ENGINE_H_

@@ -1,379 +1,34 @@
 #include "src/engine/eval.h"
 
-#include <cassert>
-#include <map>
-#include <set>
-#include <vector>
-
-#include "src/analysis/safety.h"
-#include "src/engine/match.h"
-#include "src/syntax/printer.h"
-
 namespace seqdl {
 
 namespace {
 
-// One scheduled step of a rule body.
-struct Step {
-  enum class Kind { kScan, kEq, kNegPred, kNegEq };
-  Kind kind;
-  size_t lit_idx;
-  bool use_delta = false;  // kScan only; set per evaluation pass
-};
-
-// A rule with a precomputed evaluation order: positive predicate scans,
-// then positive equations in a safety-respecting order, then negated
-// literals (whose variables are all bound by then).
-struct PlannedRule {
-  const Rule* rule;
-  std::vector<Step> steps;
-  // Indices into `steps` of scans over same-stratum IDB relations.
-  std::vector<size_t> recursive_scan_steps;
-};
-
-Result<PlannedRule> PlanRule(const Universe& u, const Rule& r,
-                             bool reorder_scans) {
-  PlannedRule plan;
-  plan.rule = &r;
-  std::set<VarId> bound;
-
-  // Positive predicate scans. With reordering, greedily pick the scan
-  // sharing the most variables with the already-bound set (a classic join
-  // ordering heuristic that turns cartesian products into index-free
-  // joins); without, keep body order.
-  std::vector<size_t> scans;
-  for (size_t i = 0; i < r.body.size(); ++i) {
-    const Literal& l = r.body[i];
-    if (l.is_predicate() && !l.negated) scans.push_back(i);
-  }
-  while (!scans.empty()) {
-    size_t pick = 0;
-    if (reorder_scans) {
-      int best_shared = -1;
-      for (size_t k = 0; k < scans.size(); ++k) {
-        std::vector<VarId> vars;
-        CollectVars(r.body[scans[k]], &vars);
-        int shared = 0;
-        for (VarId v : vars) shared += bound.count(v) ? 1 : 0;
-        if (shared > best_shared) {
-          best_shared = shared;
-          pick = k;
-        }
-      }
-    }
-    size_t lit = scans[pick];
-    scans.erase(scans.begin() + static_cast<ptrdiff_t>(pick));
-    plan.steps.push_back({Step::Kind::kScan, lit, false});
-    std::vector<VarId> vars;
-    CollectVars(r.body[lit], &vars);
-    bound.insert(vars.begin(), vars.end());
-  }
-
-  // Positive equations: schedule any whose one side is fully bound.
-  std::vector<size_t> pending;
-  for (size_t i = 0; i < r.body.size(); ++i) {
-    const Literal& l = r.body[i];
-    if (l.is_equation() && !l.negated) pending.push_back(i);
-  }
-  while (!pending.empty()) {
-    bool progressed = false;
-    for (size_t k = 0; k < pending.size(); ++k) {
-      const Literal& l = r.body[pending[k]];
-      std::set<VarId> lhs = VarSet(l.lhs), rhs = VarSet(l.rhs);
-      auto all_bound = [&bound](const std::set<VarId>& vs) {
-        for (VarId v : vs) {
-          if (!bound.count(v)) return false;
-        }
-        return true;
-      };
-      if (all_bound(lhs) || all_bound(rhs)) {
-        plan.steps.push_back({Step::Kind::kEq, pending[k], false});
-        bound.insert(lhs.begin(), lhs.end());
-        bound.insert(rhs.begin(), rhs.end());
-        pending.erase(pending.begin() + static_cast<ptrdiff_t>(k));
-        progressed = true;
-        break;
-      }
-    }
-    if (!progressed) {
-      return Status::InvalidArgument("rule is not safe (equations cannot be "
-                                     "ordered): " +
-                                     FormatRule(u, r));
-    }
-  }
-
-  // Negated literals last; all their variables must be bound.
-  for (size_t i = 0; i < r.body.size(); ++i) {
-    const Literal& l = r.body[i];
-    if (!l.negated) continue;
-    std::vector<VarId> vars;
-    CollectVars(l, &vars);
-    for (VarId v : vars) {
-      if (!bound.count(v)) {
-        return Status::InvalidArgument(
-            "rule is not safe (negated literal with unbound variable): " +
-            FormatRule(u, r));
-      }
-    }
-    plan.steps.push_back(
-        {l.is_predicate() ? Step::Kind::kNegPred : Step::Kind::kNegEq, i,
-         false});
-  }
-
-  // Head variables must be bound.
-  std::vector<VarId> head_vars;
-  for (const PathExpr& e : r.head.args) CollectVars(e, &head_vars);
-  for (VarId v : head_vars) {
-    if (!bound.count(v)) {
-      return Status::InvalidArgument(
-          "rule is not safe (head variable unbound): " + FormatRule(u, r));
-    }
-  }
-  return plan;
+CompileOptions ToCompileOptions(const EvalOptions& opts) {
+  CompileOptions c;
+  c.validate = opts.validate;
+  c.reorder_scans = opts.reorder_scans;
+  return c;
 }
 
-class Evaluator {
- public:
-  Evaluator(Universe& u, const EvalOptions& opts, EvalStats* stats)
-      : u_(u), opts_(opts), stats_(stats) {}
-
-  Result<Instance> Run(const Program& p, const Instance& input) {
-    if (opts_.validate) {
-      SEQDL_RETURN_IF_ERROR(ValidateProgram(u_, p));
-    }
-    instance_ = input;
-    for (const Stratum& s : p.strata) {
-      SEQDL_RETURN_IF_ERROR(EvalStratum(s));
-    }
-    return std::move(instance_);
-  }
-
- private:
-  Status EvalStratum(const Stratum& s) {
-    std::set<RelId> stratum_idb;
-    for (const Rule& r : s.rules) stratum_idb.insert(r.head.rel);
-
-    std::vector<PlannedRule> plans;
-    for (const Rule& r : s.rules) {
-      SEQDL_ASSIGN_OR_RETURN(PlannedRule plan,
-                             PlanRule(u_, r, opts_.reorder_scans));
-      for (size_t i = 0; i < plan.steps.size(); ++i) {
-        const Step& st = plan.steps[i];
-        if (st.kind == Step::Kind::kScan &&
-            stratum_idb.count(r.body[st.lit_idx].pred.rel)) {
-          plan.recursive_scan_steps.push_back(i);
-        }
-      }
-      plans.push_back(std::move(plan));
-    }
-
-    if (!opts_.seminaive) return EvalStratumNaive(plans);
-
-    // Round 0: all rules, full scans.
-    std::map<RelId, TupleSet> delta;
-    pending_.clear();
-    for (PlannedRule& plan : plans) {
-      SEQDL_RETURN_IF_ERROR(ApplyRule(plan, nullptr));
-    }
-    SEQDL_RETURN_IF_ERROR(MergePending(&delta));
-
-    // Delta rounds.
-    while (!delta.empty()) {
-      SEQDL_RETURN_IF_ERROR(BumpRound());
-      pending_.clear();
-      for (PlannedRule& plan : plans) {
-        for (size_t step_idx : plan.recursive_scan_steps) {
-          // Evaluate with this occurrence restricted to the delta.
-          plan.steps[step_idx].use_delta = true;
-          SEQDL_RETURN_IF_ERROR(ApplyRule(plan, &delta));
-          plan.steps[step_idx].use_delta = false;
-        }
-      }
-      std::map<RelId, TupleSet> new_delta;
-      SEQDL_RETURN_IF_ERROR(MergePending(&new_delta));
-      delta = std::move(new_delta);
-    }
-    return Status::OK();
-  }
-
-  Status EvalStratumNaive(std::vector<PlannedRule>& plans) {
-    while (true) {
-      SEQDL_RETURN_IF_ERROR(BumpRound());
-      pending_.clear();
-      for (PlannedRule& plan : plans) {
-        SEQDL_RETURN_IF_ERROR(ApplyRule(plan, nullptr));
-      }
-      std::map<RelId, TupleSet> new_facts;
-      SEQDL_RETURN_IF_ERROR(MergePending(&new_facts));
-      if (new_facts.empty()) return Status::OK();
-    }
-  }
-
-  Status BumpRound() {
-    if (stats_) ++stats_->rounds;
-    if (++rounds_ > opts_.max_iterations) {
-      return Status::ResourceExhausted(
-          "evaluation exceeded max_iterations = " +
-          std::to_string(opts_.max_iterations) +
-          " (the program may not terminate)");
-    }
-    return Status::OK();
-  }
-
-  // Runs one rule; derived facts go to pending_.
-  Status ApplyRule(const PlannedRule& plan,
-                   const std::map<RelId, TupleSet>* delta) {
-    Valuation v;
-    status_ = Status::OK();
-    ExecuteStep(plan, 0, v, delta);
-    return status_;
-  }
-
-  // Returns false to abort enumeration (on error).
-  bool ExecuteStep(const PlannedRule& plan, size_t step_idx, Valuation& v,
-                   const std::map<RelId, TupleSet>* delta) {
-    if (!status_.ok()) return false;
-    if (step_idx == plan.steps.size()) return DeriveHead(plan, v);
-
-    const Step& step = plan.steps[step_idx];
-    const Literal& lit = plan.rule->body[step.lit_idx];
-    auto next = [&](Valuation& v2) {
-      return ExecuteStep(plan, step_idx + 1, v2, delta);
-    };
-
-    switch (step.kind) {
-      case Step::Kind::kScan: {
-        const TupleSet* tuples;
-        if (step.use_delta) {
-          assert(delta != nullptr);
-          auto it = delta->find(lit.pred.rel);
-          if (it == delta->end()) return true;
-          tuples = &it->second;
-        } else {
-          tuples = &instance_.Tuples(lit.pred.rel);
-        }
-        for (const Tuple& t : *tuples) {
-          if (!MatchArgs(u_, lit.pred.args, t, v, next)) return false;
-        }
-        return true;
-      }
-      case Step::Kind::kEq: {
-        bool lhs_bound = AllVarsBound(lit.lhs, v);
-        bool rhs_bound = AllVarsBound(lit.rhs, v);
-        if (lhs_bound && rhs_bound) {
-          PathId a, b;
-          if (!EvalTo(lit.lhs, v, &a) || !EvalTo(lit.rhs, v, &b)) return false;
-          if (a != b) return true;
-          return next(v);
-        }
-        if (lhs_bound) {
-          PathId a;
-          if (!EvalTo(lit.lhs, v, &a)) return false;
-          return MatchExpr(u_, lit.rhs, a, v, next);
-        }
-        if (rhs_bound) {
-          PathId b;
-          if (!EvalTo(lit.rhs, v, &b)) return false;
-          return MatchExpr(u_, lit.lhs, b, v, next);
-        }
-        status_ = Status::Internal("equation scheduled before being ground");
-        return false;
-      }
-      case Step::Kind::kNegPred: {
-        Tuple t;
-        t.reserve(lit.pred.args.size());
-        for (const PathExpr& e : lit.pred.args) {
-          PathId p;
-          if (!EvalTo(e, v, &p)) return false;
-          t.push_back(p);
-        }
-        // The negated relation is complete here (stratified negation): it is
-        // either EDB or defined in an earlier stratum, so the instance holds
-        // all of its facts.
-        if (instance_.Contains(lit.pred.rel, t)) return true;
-        return next(v);
-      }
-      case Step::Kind::kNegEq: {
-        PathId a, b;
-        if (!EvalTo(lit.lhs, v, &a) || !EvalTo(lit.rhs, v, &b)) return false;
-        if (a == b) return true;
-        return next(v);
-      }
-    }
-    return true;
-  }
-
-  bool EvalTo(const PathExpr& e, const Valuation& v, PathId* out) {
-    Result<PathId> r = EvalExpr(u_, e, v);
-    if (!r.ok()) {
-      status_ = r.status();
-      return false;
-    }
-    *out = *r;
-    return true;
-  }
-
-  bool DeriveHead(const PlannedRule& plan, const Valuation& v) {
-    if (stats_) ++stats_->rule_firings;
-    Tuple t;
-    t.reserve(plan.rule->head.args.size());
-    for (const PathExpr& e : plan.rule->head.args) {
-      PathId p;
-      if (!EvalTo(e, v, &p)) return false;
-      if (u_.PathLength(p) > opts_.max_path_length) {
-        status_ = Status::ResourceExhausted(
-            "derived path longer than max_path_length = " +
-            std::to_string(opts_.max_path_length) +
-            " (the program may not terminate)");
-        return false;
-      }
-      t.push_back(p);
-    }
-    RelId rel = plan.rule->head.rel;
-    if (instance_.Contains(rel, t)) return true;
-    if (pending_[rel].insert(std::move(t)).second) {
-      ++derived_;
-      if (stats_) ++stats_->derived_facts;
-      if (derived_ > opts_.max_facts) {
-        status_ = Status::ResourceExhausted(
-            "evaluation derived more than max_facts = " +
-            std::to_string(opts_.max_facts) +
-            " facts (the program may not terminate)");
-        return false;
-      }
-    }
-    return true;
-  }
-
-  // Moves pending facts into the instance; facts that were genuinely new
-  // are reported in `*fresh`.
-  Status MergePending(std::map<RelId, TupleSet>* fresh) {
-    fresh->clear();
-    for (auto& [rel, tuples] : pending_) {
-      for (const Tuple& t : tuples) {
-        if (instance_.Add(rel, t)) (*fresh)[rel].insert(t);
-      }
-    }
-    pending_.clear();
-    return Status::OK();
-  }
-
-  Universe& u_;
-  EvalOptions opts_;
-  EvalStats* stats_;
-  Instance instance_;
-  std::map<RelId, TupleSet> pending_;
-  Status status_;
-  size_t rounds_ = 0;
-  size_t derived_ = 0;
-};
+RunOptions ToRunOptions(const EvalOptions& opts) {
+  RunOptions r;
+  r.max_facts = opts.max_facts;
+  r.max_iterations = opts.max_iterations;
+  r.max_path_length = opts.max_path_length;
+  r.seminaive = opts.seminaive;
+  r.use_index = opts.use_index;
+  return r;
+}
 
 }  // namespace
 
 Result<Instance> Eval(Universe& u, const Program& p, const Instance& input,
                       const EvalOptions& opts, EvalStats* stats) {
-  Evaluator e(u, opts, stats);
-  return e.Run(p, input);
+  SEQDL_ASSIGN_OR_RETURN(
+      PreparedProgram prog,
+      Engine::CompileBorrowed(u, p, ToCompileOptions(opts)));
+  return prog.Run(input, ToRunOptions(opts), stats);
 }
 
 Result<Instance> EvalQuery(Universe& u, const Program& p,

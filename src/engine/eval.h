@@ -1,22 +1,25 @@
-// Stratified evaluation of Sequence Datalog programs (paper §2.3).
+// Legacy one-shot evaluation entry points.
 //
-// Strata are applied in sequence; each stratum is evaluated to its least
-// fixpoint with semi-naive iteration (naive iteration is available for the
-// ablation benchmark). Since Sequence Datalog programs need not terminate
-// (Example 2.3), evaluation enforces budgets and reports
-// kResourceExhausted when they are exceeded.
+// Eval()/EvalQuery() validate, plan, and execute in a single call. They
+// are thin wrappers over the compile-once/run-many API in engine.h
+// (Engine::Compile + PreparedProgram::Run); prefer that API whenever a
+// program is evaluated against more than one instance, since it pays the
+// validation/stratification/planning cost exactly once.
 #ifndef SEQDL_ENGINE_EVAL_H_
 #define SEQDL_ENGINE_EVAL_H_
 
 #include <cstddef>
 
 #include "src/base/status.h"
+#include "src/engine/engine.h"
 #include "src/engine/instance.h"
 #include "src/syntax/ast.h"
 #include "src/term/universe.h"
 
 namespace seqdl {
 
+/// One-shot evaluation options: the union of CompileOptions and
+/// RunOptions (see engine.h).
 struct EvalOptions {
   /// Maximum number of derived facts before giving up.
   size_t max_facts = 5'000'000;
@@ -31,15 +34,12 @@ struct EvalOptions {
   bool reorder_scans = true;
   /// Validate safety/stratification before evaluating.
   bool validate = true;
-};
-
-struct EvalStats {
-  size_t derived_facts = 0;
-  size_t rounds = 0;
-  size_t rule_firings = 0;
+  /// Probe column indexes for scans with a ground key position.
+  bool use_index = true;
 };
 
 /// Evaluates `p` on `input`; returns input plus all derived IDB facts.
+/// Compiles the program on every call; see engine.h to compile once.
 Result<Instance> Eval(Universe& u, const Program& p, const Instance& input,
                       const EvalOptions& opts = {},
                       EvalStats* stats = nullptr);

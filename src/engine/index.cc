@@ -1,0 +1,72 @@
+#include "src/engine/index.h"
+
+#include <cassert>
+#include <span>
+
+namespace seqdl {
+
+namespace {
+
+const std::vector<const Tuple*>& EmptyBucket() {
+  static const std::vector<const Tuple*> kEmpty;
+  return kEmpty;
+}
+
+}  // namespace
+
+bool IndexedInstance::Add(RelId rel, Tuple t) {
+  auto [stored, is_new] = base_.Insert(rel, std::move(t));
+  if (!is_new) return false;
+  // Update every built index of this relation.
+  for (auto it = indexes_.lower_bound({rel, 0});
+       it != indexes_.end() && it->first.first == rel; ++it) {
+    uint32_t col = it->first.second;
+    if (col < stored->size()) {
+      it->second.buckets[(*stored)[col]].push_back(stored);
+    }
+  }
+  for (auto it = first_indexes_.lower_bound({rel, 0});
+       it != first_indexes_.end() && it->first.first == rel; ++it) {
+    uint32_t col = it->first.second;
+    if (col < stored->size()) {
+      std::span<const Value> path = universe_->GetPath((*stored)[col]);
+      if (!path.empty()) {
+        it->second.buckets[path.front()].push_back(stored);
+      }
+    }
+  }
+  return true;
+}
+
+const std::vector<const Tuple*>& IndexedInstance::Probe(RelId rel,
+                                                        uint32_t col,
+                                                        PathId key) {
+  auto [it, built_now] = indexes_.try_emplace({rel, col});
+  if (built_now) {
+    for (const Tuple& t : base_.Tuples(rel)) {
+      if (col < t.size()) it->second.buckets[t[col]].push_back(&t);
+    }
+  }
+  auto bucket = it->second.buckets.find(key);
+  if (bucket == it->second.buckets.end()) return EmptyBucket();
+  return bucket->second;
+}
+
+const std::vector<const Tuple*>& IndexedInstance::ProbeFirst(RelId rel,
+                                                             uint32_t col,
+                                                             Value first) {
+  assert(universe_ != nullptr);
+  auto [it, built_now] = first_indexes_.try_emplace({rel, col});
+  if (built_now) {
+    for (const Tuple& t : base_.Tuples(rel)) {
+      if (col >= t.size()) continue;
+      std::span<const Value> path = universe_->GetPath(t[col]);
+      if (!path.empty()) it->second.buckets[path.front()].push_back(&t);
+    }
+  }
+  auto bucket = it->second.buckets.find(first);
+  if (bucket == it->second.buckets.end()) return EmptyBucket();
+  return bucket->second;
+}
+
+}  // namespace seqdl

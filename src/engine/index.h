@@ -1,0 +1,89 @@
+// Indexed relation storage for the evaluator.
+//
+// IndexedInstance wraps an Instance with two families of per-(relation,
+// column) hash indexes:
+//
+//   * whole-value indexes keyed on the column's PathId, probed when the
+//     planner proved an argument position fully ground under the current
+//     valuation (PlanStep::index_arg);
+//   * first-value indexes keyed on the first Value of the column's path,
+//     probed when only a leading prefix of the argument is ground
+//     (PlanStep::prefix_arg) — a matching tuple must start with the
+//     prefix's first value, so the bucket is a sound overapproximation
+//     that the usual MatchArgs pass then filters exactly.
+//
+// Either way a full relation scan becomes a bucket probe. Indexes are
+// built lazily on first probe of a (relation, column) pair and maintained
+// incrementally as facts are derived.
+//
+// Bucket entries are pointers into the underlying TupleSet; unordered_set
+// guarantees reference stability under insertion, so derivation never
+// invalidates them.
+#ifndef SEQDL_ENGINE_INDEX_H_
+#define SEQDL_ENGINE_INDEX_H_
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/engine/instance.h"
+#include "src/term/universe.h"
+
+namespace seqdl {
+
+class IndexedInstance {
+ public:
+  /// An empty store; usable only after move-assignment from a real one.
+  IndexedInstance() = default;
+  /// Wraps `base`. `u` resolves paths to their first value for the
+  /// first-value indexes and must outlive the store.
+  IndexedInstance(const Universe& u, Instance base)
+      : universe_(&u), base_(std::move(base)) {}
+
+  const Instance& instance() const { return base_; }
+  /// Releases the underlying instance (indexes become meaningless).
+  Instance&& TakeInstance() { return std::move(base_); }
+
+  /// Adds a fact, updating any built indexes of its relation. Returns true
+  /// if the fact was new.
+  bool Add(RelId rel, Tuple t);
+
+  bool Contains(RelId rel, const Tuple& t) const {
+    return base_.Contains(rel, t);
+  }
+  const TupleSet& Tuples(RelId rel) const { return base_.Tuples(rel); }
+
+  /// The tuples of `rel` whose `col`-th component is `key`. Builds the
+  /// (rel, col) whole-value index on first use.
+  const std::vector<const Tuple*>& Probe(RelId rel, uint32_t col, PathId key);
+
+  /// The tuples of `rel` whose `col`-th component is a non-empty path
+  /// starting with `first`. Builds the (rel, col) first-value index on
+  /// first use.
+  const std::vector<const Tuple*>& ProbeFirst(RelId rel, uint32_t col,
+                                              Value first);
+
+  /// Number of distinct (relation, column) indexes built so far.
+  size_t NumIndexes() const {
+    return indexes_.size() + first_indexes_.size();
+  }
+
+ private:
+  struct ColumnIndex {
+    std::unordered_map<PathId, std::vector<const Tuple*>> buckets;
+  };
+  struct FirstValueIndex {
+    std::unordered_map<Value, std::vector<const Tuple*>> buckets;
+  };
+
+  const Universe* universe_ = nullptr;
+  Instance base_;
+  std::map<std::pair<RelId, uint32_t>, ColumnIndex> indexes_;
+  std::map<std::pair<RelId, uint32_t>, FirstValueIndex> first_indexes_;
+};
+
+}  // namespace seqdl
+
+#endif  // SEQDL_ENGINE_INDEX_H_

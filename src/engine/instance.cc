@@ -8,8 +8,18 @@
 
 namespace seqdl {
 
+const TupleSet& EmptyTupleSet() {
+  static const TupleSet kEmpty;
+  return kEmpty;
+}
+
 bool Instance::Add(RelId rel, Tuple t) {
   return relations_[rel].insert(std::move(t)).second;
+}
+
+std::pair<const Tuple*, bool> Instance::Insert(RelId rel, Tuple t) {
+  auto [it, is_new] = relations_[rel].insert(std::move(t));
+  return {&*it, is_new};
 }
 
 bool Instance::Contains(RelId rel, const Tuple& t) const {
@@ -18,9 +28,8 @@ bool Instance::Contains(RelId rel, const Tuple& t) const {
 }
 
 const TupleSet& Instance::Tuples(RelId rel) const {
-  static const TupleSet kEmpty;
   auto it = relations_.find(rel);
-  return it != relations_.end() ? it->second : kEmpty;
+  return it != relations_.end() ? it->second : EmptyTupleSet();
 }
 
 std::vector<RelId> Instance::Relations() const {
@@ -44,6 +53,23 @@ size_t Instance::UnionWith(const Instance& other) {
       if (relations_[rel].insert(t).second) ++added;
     }
   }
+  return added;
+}
+
+size_t Instance::UnionWith(Instance&& other) {
+  size_t added = 0;
+  for (auto& [rel, tuples] : other.relations_) {
+    TupleSet& dst = relations_[rel];
+    if (dst.empty()) {
+      added += tuples.size();
+      dst = std::move(tuples);
+    } else {
+      size_t before = dst.size();
+      dst.merge(tuples);  // splices nodes; duplicates stay behind
+      added += dst.size() - before;
+    }
+  }
+  other.relations_.clear();
   return added;
 }
 

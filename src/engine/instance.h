@@ -7,6 +7,7 @@
 #include <map>
 #include <string>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "src/base/status.h"
@@ -29,15 +30,22 @@ struct TupleHash {
 
 using TupleSet = std::unordered_set<Tuple, TupleHash>;
 
+/// The shared empty tuple set returned for absent relations (never
+/// allocated per call; also used by the engine's indexed store).
+const TupleSet& EmptyTupleSet();
+
 /// A set of facts over interned relation names.
 class Instance {
  public:
   /// Adds a fact; returns true if it was new. The tuple size must equal the
   /// relation's arity (checked by assert).
   bool Add(RelId rel, Tuple t);
+  /// Adds a fact; returns the stored tuple (stable address — TupleSet
+  /// never invalidates references on insert) and whether it was new.
+  std::pair<const Tuple*, bool> Insert(RelId rel, Tuple t);
   bool Contains(RelId rel, const Tuple& t) const;
 
-  /// The tuples of `rel` (empty set if absent).
+  /// The tuples of `rel` (the shared EmptyTupleSet() if absent).
   const TupleSet& Tuples(RelId rel) const;
   /// All relations with at least one fact.
   std::vector<RelId> Relations() const;
@@ -47,6 +55,9 @@ class Instance {
 
   /// Inserts all facts of `other`; returns number of new facts.
   size_t UnionWith(const Instance& other);
+  /// As above, but moves tuples out of `other` (node splicing, no tuple
+  /// copies); `other` is left empty.
+  size_t UnionWith(Instance&& other);
 
   /// Restriction of this instance to the given relations.
   Instance Project(const std::vector<RelId>& rels) const;

@@ -1,0 +1,165 @@
+#include "src/engine/plan.h"
+
+#include <set>
+
+#include "src/syntax/printer.h"
+
+namespace seqdl {
+
+namespace {
+
+bool ItemIsGround(const ExprItem& item, const std::set<VarId>& bound) {
+  switch (item.kind) {
+    case ExprItem::Kind::kConst:
+      return true;
+    case ExprItem::Kind::kAtomVar:
+    case ExprItem::Kind::kPathVar:
+      return bound.count(item.var) > 0;
+    case ExprItem::Kind::kPack: {
+      for (VarId v : VarSet(*item.pack)) {
+        if (!bound.count(v)) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+// Picks the index strategy for a scan of `pred` given the variables bound
+// before it runs: a fully ground argument position (whole-value probe), or
+// failing that, the argument with the longest non-empty leading run of
+// ground items (first-value probe on the evaluated prefix).
+void PickIndexArgs(const Predicate& pred, const std::set<VarId>& bound,
+                   PlanStep* step) {
+  size_t best_prefix_len = 0;
+  for (size_t i = 0; i < pred.args.size(); ++i) {
+    const PathExpr& arg = pred.args[i];
+    size_t ground_items = 0;
+    while (ground_items < arg.items.size() &&
+           ItemIsGround(arg.items[ground_items], bound)) {
+      ++ground_items;
+    }
+    if (ground_items == arg.items.size()) {
+      step->index_arg = static_cast<int>(i);
+      step->prefix_arg = -1;
+      step->prefix_expr = PathExpr();
+      return;
+    }
+    if (ground_items > best_prefix_len) {
+      best_prefix_len = ground_items;
+      step->prefix_arg = static_cast<int>(i);
+      step->prefix_expr = PathExpr(std::vector<ExprItem>(
+          arg.items.begin(),
+          arg.items.begin() + static_cast<ptrdiff_t>(ground_items)));
+    }
+  }
+}
+
+}  // namespace
+
+Result<RulePlan> PlanRule(const Universe& u, const Rule& r,
+                          bool reorder_scans) {
+  RulePlan plan;
+  plan.rule = &r;
+  std::set<VarId> bound;
+
+  // Positive predicate scans. With reordering, greedily pick the scan
+  // sharing the most variables with the already-bound set (a classic join
+  // ordering heuristic that turns cartesian products into keyed joins);
+  // without, keep body order.
+  std::vector<size_t> scans;
+  for (size_t i = 0; i < r.body.size(); ++i) {
+    const Literal& l = r.body[i];
+    if (l.is_predicate() && !l.negated) scans.push_back(i);
+  }
+  while (!scans.empty()) {
+    size_t pick = 0;
+    if (reorder_scans) {
+      int best_shared = -1;
+      for (size_t k = 0; k < scans.size(); ++k) {
+        std::vector<VarId> vars;
+        CollectVars(r.body[scans[k]], &vars);
+        int shared = 0;
+        for (VarId v : vars) shared += bound.count(v) ? 1 : 0;
+        if (shared > best_shared) {
+          best_shared = shared;
+          pick = k;
+        }
+      }
+    }
+    size_t lit = scans[pick];
+    scans.erase(scans.begin() + static_cast<ptrdiff_t>(pick));
+    PlanStep step;
+    step.kind = PlanStep::Kind::kScan;
+    step.lit_idx = lit;
+    PickIndexArgs(r.body[lit].pred, bound, &step);
+    plan.steps.push_back(std::move(step));
+    std::vector<VarId> vars;
+    CollectVars(r.body[lit], &vars);
+    bound.insert(vars.begin(), vars.end());
+  }
+
+  // Positive equations: schedule any whose one side is fully bound.
+  std::vector<size_t> pending;
+  for (size_t i = 0; i < r.body.size(); ++i) {
+    const Literal& l = r.body[i];
+    if (l.is_equation() && !l.negated) pending.push_back(i);
+  }
+  while (!pending.empty()) {
+    bool progressed = false;
+    for (size_t k = 0; k < pending.size(); ++k) {
+      const Literal& l = r.body[pending[k]];
+      std::set<VarId> lhs = VarSet(l.lhs), rhs = VarSet(l.rhs);
+      auto all_bound = [&bound](const std::set<VarId>& vs) {
+        for (VarId v : vs) {
+          if (!bound.count(v)) return false;
+        }
+        return true;
+      };
+      if (all_bound(lhs) || all_bound(rhs)) {
+        plan.steps.push_back({PlanStep::Kind::kEq, pending[k], -1});
+        bound.insert(lhs.begin(), lhs.end());
+        bound.insert(rhs.begin(), rhs.end());
+        pending.erase(pending.begin() + static_cast<ptrdiff_t>(k));
+        progressed = true;
+        break;
+      }
+    }
+    if (!progressed) {
+      return Status::InvalidArgument("rule is not safe (equations cannot be "
+                                     "ordered): " +
+                                     FormatRule(u, r));
+    }
+  }
+
+  // Negated literals last; all their variables must be bound.
+  for (size_t i = 0; i < r.body.size(); ++i) {
+    const Literal& l = r.body[i];
+    if (!l.negated) continue;
+    std::vector<VarId> vars;
+    CollectVars(l, &vars);
+    for (VarId v : vars) {
+      if (!bound.count(v)) {
+        return Status::InvalidArgument(
+            "rule is not safe (negated literal with unbound variable): " +
+            FormatRule(u, r));
+      }
+    }
+    plan.steps.push_back(
+        {l.is_predicate() ? PlanStep::Kind::kNegPred : PlanStep::Kind::kNegEq,
+         i, -1});
+  }
+
+  // Head variables must be bound.
+  std::vector<VarId> head_vars;
+  for (const PathExpr& e : r.head.args) CollectVars(e, &head_vars);
+  for (VarId v : head_vars) {
+    if (!bound.count(v)) {
+      return Status::InvalidArgument(
+          "rule is not safe (head variable unbound): " + FormatRule(u, r));
+    }
+  }
+  return plan;
+}
+
+}  // namespace seqdl

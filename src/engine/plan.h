@@ -1,0 +1,66 @@
+// Rule planning: turning a rule body into an executable step sequence.
+//
+// A plan schedules the positive predicate scans first (optionally greedily
+// reordered so each scan joins on already-bound variables), then the
+// positive equations in a safety-respecting order, then the negated
+// literals (whose variables are all bound by that point). Planning also
+// precomputes, per scan, which argument position is ground under every
+// valuation reaching that step — the executor uses that position as a hash
+// index key instead of scanning the whole relation (see index.h).
+//
+// Planning happens once per rule at Engine::Compile time; plans are
+// immutable afterwards and shared by every PreparedProgram::Run.
+#ifndef SEQDL_ENGINE_PLAN_H_
+#define SEQDL_ENGINE_PLAN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/syntax/ast.h"
+#include "src/term/universe.h"
+
+namespace seqdl {
+
+/// One scheduled step of a rule body.
+struct PlanStep {
+  enum class Kind : uint8_t { kScan, kEq, kNegPred, kNegEq };
+
+  Kind kind = Kind::kScan;
+  /// Index of the literal in the rule body this step executes.
+  size_t lit_idx = 0;
+  /// kScan only: argument position whose variables are all bound before
+  /// this step runs, so the argument evaluates to a ground path usable as
+  /// a whole-value index key. -1 when no position is fully ground.
+  int index_arg = -1;
+  /// kScan only, used when index_arg is -1: argument position with a
+  /// non-empty leading run of ground items. At runtime the prefix
+  /// evaluates to a ground path; if non-empty, its first value keys a
+  /// first-value index probe (a matching tuple must start with it). -1
+  /// when no argument has a ground prefix (full relation scan).
+  int prefix_arg = -1;
+  /// The ground leading items of args[prefix_arg], precomputed so the
+  /// executor evaluates them without rebuilding the expression.
+  PathExpr prefix_expr;
+};
+
+/// A rule with a precomputed evaluation order.
+struct RulePlan {
+  /// The planned rule. Not owned; points into the Program held by the
+  /// PreparedProgram (or whatever outlives the plan).
+  const Rule* rule = nullptr;
+  std::vector<PlanStep> steps;
+  /// Indices into `steps` of scans over same-stratum IDB relations,
+  /// filled in by the compiler (PlanRule leaves it empty).
+  std::vector<size_t> recursive_scan_steps;
+};
+
+/// Plans a single rule. Fails with kInvalidArgument if the rule is unsafe
+/// (equations cannot be ordered, a negated literal or the head would see
+/// an unbound variable).
+Result<RulePlan> PlanRule(const Universe& u, const Rule& r,
+                          bool reorder_scans);
+
+}  // namespace seqdl
+
+#endif  // SEQDL_ENGINE_PLAN_H_

@@ -1,0 +1,389 @@
+// Tests for the compile-once/run-many engine API (engine.h): equivalence
+// with the legacy one-shot Eval across the workload generators, index
+// ablations, stats reporting, cancellation, and the indexed instance
+// store itself.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/engine/engine.h"
+#include "src/engine/eval.h"
+#include "src/engine/index.h"
+#include "src/engine/instance.h"
+#include "src/queries/queries.h"
+#include "src/syntax/parser.h"
+#include "src/term/universe.h"
+#include "src/workload/generators.h"
+
+namespace seqdl {
+namespace {
+
+Program MustParse(Universe& u, const std::string& text) {
+  Result<Program> p = ParseProgram(u, text);
+  EXPECT_TRUE(p.ok()) << p.status().ToString() << "\n" << text;
+  return std::move(p).value();
+}
+
+Instance MustInstance(Universe& u, const std::string& text) {
+  Result<Instance> i = ParseInstance(u, text);
+  EXPECT_TRUE(i.ok()) << i.status().ToString();
+  return std::move(i).value();
+}
+
+// --- Compile-once/run-many ----------------------------------------------------
+
+TEST(EngineTest, CompileOnceRunMany) {
+  Universe u;
+  Program p = MustParse(u, "S($x) <- R($x), a ++ $x = $x ++ a.");
+  Result<PreparedProgram> prog = Engine::Compile(u, std::move(p));
+  ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+  RelId s = *u.FindRel("S");
+
+  Instance in1 = MustInstance(u, "R(a ++ a). R(a ++ b).");
+  Result<Instance> out1 = prog->Run(in1);
+  ASSERT_TRUE(out1.ok());
+  EXPECT_EQ(out1->Tuples(s).size(), 1u);
+  EXPECT_TRUE(out1->Contains(s, {u.PathOfChars("aa")}));
+
+  Instance in2 = MustInstance(u, "R(eps). R(b).");
+  Result<Instance> out2 = prog->Run(in2);
+  ASSERT_TRUE(out2.ok());
+  EXPECT_EQ(out2->Tuples(s).size(), 1u);
+  EXPECT_TRUE(out2->Contains(s, {kEmptyPath}));
+
+  // Runs are independent: the second run saw nothing of the first.
+  EXPECT_FALSE(out2->Contains(s, {u.PathOfChars("aa")}));
+
+  // And re-running the first input reproduces the first output.
+  Result<Instance> out3 = prog->Run(in1);
+  ASSERT_TRUE(out3.ok());
+  EXPECT_EQ(*out1, *out3);
+}
+
+TEST(EngineTest, RunQueryProjects) {
+  Universe u;
+  Program p = MustParse(u, "T($x) <- R($x). S($x) <- T($x).");
+  Result<PreparedProgram> prog = Engine::Compile(u, std::move(p));
+  ASSERT_TRUE(prog.ok());
+  Instance in = MustInstance(u, "R(a).");
+  RelId s = *u.FindRel("S");
+  Result<Instance> out = prog->RunQuery(in, s);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->NumFacts(), 1u);
+  EXPECT_TRUE(out->Contains(s, {u.PathOfChars("a")}));
+}
+
+TEST(EngineTest, CompileRejectsUnsafeRule) {
+  Universe u;
+  Program p = MustParse(u, "S($x, $y) <- R($x).");
+  Result<PreparedProgram> prog = Engine::Compile(u, std::move(p));
+  ASSERT_FALSE(prog.ok());
+  EXPECT_EQ(prog.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EngineTest, CompileRejectsUnstratifiedNegation) {
+  Universe u;
+  Program p = MustParse(u, "P0($x) <- R($x), !Q0($x). Q0($x) <- P0($x).");
+  Result<PreparedProgram> prog = Engine::Compile(u, std::move(p));
+  ASSERT_FALSE(prog.ok());
+  EXPECT_EQ(prog.status().code(), StatusCode::kInvalidArgument);
+}
+
+// --- Property: PreparedProgram::Run == legacy Eval on generator workloads -----
+
+struct WorkloadCase {
+  std::string name;
+  std::string query_id;  // paper corpus id
+  // Builds the input instance into `u`.
+  std::function<Result<Instance>(Universe& u, uint64_t seed)> make_input;
+};
+
+std::vector<WorkloadCase> GeneratorWorkloads() {
+  std::vector<WorkloadCase> cases;
+  cases.push_back(
+      {"reachability/graphs", "reach_ab",
+       [](Universe& u, uint64_t seed) {
+         GraphWorkload gw;
+         gw.nodes = 9;
+         gw.edges = 16;
+         gw.seed = seed;
+         return GraphToInstance(u, RandomGraph(gw), "R");
+       }});
+  cases.push_back(
+      {"process-mining/event-logs", "process_mining",
+       [](Universe& u, uint64_t seed) {
+         EventLogWorkload ew;
+         ew.count = 12;
+         ew.len = 8;
+         ew.seed = seed;
+         return RandomEventLogs(u, ew);
+       }});
+  cases.push_back(
+      {"nfa-acceptance/strings", "ex21_nfa",
+       [](Universe& u, uint64_t seed) {
+         NfaWorkload nw;
+         nw.num_states = 4;
+         nw.alphabet = 2;
+         nw.seed = seed;
+         Result<Instance> in = NfaToInstance(u, RandomNfa(nw));
+         if (!in.ok()) return in;
+         StringWorkload sw;
+         sw.count = 8;
+         sw.max_len = 5;
+         sw.seed = seed + 100;
+         Result<Instance> strings = RandomStrings(u, sw);
+         if (!strings.ok()) return strings;
+         in->UnionWith(std::move(*strings));
+         return in;
+       }});
+  return cases;
+}
+
+TEST(EnginePropertyTest, PreparedRunMatchesLegacyEvalOnWorkloads) {
+  for (const WorkloadCase& wc : GeneratorWorkloads()) {
+    for (uint64_t seed = 1; seed <= 4; ++seed) {
+      for (bool seminaive : {true, false}) {
+        Universe u;
+        Result<ParsedQuery> q = ParsePaperQuery(u, wc.query_id);
+        ASSERT_TRUE(q.ok()) << wc.name;
+        Result<Instance> in = wc.make_input(u, seed);
+        ASSERT_TRUE(in.ok()) << wc.name << " seed " << seed;
+
+        EvalOptions legacy_opts;
+        legacy_opts.seminaive = seminaive;
+        legacy_opts.use_index = false;  // the seed engine's scan path
+        Result<Instance> legacy = Eval(u, q->program, *in, legacy_opts);
+        ASSERT_TRUE(legacy.ok())
+            << wc.name << ": " << legacy.status().ToString();
+
+        Result<PreparedProgram> prog = Engine::Compile(u, q->program);
+        ASSERT_TRUE(prog.ok()) << wc.name;
+        RunOptions run_opts;
+        run_opts.seminaive = seminaive;
+        Result<Instance> prepared = prog->Run(*in, run_opts);
+        ASSERT_TRUE(prepared.ok())
+            << wc.name << ": " << prepared.status().ToString();
+
+        EXPECT_EQ(*legacy, *prepared)
+            << wc.name << " seed " << seed << " seminaive " << seminaive;
+      }
+    }
+  }
+}
+
+TEST(EnginePropertyTest, IndexOnAndOffAgree) {
+  for (const WorkloadCase& wc : GeneratorWorkloads()) {
+    for (uint64_t seed = 1; seed <= 3; ++seed) {
+      Universe u;
+      Result<ParsedQuery> q = ParsePaperQuery(u, wc.query_id);
+      ASSERT_TRUE(q.ok()) << wc.name;
+      Result<Instance> in = wc.make_input(u, seed);
+      ASSERT_TRUE(in.ok());
+      Result<PreparedProgram> prog = Engine::Compile(u, q->program);
+      ASSERT_TRUE(prog.ok());
+      RunOptions with, without;
+      without.use_index = false;
+      Result<Instance> o1 = prog->Run(*in, with);
+      Result<Instance> o2 = prog->Run(*in, without);
+      ASSERT_TRUE(o1.ok()) << wc.name;
+      ASSERT_TRUE(o2.ok()) << wc.name;
+      EXPECT_EQ(*o1, *o2) << wc.name << " seed " << seed;
+    }
+  }
+}
+
+// --- Stats --------------------------------------------------------------------
+
+TEST(EngineTest, StatsReportPerStratumAndScanCounters) {
+  Universe u;
+  Result<ParsedQuery> q = ParsePaperQuery(u, "process_mining");
+  ASSERT_TRUE(q.ok());
+  EventLogWorkload ew;
+  ew.count = 10;
+  ew.len = 8;
+  ew.seed = 2;
+  Result<Instance> in = RandomEventLogs(u, ew);
+  ASSERT_TRUE(in.ok());
+  Result<PreparedProgram> prog = Engine::Compile(u, q->program);
+  ASSERT_TRUE(prog.ok());
+
+  EvalStats stats;
+  Result<Instance> out = prog->Run(*in, {}, &stats);
+  ASSERT_TRUE(out.ok());
+
+  EXPECT_EQ(stats.per_stratum.size(), prog->program().strata.size());
+  size_t stratum_firings = 0, stratum_facts = 0;
+  for (const StratumStats& s : stats.per_stratum) {
+    stratum_firings += s.rule_firings;
+    stratum_facts += s.derived_facts;
+  }
+  EXPECT_EQ(stratum_firings, stats.rule_firings);
+  EXPECT_EQ(stratum_facts, stats.derived_facts);
+  EXPECT_GT(stats.rule_firings, 0u);
+  EXPECT_GT(stats.index_probes + stats.prefix_probes + stats.full_scans, 0u);
+  EXPECT_GE(stats.compile_seconds, 0.0);
+  EXPECT_GE(stats.run_seconds, 0.0);
+  EXPECT_EQ(stats.compile_seconds, prog->compile_seconds());
+
+  // With indexes disabled no probes are counted.
+  EvalStats noidx;
+  RunOptions without;
+  without.use_index = false;
+  ASSERT_TRUE(prog->Run(*in, without, &noidx).ok());
+  EXPECT_EQ(noidx.index_probes, 0u);
+  EXPECT_EQ(noidx.prefix_probes, 0u);
+  EXPECT_GT(noidx.full_scans, 0u);
+}
+
+TEST(EngineTest, IndexProbesFireOnJoinWorkload) {
+  // Reachability joins R on a bound first atom: the prefix index must
+  // answer those scans.
+  Universe u;
+  Result<ParsedQuery> q = ParsePaperQuery(u, "reach_ab");
+  ASSERT_TRUE(q.ok());
+  GraphWorkload gw;
+  gw.nodes = 16;
+  gw.edges = 32;
+  gw.seed = 5;
+  Result<Instance> in = GraphToInstance(u, RandomGraph(gw), "R");
+  ASSERT_TRUE(in.ok());
+  Result<PreparedProgram> prog = Engine::Compile(u, q->program);
+  ASSERT_TRUE(prog.ok());
+  EvalStats stats;
+  ASSERT_TRUE(prog->Run(*in, {}, &stats).ok());
+  EXPECT_GT(stats.prefix_probes, 0u);
+}
+
+TEST(EngineTest, StatsResetBetweenRuns) {
+  Universe u;
+  Program p = MustParse(u, "S($x) <- R($x).");
+  Result<PreparedProgram> prog = Engine::Compile(u, std::move(p));
+  ASSERT_TRUE(prog.ok());
+  Instance in = MustInstance(u, "R(a). R(b).");
+  EvalStats stats;
+  ASSERT_TRUE(prog->Run(in, {}, &stats).ok());
+  size_t first = stats.derived_facts;
+  ASSERT_TRUE(prog->Run(in, {}, &stats).ok());
+  EXPECT_EQ(stats.derived_facts, first);  // reset, not accumulated
+}
+
+// --- Cancellation -------------------------------------------------------------
+
+TEST(EngineTest, CancellationStopsRun) {
+  Universe u;
+  // Example 2.3: deliberately nonterminating.
+  Program p = MustParse(u, "T(a). T(a ++ $x) <- T($x).");
+  Result<PreparedProgram> prog = Engine::Compile(u, std::move(p));
+  ASSERT_TRUE(prog.ok());
+  RunOptions opts;
+  size_t polls = 0;
+  opts.cancel = [&polls]() { return ++polls > 3; };
+  Result<Instance> out = prog->Run(Instance{}, opts);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kCancelled);
+  EXPECT_GT(polls, 3u);
+}
+
+TEST(EngineTest, CancelNeverFiringLeavesRunUntouched) {
+  Universe u;
+  Program p = MustParse(u, "S($x) <- R($x).");
+  Result<PreparedProgram> prog = Engine::Compile(u, std::move(p));
+  ASSERT_TRUE(prog.ok());
+  RunOptions opts;
+  opts.cancel = []() { return false; };
+  Instance in = MustInstance(u, "R(a).");
+  Result<Instance> out = prog->Run(in, opts);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->Contains(*u.FindRel("S"), {u.PathOfChars("a")}));
+}
+
+// --- Budgets through the new API ----------------------------------------------
+
+TEST(EngineTest, BudgetsEnforcedPerRun) {
+  Universe u;
+  Program p = MustParse(u, "T(a). T(a ++ $x) <- T($x).");
+  Result<PreparedProgram> prog = Engine::Compile(u, std::move(p));
+  ASSERT_TRUE(prog.ok());
+  RunOptions tight;
+  tight.max_facts = 100;
+  Result<Instance> out = prog->Run(Instance{}, tight);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kResourceExhausted);
+
+  RunOptions tight_rounds;
+  tight_rounds.max_iterations = 10;
+  out = prog->Run(Instance{}, tight_rounds);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kResourceExhausted);
+}
+
+// --- IndexedInstance ----------------------------------------------------------
+
+TEST(IndexedInstanceTest, ProbeAgreesWithScan) {
+  Universe u;
+  RelId r = *u.InternRel("R", 2);
+  Instance base;
+  base.Add(r, {u.PathOfChars("a"), u.PathOfChars("x")});
+  base.Add(r, {u.PathOfChars("a"), u.PathOfChars("y")});
+  base.Add(r, {u.PathOfChars("b"), u.PathOfChars("z")});
+  IndexedInstance store(u, base);
+
+  EXPECT_EQ(store.Probe(r, 0, u.PathOfChars("a")).size(), 2u);
+  EXPECT_EQ(store.Probe(r, 0, u.PathOfChars("b")).size(), 1u);
+  EXPECT_EQ(store.Probe(r, 0, u.PathOfChars("c")).size(), 0u);
+  EXPECT_EQ(store.Probe(r, 1, u.PathOfChars("z")).size(), 1u);
+
+  // Incremental maintenance: new facts land in already-built indexes.
+  EXPECT_TRUE(store.Add(r, {u.PathOfChars("a"), u.PathOfChars("w")}));
+  EXPECT_EQ(store.Probe(r, 0, u.PathOfChars("a")).size(), 3u);
+  // Duplicates are ignored.
+  EXPECT_FALSE(store.Add(r, {u.PathOfChars("a"), u.PathOfChars("w")}));
+  EXPECT_EQ(store.Probe(r, 0, u.PathOfChars("a")).size(), 3u);
+}
+
+TEST(IndexedInstanceTest, ProbeFirstBucketsByLeadingValue) {
+  Universe u;
+  RelId r = *u.InternRel("R", 1);
+  Instance base;
+  base.Add(r, {u.PathOfChars("ab")});
+  base.Add(r, {u.PathOfChars("ac")});
+  base.Add(r, {u.PathOfChars("ba")});
+  base.Add(r, {kEmptyPath});  // empty path: in no first-value bucket
+  IndexedInstance store(u, base);
+
+  Value a = Value::Atom(u.InternAtom("a"));
+  Value b = Value::Atom(u.InternAtom("b"));
+  Value c = Value::Atom(u.InternAtom("c"));
+  EXPECT_EQ(store.ProbeFirst(r, 0, a).size(), 2u);
+  EXPECT_EQ(store.ProbeFirst(r, 0, b).size(), 1u);
+  EXPECT_EQ(store.ProbeFirst(r, 0, c).size(), 0u);
+
+  EXPECT_TRUE(store.Add(r, {u.PathOfChars("ad")}));
+  EXPECT_EQ(store.ProbeFirst(r, 0, a).size(), 3u);
+}
+
+// --- Instance satellite: move union + shared empty set --------------------------
+
+TEST(InstanceTest, MoveUnionSplicesTuples) {
+  Universe u;
+  Instance a = MustInstance(u, "R(a). R(b).");
+  Instance b = MustInstance(u, "R(b). R(c). S(d).");
+  EXPECT_EQ(a.UnionWith(std::move(b)), 2u);  // R(c) and S(d) are new
+  EXPECT_EQ(a.NumFacts(), 4u);
+  EXPECT_TRUE(a.Contains(*u.FindRel("S"), {u.PathOfChars("d")}));
+  EXPECT_TRUE(b.Empty());  // NOLINT(bugprone-use-after-move): documented
+}
+
+TEST(InstanceTest, AbsentRelationsShareTheEmptySet) {
+  Universe u;
+  Instance i;
+  RelId r = *u.InternRel("R", 1);
+  RelId s = *u.InternRel("S", 1);
+  EXPECT_EQ(&i.Tuples(r), &EmptyTupleSet());
+  EXPECT_EQ(&i.Tuples(r), &i.Tuples(s));
+}
+
+}  // namespace
+}  // namespace seqdl

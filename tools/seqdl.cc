@@ -1,8 +1,11 @@
 // seqdl — command line front end for the Sequence Datalog library.
 //
 //   seqdl run <program.sdl> <instance.sdl> [--output=REL] [--naive]
+//              [--no-index] [--stats]
 //       Evaluate a program on an instance and print the derived facts
-//       (all IDB relations, or just --output).
+//       (all IDB relations, or just --output). --stats reports the
+//       engine's extended counters (per-stratum rounds, index probes vs.
+//       full scans, compile/run wall times).
 //
 //   seqdl check <program.sdl>
 //       Validate safety/stratification, report the features used and the
@@ -36,7 +39,7 @@
 #include "src/algebra/from_datalog.h"
 #include "src/analysis/features.h"
 #include "src/analysis/safety.h"
-#include "src/engine/eval.h"
+#include "src/engine/engine.h"
 #include "src/engine/instance.h"
 #include "src/fragments/fragments.h"
 #include "src/queries/regex.h"
@@ -83,7 +86,7 @@ std::string FlagValue(const std::vector<std::string>& args,
 int CmdRun(const std::vector<std::string>& args) {
   if (args.size() < 2) {
     std::fprintf(stderr, "usage: seqdl run <program> <instance> "
-                         "[--output=REL] [--naive]\n");
+                         "[--output=REL] [--naive] [--no-index] [--stats]\n");
     return 2;
   }
   seqdl::Universe u;
@@ -96,10 +99,14 @@ int CmdRun(const std::vector<std::string>& args) {
   auto instance = seqdl::ParseInstance(u, *instance_text);
   if (!instance.ok()) return Fail(instance.status());
 
-  seqdl::EvalOptions opts;
+  auto prepared = seqdl::Engine::Compile(u, std::move(*program));
+  if (!prepared.ok()) return Fail(prepared.status());
+
+  seqdl::RunOptions opts;
   opts.seminaive = !HasFlag(args, "--naive");
+  opts.use_index = !HasFlag(args, "--no-index");
   seqdl::EvalStats stats;
-  auto out = seqdl::Eval(u, *program, *instance, opts, &stats);
+  auto out = prepared->Run(*instance, opts, &stats);
   if (!out.ok()) return Fail(out.status());
 
   std::string output_rel = FlagValue(args, "--output=");
@@ -108,12 +115,27 @@ int CmdRun(const std::vector<std::string>& args) {
     if (!rel.ok()) return Fail(rel.status());
     std::printf("%s", out->Project({*rel}).ToString(u).c_str());
   } else {
-    std::set<seqdl::RelId> idb = seqdl::IdbRels(*program);
+    std::set<seqdl::RelId> idb = seqdl::IdbRels(prepared->program());
     std::printf("%s",
                 out->Project({idb.begin(), idb.end()}).ToString(u).c_str());
   }
   std::fprintf(stderr, "-- %zu facts derived in %zu rounds (%zu firings)\n",
                stats.derived_facts, stats.rounds, stats.rule_firings);
+  if (HasFlag(args, "--stats")) {
+    std::fprintf(stderr,
+                 "-- scans: %zu index probes, %zu prefix probes, %zu full, "
+                 "%zu delta\n",
+                 stats.index_probes, stats.prefix_probes, stats.full_scans,
+                 stats.delta_scans);
+    std::fprintf(stderr, "-- compile %.3f ms, run %.3f ms\n",
+                 stats.compile_seconds * 1e3, stats.run_seconds * 1e3);
+    for (size_t i = 0; i < stats.per_stratum.size(); ++i) {
+      const seqdl::StratumStats& s = stats.per_stratum[i];
+      std::fprintf(stderr,
+                   "-- stratum %zu: %zu rounds, %zu firings, %zu facts\n",
+                   i, s.rounds, s.rule_firings, s.derived_facts);
+    }
+  }
   return 0;
 }
 
