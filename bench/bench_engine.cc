@@ -3,12 +3,20 @@
 //
 //   * naive vs semi-naive fixpoint iteration;
 //   * one-shot Eval (re-validate + re-plan per call) vs prepared
-//     Engine::Compile + PreparedProgram::Run;
-//   * indexed scans (per-(relation, column) hash probes) vs full scans.
+//     Engine::Compile + PreparedProgram::Run vs Session runs over a
+//     long-lived Database (EDB indexed once, excluded from per-query time);
+//   * indexed scans (per-(relation, column) hash probes) vs full scans;
+//   * concurrent throughput: N threads sharing one pre-indexed Database,
+//     outputs checked byte-identical against a sequential run.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
 
+#include "src/engine/database.h"
 #include "src/engine/engine.h"
 #include "src/engine/eval.h"
 #include "src/queries/queries.h"
@@ -72,6 +80,65 @@ void PrintIndexCounts() {
   std::printf("\n");
 }
 
+// Concurrent throughput over one shared Database: N threads each run M
+// queries through their own Session against the same pre-indexed EDB.
+// Verifies every thread's output is byte-identical to a sequential run,
+// and reports per-query wall time (EDB index build excluded — it happened
+// once, at warm-up).
+void PrintConcurrentThroughput() {
+  std::printf("=== Database/Session: concurrent throughput ===\n");
+  constexpr size_t kNodes = 64;
+  constexpr size_t kQueriesPerThread = 4;
+  Universe u;
+  Result<ParsedQuery> q = ParsePaperQuery(u, "reach_ab");
+  if (!q.ok()) std::abort();
+  GraphWorkload gw;
+  gw.nodes = kNodes;
+  gw.edges = kNodes * 2;
+  gw.seed = 21;
+  Result<Instance> in = GraphToInstance(u, RandomGraph(gw), "R");
+  if (!in.ok()) std::abort();
+  Result<PreparedProgram> prog = Engine::Compile(u, q->program);
+  if (!prog.ok()) std::abort();
+  Result<Database> db = Database::Open(u, std::move(*in));
+  if (!db.ok()) std::abort();
+
+  // Warm-up builds the lazy base indexes once and fixes the reference.
+  Result<Instance> ref = db->OpenSession().Run(*prog);
+  if (!ref.ok()) std::abort();
+  std::string reference = ref->ToString(u);
+
+  std::printf("%-8s %-10s %-14s %-14s %-10s\n", "threads", "queries",
+              "total(ms)", "per-query(ms)", "identical");
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    std::vector<std::string> outputs(threads * kQueriesPerThread);
+    std::vector<std::thread> pool;
+    auto start = std::chrono::steady_clock::now();
+    for (size_t t = 0; t < threads; ++t) {
+      pool.emplace_back([&, t] {
+        Session session = db->OpenSession();
+        for (size_t r = 0; r < kQueriesPerThread; ++r) {
+          Result<Instance> out = session.Run(*prog);
+          outputs[t * kQueriesPerThread + r] =
+              out.ok() ? out->ToString(u) : out.status().ToString();
+        }
+      });
+    }
+    for (std::thread& th : pool) th.join();
+    double total_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    bool identical = true;
+    for (const std::string& o : outputs) identical &= (o == reference);
+    size_t queries = threads * kQueriesPerThread;
+    std::printf("%-8zu %-10zu %-14.2f %-14.2f %s\n", threads, queries,
+                total_ms, total_ms / static_cast<double>(queries),
+                identical ? "yes" : "NO — MISMATCH");
+  }
+  std::printf("\n");
+}
+
 // One-shot legacy path: validation + stratification + planning on every
 // call, exactly what pre-Engine call sites paid.
 void BM_ReachEvalOneShot(benchmark::State& state) {
@@ -128,6 +195,46 @@ void BM_ReachPreparedIndexed(benchmark::State& state) {
   RunPrepared(state, true);
 }
 BENCHMARK(BM_ReachPreparedIndexed)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+// Session runs over a long-lived Database: the EDB is indexed once at
+// setup, so per-query time excludes index build (compare against
+// BM_ReachPreparedIndexed, which pays a fresh base per run).
+void BM_ReachSessionRun(benchmark::State& state) {
+  size_t nodes = static_cast<size_t>(state.range(0));
+  Universe u;
+  Result<ParsedQuery> q = ParsePaperQuery(u, "reach_ab");
+  GraphWorkload gw;
+  gw.nodes = nodes;
+  gw.edges = nodes * 2;
+  gw.seed = 21;
+  Result<Instance> in = GraphToInstance(u, RandomGraph(gw), "R");
+  if (!q.ok() || !in.ok()) {
+    state.SkipWithError("workload setup failed");
+    return;
+  }
+  Result<PreparedProgram> prog = Engine::Compile(u, q->program);
+  if (!prog.ok()) {
+    state.SkipWithError(prog.status().ToString().c_str());
+    return;
+  }
+  Result<Database> db = Database::Open(u, std::move(*in));
+  if (!db.ok()) {
+    state.SkipWithError(db.status().ToString().c_str());
+    return;
+  }
+  Session session = db->OpenSession();
+  // Build the lazy base indexes outside the timed loop.
+  if (!session.Run(*prog).ok()) {
+    state.SkipWithError("warm-up run failed");
+    return;
+  }
+  for (auto _ : state) {
+    Result<Instance> out = session.Run(*prog);
+    if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_ReachSessionRun)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
 
 void BM_ReachPreparedNoIndex(benchmark::State& state) {
   RunPrepared(state, false);
@@ -198,6 +305,7 @@ BENCHMARK(BM_StratifiedNegationPipeline)->Arg(8)->Arg(32)->Arg(128);
 int main(int argc, char** argv) {
   seqdl::PrintRoundCounts();
   seqdl::PrintIndexCounts();
+  seqdl::PrintConcurrentThroughput();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

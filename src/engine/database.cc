@@ -1,0 +1,36 @@
+#include "src/engine/database.h"
+
+namespace seqdl {
+
+Result<Database> Database::Open(Universe& u, Instance edb,
+                                const OpenOptions& opts) {
+  auto base = std::make_unique<BaseStore>(u, std::move(edb));
+  if (opts.eager_indexes) base->BuildAllIndexes();
+  return Database(u, std::move(base));
+}
+
+Result<Database> Database::Open(Universe& u, Instance edb) {
+  return Open(u, std::move(edb), OpenOptions());
+}
+
+Session Database::OpenSession() const { return Session(*universe_, *base_); }
+
+Result<Instance> Session::Run(const PreparedProgram& prog,
+                              const RunOptions& opts,
+                              EvalStats* stats) const {
+  if (&prog.universe() != universe_) {
+    return Status::InvalidArgument(
+        "program was compiled against a different Universe than the "
+        "database was opened with");
+  }
+  return prog.RunOnBase(*base_, opts, stats);
+}
+
+Result<Instance> Session::RunQuery(const PreparedProgram& prog, RelId output,
+                                   const RunOptions& opts,
+                                   EvalStats* stats) const {
+  SEQDL_ASSIGN_OR_RETURN(Instance derived, Run(prog, opts, stats));
+  return derived.Project({output});
+}
+
+}  // namespace seqdl

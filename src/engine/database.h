@@ -1,0 +1,120 @@
+// Database/Session: a long-lived, pre-indexed EDB serving concurrent runs.
+//
+// Database::Open loads an EDB instance once and wraps it in an immutable
+// BaseStore whose per-(relation, column) whole-value / first-value /
+// last-value indexes build exactly once (lazily on first probe, or
+// eagerly with OpenOptions::eager_indexes). Sessions are lightweight
+// snapshot handles over that base: each Run layers a private IDB overlay
+// on top of the shared store, never mutating the base, so any number of
+// sessions — on any number of threads — can run any number of
+// PreparedPrograms against one Database concurrently:
+//
+//   SEQDL_ASSIGN_OR_RETURN(Database db, Database::Open(u, std::move(edb)));
+//   SEQDL_ASSIGN_OR_RETURN(PreparedProgram prog, Engine::Compile(u, p));
+//   Session session = db.OpenSession();
+//   SEQDL_ASSIGN_OR_RETURN(Instance derived, session.Run(prog));  // derived
+//   SEQDL_ASSIGN_OR_RETURN(Instance reach, session.RunQuery(prog, rel));
+//
+// Thread-safety contract: the Universe interns with synchronization, the
+// BaseStore's lazy index build is std::call_once-guarded, and all per-run
+// mutable state (overlay, deltas, valuations) is private to the run.
+// Sessions must not outlive their Database; the Database must not outlive
+// the Universe.
+//
+// Unlike PreparedProgram::Run (input plus derived facts), Session::Run
+// returns only the facts the program derived — the EDB is shared and
+// usually large, so callers materialize db.edb() + derived only when they
+// actually need the union.
+#ifndef SEQDL_ENGINE_DATABASE_H_
+#define SEQDL_ENGINE_DATABASE_H_
+
+#include <memory>
+
+#include "src/base/status.h"
+#include "src/engine/engine.h"
+#include "src/engine/index.h"
+#include "src/engine/instance.h"
+#include "src/term/universe.h"
+
+namespace seqdl {
+
+class Session;
+
+/// A long-lived EDB: owns one immutable BaseStore shared by every session.
+/// Move-only; must outlive all sessions opened from it.
+class Database {
+ public:
+  struct OpenOptions {
+    /// Build every (relation, column) index at Open time instead of on
+    /// first probe. Front-loads the full indexing cost; with the default
+    /// lazy build, each column's indexes build on the first query that
+    /// probes them (still exactly once across all sessions and threads).
+    bool eager_indexes = false;
+  };
+
+  /// Takes ownership of `edb` and indexes it. `u` must be the Universe the
+  /// instance's paths are interned in and must outlive the Database.
+  /// (Two overloads rather than a default argument: GCC rejects defaulted
+  /// nested-aggregate arguments inside the enclosing class.)
+  static Result<Database> Open(Universe& u, Instance edb,
+                               const OpenOptions& opts);
+  static Result<Database> Open(Universe& u, Instance edb);
+
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// A lightweight handle for running programs over this database. Any
+  /// number may be open at once, from any threads.
+  Session OpenSession() const;
+
+  Universe& universe() const { return *universe_; }
+  /// The loaded EDB facts.
+  const Instance& edb() const { return base_->instance(); }
+  /// The shared indexed store (mostly for tests and tools).
+  const BaseStore& base() const { return *base_; }
+  /// Number of (relation, column) columns whose indexes exist so far.
+  size_t NumIndexedColumns() const { return base_->NumIndexedColumns(); }
+
+ private:
+  Database(Universe& u, std::unique_ptr<BaseStore> base)
+      : universe_(&u), base_(std::move(base)) {}
+
+  Universe* universe_;
+  /// unique_ptr: BaseStore is immovable (per-column once_flags), and the
+  /// address must stay stable for open sessions while Database moves.
+  std::unique_ptr<BaseStore> base_;
+};
+
+/// A snapshot handle over a Database. Copyable and cheap; safe to use from
+/// one thread at a time (open one per thread — OpenSession is free).
+/// All runs see the same immutable EDB and write only private overlays.
+/// Holds the heap-stable BaseStore directly (not the Database object), so
+/// moving the Database does not invalidate open sessions.
+class Session {
+ public:
+  /// Runs `prog` over the database's EDB; returns only the derived IDB
+  /// facts. `prog` must be compiled against the database's Universe.
+  Result<Instance> Run(const PreparedProgram& prog, const RunOptions& opts = {},
+                       EvalStats* stats = nullptr) const;
+
+  /// Runs and projects onto a single output relation.
+  Result<Instance> RunQuery(const PreparedProgram& prog, RelId output,
+                            const RunOptions& opts = {},
+                            EvalStats* stats = nullptr) const;
+
+  /// The EDB facts this session runs over.
+  const Instance& edb() const { return base_->instance(); }
+
+ private:
+  friend class Database;
+  Session(Universe& u, const BaseStore& base) : universe_(&u), base_(&base) {}
+
+  Universe* universe_;
+  const BaseStore* base_;
+};
+
+}  // namespace seqdl
+
+#endif  // SEQDL_ENGINE_DATABASE_H_

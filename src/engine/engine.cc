@@ -30,21 +30,26 @@ constexpr size_t kCancelPollInterval = 256;
 
 namespace internal {
 
-// One run of a prepared program. Owns all mutable evaluation state, so a
-// (const) PreparedProgram can execute any number of runs.
+// One run of a prepared program. Owns all mutable evaluation state (the
+// private IDB overlay, pending facts, deltas), so a (const)
+// PreparedProgram can execute any number of runs — concurrently, when
+// they share an immutable BaseStore: the base is only ever read, and the
+// Universe interns with synchronization.
 class Executor {
  public:
   Executor(Universe& u, const PreparedProgram& prog, const RunOptions& opts,
            EvalStats* stats)
       : u_(u), prog_(prog), opts_(opts), stats_(stats) {}
 
-  Result<Instance> Run(const Instance& input) {
-    store_ = IndexedInstance(u_, input);
+  // Evaluates over the (shared, never mutated) base; returns the derived
+  // IDB overlay only.
+  Result<Instance> Run(const BaseStore& base) {
+    store_ = LayeredStore(u_, base);
     for (const auto& stratum : StrataOf(prog_)) {
       if (stats_) stats_->per_stratum.emplace_back();
       SEQDL_RETURN_IF_ERROR(EvalStratum(stratum));
     }
-    return store_.TakeInstance();
+    return store_.TakeOverlay();
   }
 
  private:
@@ -66,18 +71,21 @@ class Executor {
     std::map<RelId, TupleSet> delta;
     pending_.clear();
     for (const RulePlan& plan : stratum.plans) {
-      SEQDL_RETURN_IF_ERROR(ApplyRule(plan, kNoDeltaStep, nullptr));
+      SEQDL_RETURN_IF_ERROR(ApplyRule(plan, kNoDeltaStep, nullptr, nullptr));
     }
     SEQDL_RETURN_IF_ERROR(MergePending(&delta));
 
     // Delta rounds: re-run each rule once per recursive scan occurrence,
-    // with that occurrence restricted to the previous round's delta.
+    // with that occurrence restricted to the previous round's delta. The
+    // round's deltas are immutable while the round runs, so one
+    // DeltaIndexer per round can index the large ones (see index.h).
     while (!delta.empty()) {
       SEQDL_RETURN_IF_ERROR(BumpRound());
       pending_.clear();
+      DeltaIndexer delta_idx(u_, delta, opts_.delta_index_threshold);
       for (const RulePlan& plan : stratum.plans) {
         for (size_t step_idx : plan.recursive_scan_steps) {
-          SEQDL_RETURN_IF_ERROR(ApplyRule(plan, step_idx, &delta));
+          SEQDL_RETURN_IF_ERROR(ApplyRule(plan, step_idx, &delta, &delta_idx));
         }
       }
       std::map<RelId, TupleSet> new_delta;
@@ -92,7 +100,7 @@ class Executor {
       SEQDL_RETURN_IF_ERROR(BumpRound());
       pending_.clear();
       for (const RulePlan& plan : stratum.plans) {
-        SEQDL_RETURN_IF_ERROR(ApplyRule(plan, kNoDeltaStep, nullptr));
+        SEQDL_RETURN_IF_ERROR(ApplyRule(plan, kNoDeltaStep, nullptr, nullptr));
       }
       std::map<RelId, TupleSet> new_facts;
       SEQDL_RETURN_IF_ERROR(MergePending(&new_facts));
@@ -123,54 +131,55 @@ class Executor {
   }
 
   // Runs one rule; derived facts go to pending_. If `delta_step` is not
-  // kNoDeltaStep, that scan step enumerates `*delta` instead of the store.
+  // kNoDeltaStep, that scan step enumerates `*delta` instead of the store
+  // (probing `*delta_idx` when the delta is large enough to be indexed).
   Status ApplyRule(const RulePlan& plan, size_t delta_step,
-                   const std::map<RelId, TupleSet>* delta) {
+                   const std::map<RelId, TupleSet>* delta,
+                   DeltaIndexer* delta_idx) {
     Valuation v;
     status_ = Status::OK();
-    ExecuteStep(plan, 0, v, delta_step, delta);
+    ExecuteStep(plan, 0, v, delta_step, delta, delta_idx);
     return status_;
   }
 
   // Returns false to abort enumeration (on error).
   bool ExecuteStep(const RulePlan& plan, size_t step_idx, Valuation& v,
-                   size_t delta_step, const std::map<RelId, TupleSet>* delta) {
+                   size_t delta_step, const std::map<RelId, TupleSet>* delta,
+                   DeltaIndexer* delta_idx) {
     if (!status_.ok()) return false;
     if (step_idx == plan.steps.size()) return DeriveHead(plan, v);
 
     const PlanStep& step = plan.steps[step_idx];
     const Literal& lit = plan.rule->body[step.lit_idx];
     auto next = [&](Valuation& v2) {
-      return ExecuteStep(plan, step_idx + 1, v2, delta_step, delta);
+      return ExecuteStep(plan, step_idx + 1, v2, delta_step, delta,
+                         delta_idx);
+    };
+    auto match_all = [&](const std::vector<const Tuple*>& bucket) {
+      for (const Tuple* t : bucket) {
+        if (!MatchArgs(u_, lit.pred.args, *t, v, next)) return false;
+      }
+      return true;
     };
 
     switch (step.kind) {
       case PlanStep::Kind::kScan: {
         if (step_idx == delta_step) {
-          assert(delta != nullptr);
-          if (stats_) ++stats_->delta_scans;
-          auto it = delta->find(lit.pred.rel);
-          if (it == delta->end()) return true;
-          for (const Tuple& t : it->second) {
-            if (!MatchArgs(u_, lit.pred.args, t, v, next)) return false;
-          }
-          return true;
+          return ScanDelta(step, lit, v, delta, delta_idx, match_all, next);
         }
         if (opts_.use_index && step.index_arg >= 0) {
           // The planner proved this argument ground under every valuation
-          // reaching the step: evaluate it and probe the column index.
+          // reaching the step: evaluate it and probe the column index of
+          // both layers (shared base, then private overlay).
           PathId key;
           if (!EvalTo(lit.pred.args[static_cast<size_t>(step.index_arg)], v,
                       &key)) {
             return false;
           }
           if (stats_) ++stats_->index_probes;
-          for (const Tuple* t : store_.Probe(
-                   lit.pred.rel, static_cast<uint32_t>(step.index_arg),
-                   key)) {
-            if (!MatchArgs(u_, lit.pred.args, *t, v, next)) return false;
-          }
-          return true;
+          uint32_t col = static_cast<uint32_t>(step.index_arg);
+          return match_all(store_.base().Probe(lit.pred.rel, col, key)) &&
+                 match_all(store_.overlay().Probe(lit.pred.rel, col, key));
         }
         if (opts_.use_index && step.prefix_arg >= 0) {
           // A leading prefix of this argument is ground: a matching tuple
@@ -182,16 +191,35 @@ class Executor {
           if (!EvalTo(step.prefix_expr, v, &prefix)) return false;
           if (prefix != kEmptyPath) {
             if (stats_) ++stats_->prefix_probes;
-            for (const Tuple* t : store_.ProbeFirst(
-                     lit.pred.rel, static_cast<uint32_t>(step.prefix_arg),
-                     u_.GetPath(prefix).front())) {
-              if (!MatchArgs(u_, lit.pred.args, *t, v, next)) return false;
-            }
-            return true;
+            uint32_t col = static_cast<uint32_t>(step.prefix_arg);
+            Value first = u_.GetPath(prefix).front();
+            return match_all(
+                       store_.base().ProbeFirst(lit.pred.rel, col, first)) &&
+                   match_all(
+                       store_.overlay().ProbeFirst(lit.pred.rel, col, first));
+          }
+        }
+        if (opts_.use_index && step.suffix_arg >= 0) {
+          // Symmetric: a trailing suffix is ground (`$x ++ a`); a matching
+          // tuple must end with the suffix's last value, so probe the
+          // last-value index.
+          PathId suffix;
+          if (!EvalTo(step.suffix_expr, v, &suffix)) return false;
+          if (suffix != kEmptyPath) {
+            if (stats_) ++stats_->suffix_probes;
+            uint32_t col = static_cast<uint32_t>(step.suffix_arg);
+            Value last = u_.GetPath(suffix).back();
+            return match_all(
+                       store_.base().ProbeLast(lit.pred.rel, col, last)) &&
+                   match_all(
+                       store_.overlay().ProbeLast(lit.pred.rel, col, last));
           }
         }
         if (stats_) ++stats_->full_scans;
-        for (const Tuple& t : store_.Tuples(lit.pred.rel)) {
+        for (const Tuple& t : store_.base().Tuples(lit.pred.rel)) {
+          if (!MatchArgs(u_, lit.pred.args, t, v, next)) return false;
+        }
+        for (const Tuple& t : store_.overlay().Tuples(lit.pred.rel)) {
           if (!MatchArgs(u_, lit.pred.args, t, v, next)) return false;
         }
         return true;
@@ -238,6 +266,63 @@ class Executor {
         if (a == b) return true;
         return next(v);
       }
+    }
+    return true;
+  }
+
+  // A scan step restricted to the current round's delta. Small deltas are
+  // scanned linearly; once a delta reaches RunOptions::delta_index_threshold
+  // tuples, the per-round DeltaIndexer answers keyed steps with a bucket
+  // probe instead (same key logic as the main store: whole value, then
+  // ground prefix, then ground suffix).
+  template <typename MatchAll, typename Next>
+  bool ScanDelta(const PlanStep& step, const Literal& lit, Valuation& v,
+                 const std::map<RelId, TupleSet>* delta,
+                 DeltaIndexer* delta_idx, MatchAll&& match_all, Next&& next) {
+    assert(delta != nullptr);
+    if (stats_) ++stats_->delta_scans;
+    auto it = delta->find(lit.pred.rel);
+    if (it == delta->end()) return true;
+    if (opts_.use_index && delta_idx != nullptr) {
+      if (step.index_arg >= 0) {
+        PathId key;
+        if (!EvalTo(lit.pred.args[static_cast<size_t>(step.index_arg)], v,
+                    &key)) {
+          return false;
+        }
+        if (const std::vector<const Tuple*>* bucket = delta_idx->Probe(
+                lit.pred.rel, static_cast<uint32_t>(step.index_arg), key)) {
+          if (stats_) ++stats_->delta_index_probes;
+          return match_all(*bucket);
+        }
+      } else if (step.prefix_arg >= 0) {
+        PathId prefix;
+        if (!EvalTo(step.prefix_expr, v, &prefix)) return false;
+        if (prefix != kEmptyPath) {
+          if (const std::vector<const Tuple*>* bucket =
+                  delta_idx->ProbeFirst(lit.pred.rel,
+                                        static_cast<uint32_t>(step.prefix_arg),
+                                        u_.GetPath(prefix).front())) {
+            if (stats_) ++stats_->delta_index_probes;
+            return match_all(*bucket);
+          }
+        }
+      } else if (step.suffix_arg >= 0) {
+        PathId suffix;
+        if (!EvalTo(step.suffix_expr, v, &suffix)) return false;
+        if (suffix != kEmptyPath) {
+          if (const std::vector<const Tuple*>* bucket =
+                  delta_idx->ProbeLast(lit.pred.rel,
+                                       static_cast<uint32_t>(step.suffix_arg),
+                                       u_.GetPath(suffix).back())) {
+            if (stats_) ++stats_->delta_index_probes;
+            return match_all(*bucket);
+          }
+        }
+      }
+    }
+    for (const Tuple& t : it->second) {
+      if (!MatchArgs(u_, lit.pred.args, t, v, next)) return false;
     }
     return true;
   }
@@ -312,7 +397,7 @@ class Executor {
   const PreparedProgram& prog_;
   const RunOptions& opts_;
   EvalStats* stats_;
-  IndexedInstance store_;
+  LayeredStore store_;
   std::map<RelId, TupleSet> pending_;
   Status status_;
   size_t rounds_ = 0;
@@ -366,17 +451,30 @@ Result<PreparedProgram> Engine::CompileShared(
   return prep;
 }
 
-Result<Instance> PreparedProgram::Run(const Instance& input,
-                                      const RunOptions& opts,
-                                      EvalStats* stats) const {
+Result<Instance> PreparedProgram::RunOnBase(const BaseStore& base,
+                                            const RunOptions& opts,
+                                            EvalStats* stats) const {
   auto start = std::chrono::steady_clock::now();
   if (stats) {
     *stats = EvalStats{};
     stats->compile_seconds = compile_seconds_;
   }
   internal::Executor exec(*universe_, *this, opts, stats);
-  Result<Instance> out = exec.Run(input);
+  Result<Instance> out = exec.Run(base);
   if (stats) stats->run_seconds = SecondsSince(start);
+  return out;
+}
+
+Result<Instance> PreparedProgram::Run(const Instance& input,
+                                      const RunOptions& opts,
+                                      EvalStats* stats) const {
+  // Legacy semantics (input plus derived facts) over the layered engine:
+  // wrap the input in a throwaway base, run, and union the derived overlay
+  // back into the input copy the base holds.
+  BaseStore base(*universe_, input);
+  SEQDL_ASSIGN_OR_RETURN(Instance derived, RunOnBase(base, opts, stats));
+  Instance out = base.TakeInstance();
+  out.UnionWith(std::move(derived));
   return out;
 }
 

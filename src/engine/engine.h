@@ -18,8 +18,12 @@
 // kResourceExhausted when they are exceeded; a cancellation callback in
 // RunOptions can stop a run early with kCancelled.
 //
-// The legacy one-shot Eval()/EvalQuery() entry points in eval.h are thin
-// wrappers over this API.
+// Execution runs on a layered store (index.h): an immutable, possibly
+// shared BaseStore of input facts underneath, a private IDB overlay on
+// top. Run(input) builds a throwaway base per call; the Database/Session
+// API (database.h) shares one pre-indexed base across any number of
+// concurrent runs. The legacy one-shot Eval()/EvalQuery() entry points in
+// eval.h are thin wrappers over this API.
 #ifndef SEQDL_ENGINE_ENGINE_H_
 #define SEQDL_ENGINE_ENGINE_H_
 
@@ -35,6 +39,9 @@
 #include "src/term/universe.h"
 
 namespace seqdl {
+
+class BaseStore;
+class Session;
 
 namespace internal {
 class Executor;
@@ -62,6 +69,10 @@ struct RunOptions {
   /// Probe per-(relation, column) hash indexes for scans whose key
   /// position is ground; false = always full scans (ablation).
   bool use_index = true;
+  /// Semi-naive delta sets with at least this many tuples are indexed on
+  /// first keyed probe instead of scanned linearly (see
+  /// EvalStats::delta_index_probes). 0 = always index; SIZE_MAX = never.
+  size_t delta_index_threshold = 32;
   /// Cancellation/budget callback, polled at every fixpoint round and
   /// periodically between rule firings. Return true to cancel the run;
   /// Run then fails with kCancelled. Leave empty for no callback.
@@ -87,11 +98,18 @@ struct EvalStats {
   /// Scans answered through a first-value index probe (only a leading
   /// prefix of the argument was ground).
   size_t prefix_probes = 0;
+  /// Scans answered through a last-value index probe (only a trailing
+  /// suffix of the argument was ground, e.g. `$x ++ a`).
+  size_t suffix_probes = 0;
   /// Scans that fell back to a full relation scan (no ground key position,
-  /// an empty ground prefix, or use_index = false).
+  /// an empty ground prefix/suffix, or use_index = false).
   size_t full_scans = 0;
   /// Scans over per-round delta sets (semi-naive iteration).
   size_t delta_scans = 0;
+  /// Delta scans answered through a per-round delta index (the delta held
+  /// at least RunOptions::delta_index_threshold tuples and the step had a
+  /// ground key). Subset of delta_scans.
+  size_t delta_index_probes = 0;
   /// Wall time Engine::Compile spent validating + planning the program.
   double compile_seconds = 0;
   /// Wall time of this run.
@@ -112,10 +130,12 @@ class PreparedProgram {
   /// Evaluates on `input`; returns input plus all derived IDB facts.
   /// `input` must be an instance over the Universe the program was
   /// compiled against. On success fills `*stats` (if non-null), including
-  /// the compile time recorded by Engine::Compile. Runs are independent:
-  /// each gets its own working store, so a PreparedProgram may be run any
-  /// number of times (sequentially; the shared Universe interns paths and
-  /// is not synchronized).
+  /// the compile time recorded by Engine::Compile. Runs are independent —
+  /// each builds a throwaway indexed base over `input` plus a private IDB
+  /// overlay — and thread-safe: the shared Universe interns with
+  /// synchronization, so one PreparedProgram may run from any number of
+  /// threads concurrently. To index an input once and reuse it across
+  /// runs, see Database/Session in database.h.
   Result<Instance> Run(const Instance& input, const RunOptions& opts = {},
                        EvalStats* stats = nullptr) const;
 
@@ -132,11 +152,18 @@ class PreparedProgram {
 
  private:
   friend class Engine;
+  friend class Session;
   friend class internal::Executor;
 
   struct CompiledStratum {
     std::vector<RulePlan> plans;
   };
+
+  /// Evaluates over `base` (shared, never mutated) and returns only the
+  /// derived IDB overlay. The engine of Session::Run and of Run above
+  /// (which wraps `input` in a throwaway base and unions the result back).
+  Result<Instance> RunOnBase(const BaseStore& base, const RunOptions& opts,
+                             EvalStats* stats) const;
 
   PreparedProgram(Universe& u, std::shared_ptr<const Program> p)
       : universe_(&u), program_(std::move(p)) {}

@@ -18,6 +18,7 @@ RunOptions ToRunOptions(const EvalOptions& opts) {
   r.max_path_length = opts.max_path_length;
   r.seminaive = opts.seminaive;
   r.use_index = opts.use_index;
+  r.delta_index_threshold = opts.delta_index_threshold;
   return r;
 }
 

@@ -2,9 +2,12 @@
 //
 // Eval()/EvalQuery() validate, plan, and execute in a single call. They
 // are thin wrappers over the compile-once/run-many API in engine.h
-// (Engine::Compile + PreparedProgram::Run); prefer that API whenever a
+// (Engine::Compile + PreparedProgram::Run), which itself runs over a
+// throwaway indexed base store per call; prefer that API whenever a
 // program is evaluated against more than one instance, since it pays the
-// validation/stratification/planning cost exactly once.
+// validation/stratification/planning cost exactly once — and see
+// database.h (Database::Open + Session) to also pay the input indexing
+// cost exactly once across many runs and threads.
 #ifndef SEQDL_ENGINE_EVAL_H_
 #define SEQDL_ENGINE_EVAL_H_
 
@@ -36,6 +39,9 @@ struct EvalOptions {
   bool validate = true;
   /// Probe column indexes for scans with a ground key position.
   bool use_index = true;
+  /// Index semi-naive delta sets once they hold at least this many tuples
+  /// (see RunOptions::delta_index_threshold).
+  size_t delta_index_threshold = 32;
 };
 
 /// Evaluates `p` on `input`; returns input plus all derived IDB facts.

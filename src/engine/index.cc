@@ -5,14 +5,44 @@
 
 namespace seqdl {
 
-namespace {
-
 const std::vector<const Tuple*>& EmptyBucket() {
   static const std::vector<const Tuple*> kEmpty;
   return kEmpty;
 }
 
+namespace {
+
+template <typename Key>
+const std::vector<const Tuple*>& FindBucket(
+    const std::unordered_map<Key, std::vector<const Tuple*>>& buckets,
+    Key key) {
+  auto it = buckets.find(key);
+  if (it == buckets.end()) return EmptyBucket();
+  return it->second;
+}
+
+// Files one tuple's `col`-th component into all three index families at
+// once — the population step of BaseStore::Build, which builds all
+// families together in one amortized pass over the EDB. Empty paths have
+// no first/last value and land in the whole-value buckets only (they can
+// never match a non-empty prefix/suffix anyway).
+void IndexTupleColumn(
+    const Universe& u, const Tuple& t, uint32_t col,
+    std::unordered_map<PathId, std::vector<const Tuple*>>* whole,
+    std::unordered_map<Value, std::vector<const Tuple*>>* first,
+    std::unordered_map<Value, std::vector<const Tuple*>>* last) {
+  if (col >= t.size()) return;
+  (*whole)[t[col]].push_back(&t);
+  std::span<const Value> path = u.GetPath(t[col]);
+  if (!path.empty()) {
+    (*first)[path.front()].push_back(&t);
+    (*last)[path.back()].push_back(&t);
+  }
+}
+
 }  // namespace
+
+// --- IndexedInstance ---------------------------------------------------------
 
 bool IndexedInstance::Add(RelId rel, Tuple t) {
   auto [stored, is_new] = base_.Insert(rel, std::move(t));
@@ -35,6 +65,16 @@ bool IndexedInstance::Add(RelId rel, Tuple t) {
       }
     }
   }
+  for (auto it = last_indexes_.lower_bound({rel, 0});
+       it != last_indexes_.end() && it->first.first == rel; ++it) {
+    uint32_t col = it->first.second;
+    if (col < stored->size()) {
+      std::span<const Value> path = universe_->GetPath((*stored)[col]);
+      if (!path.empty()) {
+        it->second.buckets[path.back()].push_back(stored);
+      }
+    }
+  }
   return true;
 }
 
@@ -47,9 +87,7 @@ const std::vector<const Tuple*>& IndexedInstance::Probe(RelId rel,
       if (col < t.size()) it->second.buckets[t[col]].push_back(&t);
     }
   }
-  auto bucket = it->second.buckets.find(key);
-  if (bucket == it->second.buckets.end()) return EmptyBucket();
-  return bucket->second;
+  return FindBucket(it->second.buckets, key);
 }
 
 const std::vector<const Tuple*>& IndexedInstance::ProbeFirst(RelId rel,
@@ -64,9 +102,157 @@ const std::vector<const Tuple*>& IndexedInstance::ProbeFirst(RelId rel,
       if (!path.empty()) it->second.buckets[path.front()].push_back(&t);
     }
   }
-  auto bucket = it->second.buckets.find(first);
-  if (bucket == it->second.buckets.end()) return EmptyBucket();
-  return bucket->second;
+  return FindBucket(it->second.buckets, first);
+}
+
+const std::vector<const Tuple*>& IndexedInstance::ProbeLast(RelId rel,
+                                                            uint32_t col,
+                                                            Value last) {
+  assert(universe_ != nullptr);
+  auto [it, built_now] = last_indexes_.try_emplace({rel, col});
+  if (built_now) {
+    for (const Tuple& t : base_.Tuples(rel)) {
+      if (col >= t.size()) continue;
+      std::span<const Value> path = universe_->GetPath(t[col]);
+      if (!path.empty()) it->second.buckets[path.back()].push_back(&t);
+    }
+  }
+  return FindBucket(it->second.buckets, last);
+}
+
+// --- BaseStore ---------------------------------------------------------------
+
+BaseStore::BaseStore(const Universe& u, Instance edb)
+    : universe_(&u), edb_(std::move(edb)) {
+  // Fix the slot table now: one slot per (relation, column) of the EDB.
+  // ColSlot is immovable (once_flag), so each vector is sized once here
+  // and never resized.
+  for (RelId rel : edb_.Relations()) {
+    slots_.emplace(std::piecewise_construct, std::forward_as_tuple(rel),
+                   std::forward_as_tuple(u.RelArity(rel)));
+  }
+}
+
+const BaseStore::ColSlot* BaseStore::Slot(RelId rel, uint32_t col) const {
+  auto it = slots_.find(rel);
+  if (it == slots_.end() || col >= it->second.size()) return nullptr;
+  return &it->second[col];
+}
+
+void BaseStore::Build(RelId rel, const ColSlot& slot, uint32_t col) const {
+  std::call_once(slot.once, [&] {
+    // The slot table is logically mutable index state over the immutable
+    // EDB; call_once makes the build exclusive and publishes the maps to
+    // every later prober.
+    ColSlot& s = const_cast<ColSlot&>(slot);
+    for (const Tuple& t : edb_.Tuples(rel)) {
+      IndexTupleColumn(*universe_, t, col, &s.whole, &s.first, &s.last);
+    }
+    s.built.store(true, std::memory_order_relaxed);
+  });
+}
+
+const std::vector<const Tuple*>& BaseStore::Probe(RelId rel, uint32_t col,
+                                                  PathId key) const {
+  const ColSlot* slot = Slot(rel, col);
+  if (slot == nullptr) return EmptyBucket();
+  Build(rel, *slot, col);
+  return FindBucket(slot->whole, key);
+}
+
+const std::vector<const Tuple*>& BaseStore::ProbeFirst(RelId rel,
+                                                       uint32_t col,
+                                                       Value first) const {
+  const ColSlot* slot = Slot(rel, col);
+  if (slot == nullptr) return EmptyBucket();
+  Build(rel, *slot, col);
+  return FindBucket(slot->first, first);
+}
+
+const std::vector<const Tuple*>& BaseStore::ProbeLast(RelId rel, uint32_t col,
+                                                      Value last) const {
+  const ColSlot* slot = Slot(rel, col);
+  if (slot == nullptr) return EmptyBucket();
+  Build(rel, *slot, col);
+  return FindBucket(slot->last, last);
+}
+
+void BaseStore::BuildAllIndexes() const {
+  for (const auto& [rel, cols] : slots_) {
+    for (uint32_t col = 0; col < cols.size(); ++col) {
+      Build(rel, cols[col], col);
+    }
+  }
+}
+
+size_t BaseStore::NumIndexedColumns() const {
+  size_t n = 0;
+  for (const auto& [rel, cols] : slots_) {
+    for (const ColSlot& slot : cols) {
+      if (slot.built.load(std::memory_order_relaxed)) ++n;
+    }
+  }
+  return n;
+}
+
+// --- DeltaIndexer ------------------------------------------------------------
+
+DeltaIndexer::ColIndexes* DeltaIndexer::Slot(RelId rel, uint32_t col,
+                                             const TupleSet** tuples) {
+  auto delta_it = delta_->find(rel);
+  if (delta_it == delta_->end() || delta_it->second.size() < threshold_) {
+    return nullptr;
+  }
+  *tuples = &delta_it->second;
+  return &built_[{rel, col}];
+}
+
+const std::vector<const Tuple*>* DeltaIndexer::Probe(RelId rel, uint32_t col,
+                                                     PathId key) {
+  const TupleSet* tuples = nullptr;
+  ColIndexes* idx = Slot(rel, col, &tuples);
+  if (idx == nullptr) return nullptr;
+  if (!idx->whole_built) {
+    idx->whole_built = true;
+    for (const Tuple& t : *tuples) {
+      if (col < t.size()) idx->whole[t[col]].push_back(&t);
+    }
+  }
+  return &FindBucket(idx->whole, key);
+}
+
+const std::vector<const Tuple*>* DeltaIndexer::ProbeFirst(RelId rel,
+                                                          uint32_t col,
+                                                          Value first) {
+  const TupleSet* tuples = nullptr;
+  ColIndexes* idx = Slot(rel, col, &tuples);
+  if (idx == nullptr) return nullptr;
+  if (!idx->first_built) {
+    idx->first_built = true;
+    for (const Tuple& t : *tuples) {
+      if (col >= t.size()) continue;
+      std::span<const Value> path = universe_->GetPath(t[col]);
+      if (!path.empty()) idx->first[path.front()].push_back(&t);
+    }
+  }
+  return &FindBucket(idx->first, first);
+}
+
+const std::vector<const Tuple*>* DeltaIndexer::ProbeLast(RelId rel,
+                                                         uint32_t col,
+                                                         Value last) {
+  const TupleSet* tuples = nullptr;
+  ColIndexes* idx = Slot(rel, col, &tuples);
+  if (idx == nullptr) return nullptr;
+  if (!idx->last_built) {
+    idx->last_built = true;
+    for (const Tuple& t : *tuples) {
+      if (col >= t.size()) continue;
+      std::span<const Value> path = universe_->GetPath(t[col]);
+      if (!path.empty()) idx->last[path.back()].push_back(&t);
+    }
+  }
+  return &FindBucket(idx->last, last);
 }
 
 }  // namespace seqdl

@@ -1,7 +1,6 @@
 // Indexed relation storage for the evaluator.
 //
-// IndexedInstance wraps an Instance with two families of per-(relation,
-// column) hash indexes:
+// Three families of per-(relation, column) hash indexes appear throughout:
 //
 //   * whole-value indexes keyed on the column's PathId, probed when the
 //     planner proved an argument position fully ground under the current
@@ -10,11 +9,29 @@
 //     probed when only a leading prefix of the argument is ground
 //     (PlanStep::prefix_arg) — a matching tuple must start with the
 //     prefix's first value, so the bucket is a sound overapproximation
-//     that the usual MatchArgs pass then filters exactly.
+//     that the usual MatchArgs pass then filters exactly;
+//   * last-value indexes keyed on the last Value of the column's path,
+//     probed when only a trailing suffix of the argument is ground
+//     (PlanStep::suffix_arg, e.g. `$x ++ a`) — symmetric to first-value.
 //
-// Either way a full relation scan becomes a bucket probe. Indexes are
-// built lazily on first probe of a (relation, column) pair and maintained
-// incrementally as facts are derived.
+// Either way a full relation scan becomes a bucket probe.
+//
+// Storage classes:
+//
+//   * IndexedInstance — a private, mutable store. Indexes build lazily on
+//     first probe and are maintained incrementally as facts are derived.
+//     Not thread-safe; each run owns its own.
+//   * BaseStore — an immutable, shared store over a fixed EDB. Indexes
+//     build at most once per (relation, column) under std::call_once and
+//     are read-only afterwards, so any number of threads can probe
+//     concurrently. Database (database.h) wraps one; the legacy one-shot
+//     entry points build a throwaway one per call.
+//   * LayeredStore — the copy-on-read view the executor runs on: a shared
+//     BaseStore underneath, a private IndexedInstance overlay on top.
+//     Derivation only ever mutates the overlay; the base is never touched.
+//   * DeltaIndexer — per-round view over semi-naive delta sets, indexing a
+//     delta set on first probe once it exceeds a size threshold (small
+//     deltas stay linear scans).
 //
 // Bucket entries are pointers into the underlying TupleSet; unordered_set
 // guarantees reference stability under insertion, so derivation never
@@ -22,8 +39,10 @@
 #ifndef SEQDL_ENGINE_INDEX_H_
 #define SEQDL_ENGINE_INDEX_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -33,12 +52,15 @@
 
 namespace seqdl {
 
+/// The shared empty bucket returned for missing keys.
+const std::vector<const Tuple*>& EmptyBucket();
+
 class IndexedInstance {
  public:
   /// An empty store; usable only after move-assignment from a real one.
   IndexedInstance() = default;
-  /// Wraps `base`. `u` resolves paths to their first value for the
-  /// first-value indexes and must outlive the store.
+  /// Wraps `base`. `u` resolves paths to their first/last value for the
+  /// first/last-value indexes and must outlive the store.
   IndexedInstance(const Universe& u, Instance base)
       : universe_(&u), base_(std::move(base)) {}
 
@@ -65,23 +87,160 @@ class IndexedInstance {
   const std::vector<const Tuple*>& ProbeFirst(RelId rel, uint32_t col,
                                               Value first);
 
+  /// The tuples of `rel` whose `col`-th component is a non-empty path
+  /// ending with `last`. Builds the (rel, col) last-value index on first
+  /// use.
+  const std::vector<const Tuple*>& ProbeLast(RelId rel, uint32_t col,
+                                             Value last);
+
   /// Number of distinct (relation, column) indexes built so far.
   size_t NumIndexes() const {
-    return indexes_.size() + first_indexes_.size();
+    return indexes_.size() + first_indexes_.size() + last_indexes_.size();
   }
 
  private:
   struct ColumnIndex {
     std::unordered_map<PathId, std::vector<const Tuple*>> buckets;
   };
-  struct FirstValueIndex {
+  struct ValueIndex {
     std::unordered_map<Value, std::vector<const Tuple*>> buckets;
   };
 
   const Universe* universe_ = nullptr;
   Instance base_;
   std::map<std::pair<RelId, uint32_t>, ColumnIndex> indexes_;
-  std::map<std::pair<RelId, uint32_t>, FirstValueIndex> first_indexes_;
+  std::map<std::pair<RelId, uint32_t>, ValueIndex> first_indexes_;
+  std::map<std::pair<RelId, uint32_t>, ValueIndex> last_indexes_;
+};
+
+/// An immutable, shareable indexed store over a fixed EDB instance.
+///
+/// Construction records the relations present (the slot table is fixed
+/// from then on); the per-(relation, column) whole/first/last-value
+/// indexes build together on the first probe of that column, exactly once
+/// across all threads (std::call_once), and are pure reads afterwards.
+/// All probe/lookup methods are const and safe to call concurrently.
+class BaseStore {
+ public:
+  BaseStore(const Universe& u, Instance edb);
+
+  const Instance& instance() const { return edb_; }
+  /// Releases the underlying instance (the store becomes unusable). Only
+  /// for throwaway stores on the legacy one-shot path, after evaluation.
+  Instance&& TakeInstance() { return std::move(edb_); }
+
+  bool Contains(RelId rel, const Tuple& t) const {
+    return edb_.Contains(rel, t);
+  }
+  const TupleSet& Tuples(RelId rel) const { return edb_.Tuples(rel); }
+
+  const std::vector<const Tuple*>& Probe(RelId rel, uint32_t col,
+                                         PathId key) const;
+  const std::vector<const Tuple*>& ProbeFirst(RelId rel, uint32_t col,
+                                              Value first) const;
+  const std::vector<const Tuple*>& ProbeLast(RelId rel, uint32_t col,
+                                             Value last) const;
+
+  /// Builds every (relation, column) index now instead of on first probe
+  /// (Database::OpenOptions::eager_indexes).
+  void BuildAllIndexes() const;
+
+  /// Number of (relation, column) columns whose indexes have been built.
+  size_t NumIndexedColumns() const;
+
+ private:
+  /// All three indexes of one (relation, column) pair, built together in
+  /// one pass over the relation on first probe.
+  struct ColSlot {
+    mutable std::once_flag once;
+    std::unordered_map<PathId, std::vector<const Tuple*>> whole;
+    std::unordered_map<Value, std::vector<const Tuple*>> first;
+    std::unordered_map<Value, std::vector<const Tuple*>> last;
+    std::atomic<bool> built{false};
+  };
+
+  const ColSlot* Slot(RelId rel, uint32_t col) const;
+  void Build(RelId rel, const ColSlot& slot, uint32_t col) const;
+
+  const Universe* universe_;
+  Instance edb_;
+  /// Fixed after construction; per-relation slot vectors are sized to the
+  /// relation's widest tuple and never resized (ColSlot is immovable).
+  std::unordered_map<RelId, std::vector<ColSlot>> slots_;
+};
+
+/// The executor's copy-on-read view: a shared immutable BaseStore layered
+/// under a private mutable IDB overlay. Lookups consult both layers;
+/// derivation writes only the overlay, so any number of LayeredStores can
+/// share one BaseStore concurrently.
+class LayeredStore {
+ public:
+  /// Usable only after move-assignment from a real one.
+  LayeredStore() = default;
+  LayeredStore(const Universe& u, const BaseStore& base)
+      : base_(&base), overlay_(u, Instance{}) {}
+
+  const BaseStore& base() const { return *base_; }
+  IndexedInstance& overlay() { return overlay_; }
+
+  /// Adds a fact to the overlay unless either layer already holds it.
+  bool Add(RelId rel, Tuple t) {
+    if (base_->Contains(rel, t)) return false;
+    return overlay_.Add(rel, std::move(t));
+  }
+
+  bool Contains(RelId rel, const Tuple& t) const {
+    return base_->Contains(rel, t) || overlay_.Contains(rel, t);
+  }
+
+  /// Releases the overlay (the derived facts only).
+  Instance&& TakeOverlay() { return overlay_.TakeInstance(); }
+
+ private:
+  const BaseStore* base_ = nullptr;
+  IndexedInstance overlay_;
+};
+
+/// Per-round index over semi-naive delta sets. Wraps one round's deltas
+/// (which are immutable for the duration of the round) and builds a
+/// per-(relation, column) index on first probe — but only when the delta
+/// set holds at least `threshold` tuples; below that, Probe* returns
+/// nullptr and the caller scans the delta linearly. Single-threaded, like
+/// the run that owns it.
+class DeltaIndexer {
+ public:
+  DeltaIndexer(const Universe& u, const std::map<RelId, TupleSet>& delta,
+               size_t threshold)
+      : universe_(&u), delta_(&delta), threshold_(threshold) {}
+
+  /// nullptr = delta below threshold; scan linearly.
+  const std::vector<const Tuple*>* Probe(RelId rel, uint32_t col, PathId key);
+  const std::vector<const Tuple*>* ProbeFirst(RelId rel, uint32_t col,
+                                              Value first);
+  const std::vector<const Tuple*>* ProbeLast(RelId rel, uint32_t col,
+                                             Value last);
+
+ private:
+  /// Families build independently (per-family flags): a plan step probes
+  /// exactly one family, and this cost recurs every round — unlike
+  /// BaseStore, which builds all three in one amortized pass.
+  struct ColIndexes {
+    std::unordered_map<PathId, std::vector<const Tuple*>> whole;
+    std::unordered_map<Value, std::vector<const Tuple*>> first;
+    std::unordered_map<Value, std::vector<const Tuple*>> last;
+    bool whole_built = false;
+    bool first_built = false;
+    bool last_built = false;
+  };
+
+  /// The (rel, col) slot, or nullptr when the delta is below threshold or
+  /// absent. On success `*tuples` is the delta set to build from.
+  ColIndexes* Slot(RelId rel, uint32_t col, const TupleSet** tuples);
+
+  const Universe* universe_;
+  const std::map<RelId, TupleSet>* delta_;
+  size_t threshold_;
+  std::map<std::pair<RelId, uint32_t>, ColIndexes> built_;
 };
 
 }  // namespace seqdl

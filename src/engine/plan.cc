@@ -28,10 +28,15 @@ bool ItemIsGround(const ExprItem& item, const std::set<VarId>& bound) {
 // Picks the index strategy for a scan of `pred` given the variables bound
 // before it runs: a fully ground argument position (whole-value probe), or
 // failing that, the argument with the longest non-empty leading run of
-// ground items (first-value probe on the evaluated prefix).
+// ground items (first-value probe on the evaluated prefix) or trailing run
+// of ground items (last-value probe on the evaluated suffix, the
+// suffix-ground shape `$x ++ a`) — whichever run is longer, prefix winning
+// ties.
 void PickIndexArgs(const Predicate& pred, const std::set<VarId>& bound,
                    PlanStep* step) {
-  size_t best_prefix_len = 0;
+  size_t best_prefix_len = 0, best_suffix_len = 0;
+  int prefix_arg = -1, suffix_arg = -1;
+  PathExpr prefix_expr, suffix_expr;
   for (size_t i = 0; i < pred.args.size(); ++i) {
     const PathExpr& arg = pred.args[i];
     size_t ground_items = 0;
@@ -43,15 +48,36 @@ void PickIndexArgs(const Predicate& pred, const std::set<VarId>& bound,
       step->index_arg = static_cast<int>(i);
       step->prefix_arg = -1;
       step->prefix_expr = PathExpr();
+      step->suffix_arg = -1;
+      step->suffix_expr = PathExpr();
       return;
     }
     if (ground_items > best_prefix_len) {
       best_prefix_len = ground_items;
-      step->prefix_arg = static_cast<int>(i);
-      step->prefix_expr = PathExpr(std::vector<ExprItem>(
+      prefix_arg = static_cast<int>(i);
+      prefix_expr = PathExpr(std::vector<ExprItem>(
           arg.items.begin(),
           arg.items.begin() + static_cast<ptrdiff_t>(ground_items)));
     }
+    size_t trailing = 0;
+    while (trailing < arg.items.size() &&
+           ItemIsGround(arg.items[arg.items.size() - 1 - trailing], bound)) {
+      ++trailing;
+    }
+    if (trailing > best_suffix_len) {
+      best_suffix_len = trailing;
+      suffix_arg = static_cast<int>(i);
+      suffix_expr = PathExpr(std::vector<ExprItem>(
+          arg.items.end() - static_cast<ptrdiff_t>(trailing),
+          arg.items.end()));
+    }
+  }
+  if (best_prefix_len >= best_suffix_len) {
+    step->prefix_arg = prefix_arg;
+    step->prefix_expr = std::move(prefix_expr);
+  } else {
+    step->suffix_arg = suffix_arg;
+    step->suffix_expr = std::move(suffix_expr);
   }
 }
 
@@ -117,7 +143,10 @@ Result<RulePlan> PlanRule(const Universe& u, const Rule& r,
         return true;
       };
       if (all_bound(lhs) || all_bound(rhs)) {
-        plan.steps.push_back({PlanStep::Kind::kEq, pending[k], -1});
+        PlanStep step;
+        step.kind = PlanStep::Kind::kEq;
+        step.lit_idx = pending[k];
+        plan.steps.push_back(std::move(step));
         bound.insert(lhs.begin(), lhs.end());
         bound.insert(rhs.begin(), rhs.end());
         pending.erase(pending.begin() + static_cast<ptrdiff_t>(k));
@@ -145,9 +174,11 @@ Result<RulePlan> PlanRule(const Universe& u, const Rule& r,
             FormatRule(u, r));
       }
     }
-    plan.steps.push_back(
-        {l.is_predicate() ? PlanStep::Kind::kNegPred : PlanStep::Kind::kNegEq,
-         i, -1});
+    PlanStep step;
+    step.kind =
+        l.is_predicate() ? PlanStep::Kind::kNegPred : PlanStep::Kind::kNegEq;
+    step.lit_idx = i;
+    plan.steps.push_back(std::move(step));
   }
 
   // Head variables must be bound.

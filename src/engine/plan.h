@@ -37,11 +37,21 @@ struct PlanStep {
   /// non-empty leading run of ground items. At runtime the prefix
   /// evaluates to a ground path; if non-empty, its first value keys a
   /// first-value index probe (a matching tuple must start with it). -1
-  /// when no argument has a ground prefix (full relation scan).
+  /// when no argument has a ground prefix.
   int prefix_arg = -1;
   /// The ground leading items of args[prefix_arg], precomputed so the
   /// executor evaluates them without rebuilding the expression.
   PathExpr prefix_expr;
+  /// kScan only, used when index_arg and prefix_arg are both -1: argument
+  /// position with a non-empty trailing run of ground items (the
+  /// suffix-ground shape `$x ++ a`). At runtime the suffix evaluates to a
+  /// ground path; if non-empty, its last value keys a last-value index
+  /// probe (a matching tuple must end with it). -1 when no argument has a
+  /// ground suffix either (full relation scan). The planner prefers the
+  /// longer of the best prefix and best suffix runs.
+  int suffix_arg = -1;
+  /// The ground trailing items of args[suffix_arg].
+  PathExpr suffix_expr;
 };
 
 /// A rule with a precomputed evaluation order.

@@ -1,7 +1,12 @@
 #include "src/term/universe.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <shared_mutex>
 
 namespace seqdl {
 
@@ -17,13 +22,40 @@ size_t Universe::PathKeyHash::operator()(const std::vector<Value>& p) const {
   return h;
 }
 
-Universe::Universe() {
-  // Reserve PathId 0 for the empty path.
-  path_contents_.emplace_back();
-  path_ids_.emplace(std::vector<Value>{}, kEmptyPath);
+Universe::PathShard::~PathShard() {
+  for (std::atomic<std::vector<Value>*>& b : blocks) {
+    delete[] b.load(std::memory_order_relaxed);
+  }
 }
 
-AtomId Universe::InternAtom(std::string_view name) {
+uint32_t Universe::PathBlockOf(uint32_t local) {
+  return static_cast<uint32_t>(
+             std::bit_width((local >> kPathFirstBlockBits) + 1)) -
+         1;
+}
+
+uint32_t Universe::PathOffsetOf(uint32_t local, uint32_t block) {
+  return local - (((1u << block) - 1) << kPathFirstBlockBits);
+}
+
+uint32_t Universe::PathBlockCapacity(uint32_t block) {
+  return (1u << kPathFirstBlockBits) << block;
+}
+
+Universe::Universe() : path_shards_(new PathShard[kPathShards]) {
+  // Reserve PathId 0 (shard 0, index 0) for the empty path: entry 0 of the
+  // first block is a default-constructed (empty) vector, which is exactly
+  // the empty path's contents.
+  PathShard& s0 = path_shards_[0];
+  s0.blocks[0].store(new std::vector<Value>[PathBlockCapacity(0)],
+                     std::memory_order_release);
+  s0.size = 1;
+  s0.published_size.store(1, std::memory_order_relaxed);
+}
+
+Universe::~Universe() = default;
+
+AtomId Universe::InternAtomLocked(std::string_view name) {
   auto it = atom_ids_.find(std::string(name));
   if (it != atom_ids_.end()) return it->second;
   AtomId id = static_cast<AtomId>(atom_names_.size());
@@ -32,24 +64,79 @@ AtomId Universe::InternAtom(std::string_view name) {
   return id;
 }
 
+AtomId Universe::InternAtom(std::string_view name) {
+  std::unique_lock<std::shared_mutex> lock(atom_mu_);
+  return InternAtomLocked(name);
+}
+
+const std::string& Universe::AtomName(AtomId id) const {
+  std::shared_lock<std::shared_mutex> lock(atom_mu_);
+  return atom_names_[id];
+}
+
 AtomId Universe::FreshAtom(std::string_view hint) {
+  std::unique_lock<std::shared_mutex> lock(atom_mu_);
   std::string name = UniqueName(hint, atom_ids_, &fresh_atom_counter_);
-  return InternAtom(name);
+  return InternAtomLocked(name);
+}
+
+size_t Universe::num_atoms() const {
+  std::shared_lock<std::shared_mutex> lock(atom_mu_);
+  return atom_names_.size();
 }
 
 PathId Universe::InternPath(std::span<const Value> values) {
+  if (values.empty()) return kEmptyPath;
   std::vector<Value> key(values.begin(), values.end());
-  auto it = path_ids_.find(key);
-  if (it != path_ids_.end()) return it->second;
-  PathId id = static_cast<PathId>(path_contents_.size());
-  path_contents_.push_back(key);
-  path_ids_.emplace(std::move(key), id);
+  uint32_t shard =
+      static_cast<uint32_t>(PathKeyHash()(key)) & (kPathShards - 1);
+  PathShard& s = path_shards_[shard];
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.ids.find(key);
+  if (it != s.ids.end()) return it->second;
+  uint32_t local = s.size;
+  if (local >= kMaxPathsPerShard) {
+    // Unconditional (not assert): past this point the id would overflow
+    // Value's 31-bit payload and the block array — fail loudly rather
+    // than mint corrupt PathIds in release builds.
+    std::fprintf(stderr,
+                 "seqdl: Universe path shard full (%u paths); aborting\n",
+                 local);
+    std::abort();
+  }
+  uint32_t block_idx = PathBlockOf(local);
+  std::vector<Value>* block = s.blocks[block_idx].load(std::memory_order_relaxed);
+  if (block == nullptr) {
+    block = new std::vector<Value>[PathBlockCapacity(block_idx)];
+    s.blocks[block_idx].store(block, std::memory_order_release);
+  }
+  PathId id = (local << kPathShardBits) | shard;
+  // The entry is fully written before the id can escape: same-shard lookups
+  // synchronize on mu, and any other transfer of the id between threads
+  // carries its own happens-before edge.
+  block[PathOffsetOf(local, block_idx)] = key;
+  s.ids.emplace(std::move(key), id);
+  s.size = local + 1;
+  s.published_size.store(s.size, std::memory_order_relaxed);
   return id;
 }
 
 std::span<const Value> Universe::GetPath(PathId id) const {
-  assert(id < path_contents_.size());
-  return path_contents_[id];
+  uint32_t shard = id & (kPathShards - 1);
+  uint32_t local = id >> kPathShardBits;
+  uint32_t block_idx = PathBlockOf(local);
+  const std::vector<Value>* block =
+      path_shards_[shard].blocks[block_idx].load(std::memory_order_acquire);
+  assert(block != nullptr && "unknown PathId");
+  return block[PathOffsetOf(local, block_idx)];
+}
+
+size_t Universe::num_paths() const {
+  size_t n = 0;
+  for (uint32_t s = 0; s < kPathShards; ++s) {
+    n += path_shards_[s].published_size.load(std::memory_order_relaxed);
+  }
+  return n;
 }
 
 PathId Universe::Concat(PathId p1, PathId p2) {
@@ -133,7 +220,7 @@ std::string Universe::FormatPath(PathId p) const {
   return out;
 }
 
-VarId Universe::InternVar(VarKind kind, std::string_view name) {
+VarId Universe::InternVarLocked(VarKind kind, std::string_view name) {
   std::string key = (kind == VarKind::kAtomic ? "@" : "$") + std::string(name);
   auto it = var_ids_.find(key);
   if (it != var_ids_.end()) return it->second;
@@ -144,19 +231,43 @@ VarId Universe::InternVar(VarKind kind, std::string_view name) {
   return id;
 }
 
+VarId Universe::InternVar(VarKind kind, std::string_view name) {
+  std::unique_lock<std::shared_mutex> lock(var_mu_);
+  return InternVarLocked(kind, name);
+}
+
+VarKind Universe::VarKindOf(VarId id) const {
+  std::shared_lock<std::shared_mutex> lock(var_mu_);
+  return var_kinds_[id];
+}
+
+const std::string& Universe::VarName(VarId id) const {
+  std::shared_lock<std::shared_mutex> lock(var_mu_);
+  return var_names_[id];
+}
+
 VarId Universe::FreshVar(VarKind kind, std::string_view hint) {
   // Candidate names are checked against both sigil variants so the fresh
-  // name is unused regardless of kind.
+  // name is unused regardless of kind. Choosing the name and interning it
+  // happen under one lock, so the variable really is fresh even if other
+  // threads intern concurrently.
+  std::unique_lock<std::shared_mutex> lock(var_mu_);
   for (uint32_t i = fresh_var_counter_;; ++i) {
     std::string name = std::string(hint) + "_" + std::to_string(i);
     if (!var_ids_.count("@" + name) && !var_ids_.count("$" + name)) {
       fresh_var_counter_ = i + 1;
-      return InternVar(kind, name);
+      return InternVarLocked(kind, name);
     }
   }
 }
 
-Result<RelId> Universe::InternRel(std::string_view name, uint32_t arity) {
+size_t Universe::num_vars() const {
+  std::shared_lock<std::shared_mutex> lock(var_mu_);
+  return var_names_.size();
+}
+
+Result<RelId> Universe::InternRelLocked(std::string_view name,
+                                        uint32_t arity) {
   auto it = rel_ids_.find(std::string(name));
   if (it != rel_ids_.end()) {
     if (rel_arities_[it->second] != arity) {
@@ -174,7 +285,13 @@ Result<RelId> Universe::InternRel(std::string_view name, uint32_t arity) {
   return id;
 }
 
+Result<RelId> Universe::InternRel(std::string_view name, uint32_t arity) {
+  std::unique_lock<std::shared_mutex> lock(rel_mu_);
+  return InternRelLocked(name, arity);
+}
+
 Result<RelId> Universe::FindRel(std::string_view name) const {
+  std::shared_lock<std::shared_mutex> lock(rel_mu_);
   auto it = rel_ids_.find(std::string(name));
   if (it == rel_ids_.end()) {
     return Status::NotFound("unknown relation " + std::string(name));
@@ -182,11 +299,27 @@ Result<RelId> Universe::FindRel(std::string_view name) const {
   return it->second;
 }
 
+const std::string& Universe::RelName(RelId id) const {
+  std::shared_lock<std::shared_mutex> lock(rel_mu_);
+  return rel_names_[id];
+}
+
+uint32_t Universe::RelArity(RelId id) const {
+  std::shared_lock<std::shared_mutex> lock(rel_mu_);
+  return rel_arities_[id];
+}
+
 RelId Universe::FreshRel(std::string_view hint, uint32_t arity) {
+  std::unique_lock<std::shared_mutex> lock(rel_mu_);
   std::string name = UniqueName(hint, rel_ids_, &fresh_rel_counter_);
-  Result<RelId> r = InternRel(name, arity);
+  Result<RelId> r = InternRelLocked(name, arity);
   assert(r.ok());
   return *r;
+}
+
+size_t Universe::num_rels() const {
+  std::shared_lock<std::shared_mutex> lock(rel_mu_);
+  return rel_names_.size();
 }
 
 PathId Universe::PathOfChars(std::string_view chars) {

@@ -1,10 +1,26 @@
 // Universe: the owning context for all interned symbols of a seqdl session —
 // atomic values, paths (hash-consed), variables, and relation names. Every
 // seqdl component takes a Universe& explicitly; there is no global state.
+//
+// Thread safety: all interning and lookup methods may be called from any
+// number of threads concurrently (parallel PreparedProgram::Run / Session
+// runs intern paths while evaluating). The path store is sharded: each
+// shard's hash-cons table is guarded by its own mutex, while resolved paths
+// live in append-only block storage published with release stores, so
+// GetPath never takes a lock. The (much colder) atom/variable/relation
+// tables are guarded by one shared_mutex each (lookups take shared locks,
+// interning exclusive ones) and hand out references into std::deque
+// storage, which never relocates elements.
 #ifndef SEQDL_TERM_UNIVERSE_H_
 #define SEQDL_TERM_UNIVERSE_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -28,10 +44,12 @@ using RelId = uint32_t;
 enum class VarKind : uint8_t { kAtomic, kPath };
 
 /// Owning symbol context. Interns atoms, paths, variables and relation
-/// names, and generates fresh names for program transformations.
+/// names, and generates fresh names for program transformations. Safe for
+/// concurrent use from multiple threads (see file comment).
 class Universe {
  public:
   Universe();
+  ~Universe();
 
   Universe(const Universe&) = delete;
   Universe& operator=(const Universe&) = delete;
@@ -40,22 +58,25 @@ class Universe {
 
   /// Interns an atomic value by name; idempotent.
   AtomId InternAtom(std::string_view name);
-  /// The printed name of an atom.
-  const std::string& AtomName(AtomId id) const { return atom_names_[id]; }
+  /// The printed name of an atom (stable reference; deque storage).
+  const std::string& AtomName(AtomId id) const;
   /// A fresh atom whose name starts with `hint` and collides with nothing
   /// interned so far.
   AtomId FreshAtom(std::string_view hint);
-  size_t num_atoms() const { return atom_names_.size(); }
+  size_t num_atoms() const;
 
   // --- Paths (hash-consed) ----------------------------------------------
 
   /// Interns the path consisting of `values`; returns its id. The empty
-  /// span maps to kEmptyPath.
+  /// span maps to kEmptyPath. Thread-safe; equal contents always intern to
+  /// the same id regardless of which thread got there first.
   PathId InternPath(std::span<const Value> values);
-  /// The values of an interned path.
+  /// The values of an interned path. Lock-free: resolves through the
+  /// shard's published block storage; the returned span stays valid for
+  /// the Universe's lifetime (interned paths are immutable).
   std::span<const Value> GetPath(PathId id) const;
   size_t PathLength(PathId id) const { return GetPath(id).size(); }
-  size_t num_paths() const { return path_contents_.size(); }
+  size_t num_paths() const;
 
   /// Concatenation p1 · p2.
   PathId Concat(PathId p1, PathId p2);
@@ -87,11 +108,11 @@ class Universe {
 
   /// Interns a variable by kind + name; idempotent per (kind, name).
   VarId InternVar(VarKind kind, std::string_view name);
-  VarKind VarKindOf(VarId id) const { return var_kinds_[id]; }
-  const std::string& VarName(VarId id) const { return var_names_[id]; }
+  VarKind VarKindOf(VarId id) const;
+  const std::string& VarName(VarId id) const;
   /// Fresh variable of the given kind; name derived from `hint`.
   VarId FreshVar(VarKind kind, std::string_view hint);
-  size_t num_vars() const { return var_names_.size(); }
+  size_t num_vars() const;
 
   // --- Relation names -----------------------------------------------------
 
@@ -100,11 +121,11 @@ class Universe {
   Result<RelId> InternRel(std::string_view name, uint32_t arity);
   /// Looks up a relation by name.
   Result<RelId> FindRel(std::string_view name) const;
-  const std::string& RelName(RelId id) const { return rel_names_[id]; }
-  uint32_t RelArity(RelId id) const { return rel_arities_[id]; }
+  const std::string& RelName(RelId id) const;
+  uint32_t RelArity(RelId id) const;
   /// Fresh relation name with the given arity, derived from `hint`.
   RelId FreshRel(std::string_view hint, uint32_t arity);
-  size_t num_rels() const { return rel_names_.size(); }
+  size_t num_rels() const;
 
   // --- Convenience constructors (mostly for tests and examples) -----------
 
@@ -114,27 +135,72 @@ class Universe {
   PathId PathOfWords(std::string_view words);
 
  private:
-  std::string UniqueName(std::string_view hint,
-                         const std::unordered_map<std::string, uint32_t>& used,
-                         uint32_t* counter);
-
-  std::vector<std::string> atom_names_;
-  std::unordered_map<std::string, AtomId> atom_ids_;
-  uint32_t fresh_atom_counter_ = 0;
+  // --- Sharded hash-consed path store -------------------------------------
+  //
+  // A PathId encodes (shard, per-shard index): the low kPathShardBits bits
+  // select the shard (chosen by contents hash, so equal paths always land
+  // in the same shard), the remaining bits are the append-only index into
+  // that shard's storage. Storage is a sequence of geometrically growing
+  // blocks (block b holds kPathFirstBlockSize << b entries); blocks are
+  // never moved or freed until destruction, and block pointers are
+  // published with release stores, so GetPath resolves ids with two loads
+  // and no lock. kEmptyPath (id 0 = shard 0, index 0) is pre-registered at
+  // construction.
+  static constexpr uint32_t kPathShardBits = 4;
+  static constexpr uint32_t kPathShards = 1u << kPathShardBits;
+  static constexpr uint32_t kPathFirstBlockBits = 10;
+  /// Enough blocks that kMaxPathsPerShard is the binding limit: blocks
+  /// 0..17 hold 1024 * (2^18 - 1) > 2^27 entries.
+  static constexpr uint32_t kPathMaxBlocks = 18;
+  /// PathIds must fit Value's 31-bit payload: per-shard index < 2^27.
+  static constexpr uint32_t kMaxPathsPerShard = 1u << 27;
 
   struct PathKeyHash {
     size_t operator()(const std::vector<Value>& p) const;
   };
-  std::vector<std::vector<Value>> path_contents_;
-  std::unordered_map<std::vector<Value>, PathId, PathKeyHash> path_ids_;
+  struct PathShard {
+    std::mutex mu;
+    /// Contents -> full PathId (shard already encoded in the low bits).
+    std::unordered_map<std::vector<Value>, PathId, PathKeyHash> ids;
+    /// Number of paths stored; guarded by mu.
+    uint32_t size = 0;
+    /// size, republished for lock-free num_paths().
+    std::atomic<uint32_t> published_size{0};
+    /// blocks[b] holds kPathFirstBlockSize << b entries (release-published).
+    std::array<std::atomic<std::vector<Value>*>, kPathMaxBlocks> blocks{};
 
-  std::vector<std::string> var_names_;
-  std::vector<VarKind> var_kinds_;
+    ~PathShard();
+  };
+
+  static uint32_t PathBlockOf(uint32_t local);
+  static uint32_t PathOffsetOf(uint32_t local, uint32_t block);
+  static uint32_t PathBlockCapacity(uint32_t block);
+
+  // Unlocked variants; the caller holds the corresponding mutex.
+  AtomId InternAtomLocked(std::string_view name);
+  VarId InternVarLocked(VarKind kind, std::string_view name);
+  Result<RelId> InternRelLocked(std::string_view name, uint32_t arity);
+
+  std::string UniqueName(std::string_view hint,
+                         const std::unordered_map<std::string, uint32_t>& used,
+                         uint32_t* counter);
+
+  std::unique_ptr<PathShard[]> path_shards_;
+
+  mutable std::shared_mutex atom_mu_;
+  std::deque<std::string> atom_names_;
+  std::unordered_map<std::string, AtomId> atom_ids_;
+  uint32_t fresh_atom_counter_ = 0;
+
+  mutable std::shared_mutex var_mu_;
+  std::deque<std::string> var_names_;
+  std::deque<VarKind> var_kinds_;
   std::unordered_map<std::string, VarId> var_ids_;  // key: sigil + name
   uint32_t fresh_var_counter_ = 0;
 
-  std::vector<std::string> rel_names_;
-  std::vector<uint32_t> rel_arities_;
+  mutable std::shared_mutex rel_mu_;
+  std::deque<std::string> rel_names_;
+  std::deque<uint32_t> rel_arities_;
   std::unordered_map<std::string, RelId> rel_ids_;
   uint32_t fresh_rel_counter_ = 0;
 };

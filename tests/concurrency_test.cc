@@ -1,0 +1,336 @@
+// Concurrency coverage for the Database/Session API and the thread-safe
+// Universe: parallel session runs over one shared pre-indexed EDB must be
+// byte-identical to sequential runs, and concurrent interning must
+// hash-cons consistently across threads. All assertions happen on the
+// main thread after joining (gtest assertions are not thread-safe);
+// worker threads only record what they saw.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/engine/database.h"
+#include "src/engine/engine.h"
+#include "src/engine/instance.h"
+#include "src/queries/queries.h"
+#include "src/syntax/parser.h"
+#include "src/term/universe.h"
+#include "src/workload/generators.h"
+
+namespace seqdl {
+namespace {
+
+constexpr size_t kThreads = 8;
+
+// Deterministic per-thread generator (splitmix64), so runs reproduce.
+struct Rng {
+  uint64_t state;
+  uint64_t Next() {
+    state += 0x9e3779b97f4a7c15ull;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+};
+
+// --- Universe interning ------------------------------------------------------
+
+TEST(UniverseConcurrencyTest, InterningStressAgreesAcrossThreads) {
+  Universe u;
+  // A shared pool of atoms interned before the threads start; the threads
+  // then race to intern overlapping sets of paths built from them.
+  constexpr size_t kAtoms = 12;
+  std::vector<Value> atoms;
+  for (size_t i = 0; i < kAtoms; ++i) {
+    atoms.push_back(Value::Atom(u.InternAtom("a" + std::to_string(i))));
+  }
+
+  constexpr size_t kItersPerThread = 4000;
+  // Each thread records (path contents as digit string) -> PathId.
+  std::vector<std::map<std::string, PathId>> seen(kThreads);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng{t + 1};
+      for (size_t i = 0; i < kItersPerThread; ++i) {
+        size_t len = rng.Next() % 6;
+        std::vector<Value> values;
+        std::string key;
+        for (size_t k = 0; k < len; ++k) {
+          size_t a = rng.Next() % kAtoms;
+          values.push_back(atoms[a]);
+          key += static_cast<char>('A' + a);
+        }
+        PathId id = u.InternPath(values);
+        seen[t][key] = id;
+        // Round-trip through the lock-free read path while other threads
+        // are still interning.
+        std::span<const Value> got = u.GetPath(id);
+        if (got.size() != values.size()) {
+          seen[t][key] = static_cast<PathId>(-1);  // poison: caught below
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  // Equal contents must have interned to equal ids in every thread.
+  std::map<std::string, PathId> combined;
+  for (const auto& m : seen) {
+    for (const auto& [key, id] : m) {
+      ASSERT_NE(id, static_cast<PathId>(-1)) << "GetPath mismatch for " << key;
+      auto [it, inserted] = combined.emplace(key, id);
+      EXPECT_EQ(it->second, id) << "contents " << key
+                                << " interned to two different ids";
+    }
+  }
+  // And every id resolves back to its contents.
+  for (const auto& [key, id] : combined) {
+    std::span<const Value> got = u.GetPath(id);
+    ASSERT_EQ(got.size(), key.size());
+    for (size_t k = 0; k < key.size(); ++k) {
+      EXPECT_EQ(got[k], atoms[static_cast<size_t>(key[k] - 'A')]);
+    }
+  }
+  EXPECT_EQ(u.InternPath({}), kEmptyPath);
+}
+
+TEST(UniverseConcurrencyTest, ConcatAppendStress) {
+  Universe u;
+  PathId base = u.PathOfChars("ab");
+  Value c = Value::Atom(u.InternAtom("c"));
+  std::vector<PathId> results(kThreads);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      PathId p = base;
+      for (int i = 0; i < 500; ++i) {
+        p = u.Append(base, c);
+        p = u.Concat(p, base);
+        p = u.SubPath(p, 0, 3);
+      }
+      results[t] = p;
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (size_t t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(results[t], results[0]);
+  }
+  EXPECT_EQ(u.FormatPath(results[0]), "a·b·c");
+}
+
+TEST(UniverseConcurrencyTest, AtomVarRelInterningStress) {
+  Universe u;
+  std::vector<std::vector<uint32_t>> ids(kThreads);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 200; ++i) {
+        ids[t].push_back(u.InternAtom("atom" + std::to_string(i % 50)));
+        ids[t].push_back(
+            u.InternVar(VarKind::kPath, "v" + std::to_string(i % 20)));
+        Result<RelId> r = u.InternRel("Rel" + std::to_string(i % 10), 2);
+        ids[t].push_back(r.ok() ? *r : static_cast<uint32_t>(-1));
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (size_t t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(ids[t], ids[0]);
+  }
+  EXPECT_EQ(u.num_atoms(), 50u);
+  EXPECT_EQ(u.num_vars(), 20u);
+  EXPECT_EQ(u.num_rels(), 10u);
+}
+
+// --- Database/Session --------------------------------------------------------
+
+TEST(DatabaseConcurrencyTest, ParallelSessionRunsMatchSequential) {
+  Universe u;
+  Result<ParsedQuery> q = ParsePaperQuery(u, "reach_ab");
+  ASSERT_TRUE(q.ok());
+  GraphWorkload gw;
+  gw.nodes = 24;
+  gw.edges = 48;
+  gw.seed = 7;
+  Result<Instance> in = GraphToInstance(u, RandomGraph(gw), "R");
+  ASSERT_TRUE(in.ok());
+  Result<Database> db = Database::Open(u, std::move(*in));
+  ASSERT_TRUE(db.ok());
+  Result<PreparedProgram> prog = Engine::Compile(u, q->program);
+  ASSERT_TRUE(prog.ok());
+
+  // Sequential reference (also exercises the lazy base index build before
+  // the threads arrive — and again from cold in a fresh Database below).
+  Result<Instance> reference = db->OpenSession().Run(*prog);
+  ASSERT_TRUE(reference.ok());
+  std::string reference_text = reference->ToString(u);
+  ASSERT_FALSE(reference_text.empty());
+
+  constexpr size_t kRunsPerThread = 3;
+  std::vector<std::string> outputs(kThreads);
+  std::vector<std::string> errors(kThreads);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Session session = db->OpenSession();
+      for (size_t r = 0; r < kRunsPerThread; ++r) {
+        Result<Instance> out = session.Run(*prog);
+        if (!out.ok()) {
+          errors[t] = out.status().ToString();
+          return;
+        }
+        std::string text = out->ToString(u);
+        if (r == 0) {
+          outputs[t] = text;
+        } else if (text != outputs[t]) {
+          errors[t] = "run " + std::to_string(r) + " differed from run 0";
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (size_t t = 0; t < kThreads; ++t) {
+    EXPECT_TRUE(errors[t].empty()) << "thread " << t << ": " << errors[t];
+    // Byte-identical to the sequential run.
+    EXPECT_EQ(outputs[t], reference_text) << "thread " << t;
+  }
+}
+
+TEST(DatabaseConcurrencyTest, ColdDatabaseRacesIndexBuild) {
+  // No sequential warm-up run: all threads hit the lazy call_once index
+  // build simultaneously.
+  Universe u;
+  Result<ParsedQuery> q = ParsePaperQuery(u, "reach_ab");
+  ASSERT_TRUE(q.ok());
+  GraphWorkload gw;
+  gw.nodes = 16;
+  gw.edges = 32;
+  gw.seed = 3;
+  Result<Instance> in = GraphToInstance(u, RandomGraph(gw), "R");
+  ASSERT_TRUE(in.ok());
+  Result<PreparedProgram> prog = Engine::Compile(u, q->program);
+  ASSERT_TRUE(prog.ok());
+
+  Instance edb_copy = *in;
+  Result<Database> db = Database::Open(u, std::move(*in));
+  ASSERT_TRUE(db.ok());
+
+  std::vector<std::string> outputs(kThreads);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Result<Instance> out = db->OpenSession().Run(*prog);
+      outputs[t] = out.ok() ? out->ToString(u) : out.status().ToString();
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  // Reference computed afterwards through the legacy path (derived facts =
+  // full result minus the EDB).
+  Result<Instance> full = prog->Run(edb_copy);
+  ASSERT_TRUE(full.ok());
+  std::set<RelId> idb = IdbRels(prog->program());
+  std::string reference =
+      full->Project({idb.begin(), idb.end()}).ToString(u);
+  for (size_t t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(outputs[t], reference) << "thread " << t;
+  }
+}
+
+TEST(DatabaseConcurrencyTest, DistinctProgramsShareOneDatabase) {
+  Universe u;
+  Result<Program> reach = ParseProgram(
+      u,
+      "Reach($x, $y) <- R($x ++ $y).\n"
+      "Reach($x, $z) <- Reach($x, $y), R($y ++ $z).");
+  ASSERT_TRUE(reach.ok());
+  Result<Program> loops = ParseProgram(u, "Loop($x) <- R($x ++ $x).");
+  ASSERT_TRUE(loops.ok());
+  Result<Instance> in = ParseInstance(
+      u, "R(a ++ b). R(b ++ c). R(c ++ a). R(d ++ d).");
+  ASSERT_TRUE(in.ok());
+  Result<Database> db = Database::Open(u, std::move(*in));
+  ASSERT_TRUE(db.ok());
+  Result<PreparedProgram> p1 = Engine::Compile(u, std::move(*reach));
+  Result<PreparedProgram> p2 = Engine::Compile(u, std::move(*loops));
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(p2.ok());
+
+  std::string ref1 = db->OpenSession().Run(*p1)->ToString(u);
+  std::string ref2 = db->OpenSession().Run(*p2)->ToString(u);
+  ASSERT_FALSE(ref1.empty());
+  ASSERT_FALSE(ref2.empty());
+
+  std::vector<std::string> outputs(kThreads);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const PreparedProgram& prog = (t % 2 == 0) ? *p1 : *p2;
+      Result<Instance> out = db->OpenSession().Run(prog);
+      outputs[t] = out.ok() ? out->ToString(u) : out.status().ToString();
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (size_t t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(outputs[t], t % 2 == 0 ? ref1 : ref2) << "thread " << t;
+  }
+}
+
+TEST(DatabaseConcurrencyTest, SessionRejectsForeignUniverse) {
+  Universe u1, u2;
+  Result<Instance> in = ParseInstance(u1, "R(a).");
+  ASSERT_TRUE(in.ok());
+  Result<Database> db = Database::Open(u1, std::move(*in));
+  ASSERT_TRUE(db.ok());
+  Result<Program> p = ParseProgram(u2, "S($x) <- R($x).");
+  ASSERT_TRUE(p.ok());
+  Result<PreparedProgram> prog = Engine::Compile(u2, std::move(*p));
+  ASSERT_TRUE(prog.ok());
+  Result<Instance> out = db->OpenSession().Run(*prog);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+}
+
+// The legacy entry point is thread-safe too now: each Run builds its own
+// throwaway base, and the shared Universe interns with synchronization.
+TEST(DatabaseConcurrencyTest, LegacyPreparedRunsAreThreadSafe) {
+  Universe u;
+  Result<ParsedQuery> q = ParsePaperQuery(u, "reach_ab");
+  ASSERT_TRUE(q.ok());
+  GraphWorkload gw;
+  gw.nodes = 12;
+  gw.edges = 24;
+  gw.seed = 11;
+  Result<Instance> in = GraphToInstance(u, RandomGraph(gw), "R");
+  ASSERT_TRUE(in.ok());
+  Result<PreparedProgram> prog = Engine::Compile(u, q->program);
+  ASSERT_TRUE(prog.ok());
+
+  Result<Instance> reference = prog->Run(*in);
+  ASSERT_TRUE(reference.ok());
+  std::string reference_text = reference->ToString(u);
+
+  std::vector<std::string> outputs(kThreads);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Result<Instance> out = prog->Run(*in);
+      outputs[t] = out.ok() ? out->ToString(u) : out.status().ToString();
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (size_t t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(outputs[t], reference_text) << "thread " << t;
+  }
+}
+
+}  // namespace
+}  // namespace seqdl

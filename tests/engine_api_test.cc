@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "src/engine/database.h"
 #include "src/engine/engine.h"
 #include "src/engine/eval.h"
 #include "src/engine/index.h"
@@ -237,6 +238,69 @@ TEST(EngineTest, StatsReportPerStratumAndScanCounters) {
   EXPECT_GT(noidx.full_scans, 0u);
 }
 
+TEST(EngineTest, SuffixProbesFireOnSuffixGroundPattern) {
+  // `$x ++ b` has no ground argument and no ground prefix: before the
+  // last-value index it was a full scan per probe.
+  Universe u;
+  Program p = MustParse(u,
+                        "EndsB($x) <- S($x ++ b).\n"
+                        "Chain($x) <- EndsB($x), S($x ++ b).");
+  Result<PreparedProgram> prog = Engine::Compile(u, std::move(p));
+  ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+  Instance in = MustInstance(u, "S(a ++ b). S(a ++ c). S(b). S(c ++ b).");
+  EvalStats stats;
+  Result<Instance> out = prog->Run(in, {}, &stats);
+  ASSERT_TRUE(out.ok());
+  RelId ends = *u.FindRel("EndsB");
+  EXPECT_EQ(out->Tuples(ends).size(), 3u);  // ab, b(x=eps), cb
+  EXPECT_GT(stats.suffix_probes, 0u);
+
+  // Ablation: suffix-indexed and full-scan runs agree.
+  RunOptions no_index;
+  no_index.use_index = false;
+  EvalStats scan_stats;
+  Result<Instance> scanned = prog->Run(in, no_index, &scan_stats);
+  ASSERT_TRUE(scanned.ok());
+  EXPECT_EQ(*out, *scanned);
+  EXPECT_EQ(scan_stats.suffix_probes, 0u);
+}
+
+TEST(EngineTest, DeltaIndexProbesFireAboveThreshold) {
+  Universe u;
+  Result<ParsedQuery> q = ParsePaperQuery(u, "reach_ab");
+  ASSERT_TRUE(q.ok());
+  GraphWorkload gw;
+  gw.nodes = 24;
+  gw.edges = 48;
+  gw.seed = 9;
+  Result<Instance> in = GraphToInstance(u, RandomGraph(gw), "R");
+  ASSERT_TRUE(in.ok());
+  Result<PreparedProgram> prog = Engine::Compile(u, q->program);
+  ASSERT_TRUE(prog.ok());
+
+  RunOptions always;
+  always.delta_index_threshold = 0;  // index every delta
+  EvalStats always_stats;
+  Result<Instance> indexed = prog->Run(*in, always, &always_stats);
+  ASSERT_TRUE(indexed.ok());
+  EXPECT_GT(always_stats.delta_index_probes, 0u);
+  EXPECT_LE(always_stats.delta_index_probes, always_stats.delta_scans);
+
+  RunOptions never;
+  never.delta_index_threshold = static_cast<size_t>(-1);
+  EvalStats never_stats;
+  Result<Instance> linear = prog->Run(*in, never, &never_stats);
+  ASSERT_TRUE(linear.ok());
+  EXPECT_EQ(never_stats.delta_index_probes, 0u);
+
+  // Indexed and linear delta scans derive the same facts, and the default
+  // threshold agrees too.
+  EXPECT_EQ(*indexed, *linear);
+  Result<Instance> default_run = prog->Run(*in);
+  ASSERT_TRUE(default_run.ok());
+  EXPECT_EQ(*indexed, *default_run);
+}
+
 TEST(EngineTest, IndexProbesFireOnJoinWorkload) {
   // Reachability joins R on a bound first atom: the prefix index must
   // answer those scans.
@@ -362,6 +426,135 @@ TEST(IndexedInstanceTest, ProbeFirstBucketsByLeadingValue) {
 
   EXPECT_TRUE(store.Add(r, {u.PathOfChars("ad")}));
   EXPECT_EQ(store.ProbeFirst(r, 0, a).size(), 3u);
+}
+
+TEST(IndexedInstanceTest, ProbeLastBucketsByTrailingValue) {
+  Universe u;
+  RelId r = *u.InternRel("R", 1);
+  Instance base;
+  base.Add(r, {u.PathOfChars("ab")});
+  base.Add(r, {u.PathOfChars("cb")});
+  base.Add(r, {u.PathOfChars("ba")});
+  base.Add(r, {u.PathOfChars("b")});
+  base.Add(r, {kEmptyPath});  // empty path: in no last-value bucket
+  IndexedInstance store(u, base);
+
+  Value a = Value::Atom(u.InternAtom("a"));
+  Value b = Value::Atom(u.InternAtom("b"));
+  Value c = Value::Atom(u.InternAtom("c"));
+  EXPECT_EQ(store.ProbeLast(r, 0, b).size(), 3u);  // ab, cb, b
+  EXPECT_EQ(store.ProbeLast(r, 0, a).size(), 1u);  // ba
+  EXPECT_EQ(store.ProbeLast(r, 0, c).size(), 0u);
+
+  // Incremental maintenance mirrors the first-value index.
+  EXPECT_TRUE(store.Add(r, {u.PathOfChars("db")}));
+  EXPECT_EQ(store.ProbeLast(r, 0, b).size(), 4u);
+}
+
+TEST(BaseStoreTest, ProbesAgreeAcrossAllThreeFamilies) {
+  Universe u;
+  RelId r = *u.InternRel("R", 2);
+  Instance base;
+  base.Add(r, {u.PathOfChars("ab"), u.PathOfChars("x")});
+  base.Add(r, {u.PathOfChars("ac"), u.PathOfChars("y")});
+  base.Add(r, {u.PathOfChars("cb"), u.PathOfChars("x")});
+  BaseStore store(u, std::move(base));
+
+  Value a = Value::Atom(u.InternAtom("a"));
+  Value b = Value::Atom(u.InternAtom("b"));
+  EXPECT_EQ(store.Probe(r, 0, u.PathOfChars("ab")).size(), 1u);
+  EXPECT_EQ(store.Probe(r, 1, u.PathOfChars("x")).size(), 2u);
+  EXPECT_EQ(store.ProbeFirst(r, 0, a).size(), 2u);  // ab, ac
+  EXPECT_EQ(store.ProbeLast(r, 0, b).size(), 2u);   // ab, cb
+  // Absent relations and out-of-range columns return the empty bucket.
+  EXPECT_EQ(store.Probe(r + 1, 0, kEmptyPath).size(), 0u);
+  EXPECT_EQ(store.Probe(r, 7, kEmptyPath).size(), 0u);
+  // One slot per column built (all three families build together).
+  EXPECT_EQ(store.NumIndexedColumns(), 2u);
+}
+
+// --- Database/Session ---------------------------------------------------------
+
+TEST(DatabaseTest, SessionRunReturnsDerivedOnly) {
+  Universe u;
+  Program p = MustParse(u,
+                        "Reach($x, $y) <- R($x ++ $y).\n"
+                        "Reach($x, $z) <- Reach($x, $y), R($y ++ $z).");
+  Result<PreparedProgram> prog = Engine::Compile(u, std::move(p));
+  ASSERT_TRUE(prog.ok());
+  Instance in = MustInstance(u, "R(a ++ b). R(b ++ c).");
+  Instance in_copy = in;
+  Result<Database> db = Database::Open(u, std::move(in));
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->edb().NumFacts(), 2u);
+
+  Session session = db->OpenSession();
+  Result<Instance> derived = session.Run(*prog);
+  ASSERT_TRUE(derived.ok());
+  RelId r = *u.FindRel("R");
+  RelId reach = *u.FindRel("Reach");
+  // Derived facts only: the EDB relation is not in the result.
+  EXPECT_TRUE(derived->Tuples(r).empty());
+  // `$x ++ $y` enumerates every split of every reachable path.
+  EXPECT_GT(derived->Tuples(reach).size(), 0u);
+
+  // Same derived facts as the legacy input-plus-derived path.
+  Result<Instance> full = prog->Run(in_copy);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->Project({reach}), derived->Project({reach}));
+
+  // RunQuery projects.
+  Result<Instance> projected = session.RunQuery(*prog, reach);
+  ASSERT_TRUE(projected.ok());
+  EXPECT_EQ(*projected, derived->Project({reach}));
+}
+
+TEST(DatabaseTest, BaseIndexesBuildOncePerColumn) {
+  Universe u;
+  Program p = MustParse(u,
+                        "Reach($x, $y) <- R($x ++ $y).\n"
+                        "Reach($x, $z) <- Reach($x, $y), R($y ++ $z).");
+  Result<PreparedProgram> prog = Engine::Compile(u, std::move(p));
+  ASSERT_TRUE(prog.ok());
+  Instance in = MustInstance(u, "R(a ++ b). R(b ++ c). R(c ++ d).");
+  Result<Database> db = Database::Open(u, std::move(in));
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->NumIndexedColumns(), 0u);  // lazy: nothing probed yet
+
+  Session session = db->OpenSession();
+  ASSERT_TRUE(session.Run(*prog).ok());
+  size_t after_first = db->NumIndexedColumns();
+  EXPECT_GT(after_first, 0u);
+  // Re-running probes the already-built indexes; nothing new is built.
+  ASSERT_TRUE(session.Run(*prog).ok());
+  EXPECT_EQ(db->NumIndexedColumns(), after_first);
+}
+
+TEST(DatabaseTest, EagerIndexesBuildAtOpen) {
+  Universe u;
+  Instance in = MustInstance(u, "R(a ++ b). S(c, d).");
+  Database::OpenOptions opts;
+  opts.eager_indexes = true;
+  Result<Database> db = Database::Open(u, std::move(in), opts);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->NumIndexedColumns(), 3u);  // R/0, S/0, S/1
+}
+
+TEST(DatabaseTest, RunsDoNotMutateTheBase) {
+  Universe u;
+  Program p = MustParse(u, "S($x) <- R($x).");
+  Result<PreparedProgram> prog = Engine::Compile(u, std::move(p));
+  ASSERT_TRUE(prog.ok());
+  Instance in = MustInstance(u, "R(a). R(b).");
+  Result<Database> db = Database::Open(u, std::move(in));
+  ASSERT_TRUE(db.ok());
+  Session session = db->OpenSession();
+  for (int i = 0; i < 3; ++i) {
+    Result<Instance> derived = session.Run(*prog);
+    ASSERT_TRUE(derived.ok());
+    EXPECT_EQ(derived->NumFacts(), 2u);
+  }
+  EXPECT_EQ(db->edb().NumFacts(), 2u);  // base untouched
 }
 
 // --- Instance satellite: move union + shared empty set --------------------------

@@ -7,6 +7,18 @@
 //       engine's extended counters (per-stratum rounds, index probes vs.
 //       full scans, compile/run wall times).
 //
+//   seqdl serve <instance.sdl> [--stats]
+//       Load the instance into a Database once (EDB indexed a single
+//       time), then answer queries from stdin until EOF, one per line:
+//
+//           run <program.sdl> [REL]    evaluate against the preloaded EDB,
+//                                      print derived facts (or just REL)
+//           quit                       exit
+//
+//       Programs are compiled once per path and cached, so repeating a
+//       query pays neither compilation nor EDB indexing again — the
+//       serving loop the Database/Session API exists for.
+//
 //   seqdl check <program.sdl>
 //       Validate safety/stratification, report the features used and the
 //       Figure 1 expressiveness class of the program's fragment.
@@ -28,9 +40,12 @@
 //   seqdl regex <pattern>
 //       Compile a regular expression to a Sequence Datalog matcher and
 //       print the program.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -39,6 +54,7 @@
 #include "src/algebra/from_datalog.h"
 #include "src/analysis/features.h"
 #include "src/analysis/safety.h"
+#include "src/engine/database.h"
 #include "src/engine/engine.h"
 #include "src/engine/instance.h"
 #include "src/fragments/fragments.h"
@@ -123,10 +139,11 @@ int CmdRun(const std::vector<std::string>& args) {
                stats.derived_facts, stats.rounds, stats.rule_firings);
   if (HasFlag(args, "--stats")) {
     std::fprintf(stderr,
-                 "-- scans: %zu index probes, %zu prefix probes, %zu full, "
-                 "%zu delta\n",
-                 stats.index_probes, stats.prefix_probes, stats.full_scans,
-                 stats.delta_scans);
+                 "-- scans: %zu index probes, %zu prefix probes, %zu suffix "
+                 "probes, %zu full, %zu delta (%zu delta-indexed)\n",
+                 stats.index_probes, stats.prefix_probes, stats.suffix_probes,
+                 stats.full_scans, stats.delta_scans,
+                 stats.delta_index_probes);
     std::fprintf(stderr, "-- compile %.3f ms, run %.3f ms\n",
                  stats.compile_seconds * 1e3, stats.run_seconds * 1e3);
     for (size_t i = 0; i < stats.per_stratum.size(); ++i) {
@@ -134,6 +151,95 @@ int CmdRun(const std::vector<std::string>& args) {
       std::fprintf(stderr,
                    "-- stratum %zu: %zu rounds, %zu firings, %zu facts\n",
                    i, s.rounds, s.rule_firings, s.derived_facts);
+    }
+  }
+  return 0;
+}
+
+// Repeated-query serving loop: one Database (EDB loaded and indexed once),
+// one Universe, a cache of compiled programs, any number of session runs.
+int CmdServe(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    std::fprintf(stderr, "usage: seqdl serve <instance> [--stats]\n");
+    return 2;
+  }
+  bool stats_on = HasFlag(args, "--stats");
+  seqdl::Universe u;
+  auto instance_text = ReadFile(args[0]);
+  if (!instance_text.ok()) return Fail(instance_text.status());
+  auto instance = seqdl::ParseInstance(u, *instance_text);
+  if (!instance.ok()) return Fail(instance.status());
+  size_t edb_facts = instance->NumFacts();
+  auto db = seqdl::Database::Open(u, std::move(*instance));
+  if (!db.ok()) return Fail(db.status());
+  seqdl::Session session = db->OpenSession();
+  std::fprintf(stderr, "-- serving %zu EDB facts from %s; "
+                       "'run <program> [REL]' or 'quit'\n",
+               edb_facts, args[0].c_str());
+
+  std::map<std::string, seqdl::PreparedProgram> programs;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream words(line);
+    std::string cmd;
+    words >> cmd;
+    if (cmd.empty()) continue;
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd != "run") {
+      std::fprintf(stderr, "error: unknown serve command '%s'\n", cmd.c_str());
+      continue;
+    }
+    std::string path, output_rel;
+    words >> path >> output_rel;
+    if (path.empty()) {
+      std::fprintf(stderr, "usage: run <program> [REL]\n");
+      continue;
+    }
+    auto it = programs.find(path);
+    if (it == programs.end()) {
+      auto text = ReadFile(path);
+      if (!text.ok()) {
+        Fail(text.status());
+        continue;
+      }
+      auto program = seqdl::ParseProgram(u, *text);
+      if (!program.ok()) {
+        Fail(program.status());
+        continue;
+      }
+      auto prepared = seqdl::Engine::Compile(u, std::move(*program));
+      if (!prepared.ok()) {
+        Fail(prepared.status());
+        continue;
+      }
+      it = programs.emplace(path, std::move(*prepared)).first;
+    }
+    seqdl::EvalStats stats;
+    auto derived = session.Run(it->second, {}, &stats);
+    if (!derived.ok()) {
+      Fail(derived.status());
+      continue;
+    }
+    if (!output_rel.empty()) {
+      auto rel = u.FindRel(output_rel);
+      if (!rel.ok()) {
+        Fail(rel.status());
+        continue;
+      }
+      std::printf("%s", derived->Project({*rel}).ToString(u).c_str());
+    } else {
+      std::printf("%s", derived->ToString(u).c_str());
+    }
+    std::fflush(stdout);
+    std::fprintf(stderr, "-- %zu facts derived in %.3f ms\n",
+                 stats.derived_facts, stats.run_seconds * 1e3);
+    if (stats_on) {
+      std::fprintf(stderr,
+                   "-- scans: %zu index, %zu prefix, %zu suffix, %zu full, "
+                   "%zu delta (%zu delta-indexed); %zu base columns indexed\n",
+                   stats.index_probes, stats.prefix_probes,
+                   stats.suffix_probes, stats.full_scans, stats.delta_scans,
+                   stats.delta_index_probes, db->NumIndexedColumns());
     }
   }
   return 0;
@@ -299,13 +405,14 @@ int CmdRegex(const std::vector<std::string>& args) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: seqdl <run|check|transform|normalform|algebra|"
+                 "usage: seqdl <run|serve|check|transform|normalform|algebra|"
                  "hasse|regex> ...\n");
     return 2;
   }
   std::string cmd = argv[1];
   std::vector<std::string> args(argv + 2, argv + argc);
   if (cmd == "run") return CmdRun(args);
+  if (cmd == "serve") return CmdServe(args);
   if (cmd == "check") return CmdCheck(args);
   if (cmd == "transform") return CmdTransform(args);
   if (cmd == "normalform") return CmdNormalForm(args);
