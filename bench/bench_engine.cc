@@ -6,6 +6,8 @@
 //     Engine::Compile + PreparedProgram::Run vs Session runs over a
 //     long-lived Database (EDB indexed once, excluded from per-query time);
 //   * indexed scans (per-(relation, column) hash probes) vs full scans;
+//   * selectivity-aware vs legacy first-ground-argument planning on a
+//     skewed join (one near-constant column, one high-cardinality key);
 //   * concurrent throughput: N threads sharing one pre-indexed Database,
 //     outputs checked byte-identical against a sequential run.
 #include <benchmark/benchmark.h>
@@ -20,6 +22,7 @@
 #include "src/engine/engine.h"
 #include "src/engine/eval.h"
 #include "src/queries/queries.h"
+#include "src/syntax/parser.h"
 #include "src/workload/generators.h"
 
 namespace seqdl {
@@ -76,6 +79,77 @@ void PrintIndexCounts() {
     std::printf("%-8zu %-14zu %-14zu %-12zu %-14zu\n", nodes,
                 indexed.index_probes, indexed.prefix_probes,
                 indexed.full_scans, scanned.full_scans);
+  }
+  std::printf("\n");
+}
+
+// The skewed-selectivity workload: R(tag, id) where every tuple shares
+// one tag (column 0 is a single huge bucket) while ids are unique
+// (column 1 has singleton buckets), and P holds the tag·id paths the
+// rule destructures. The legacy planner keys R on its first ground
+// argument — the near-constant tag, turning every probe into a scan of
+// the whole relation — while the selectivity-aware planner measures the
+// buckets and keys on the id column.
+struct SkewedWorkload {
+  Program program;
+  Instance input;
+};
+
+bool MakeSkewedWorkload(Universe& u, size_t n, SkewedWorkload* w) {
+  Result<Program> p =
+      ParseProgram(u, "S(@i) <- P(@t ++ @i), R(@t, @i).\n");
+  if (!p.ok()) return false;
+  w->program = std::move(*p);
+  RelId p_rel = *u.FindRel("P");
+  RelId r_rel = *u.FindRel("R");
+  Value tag = Value::Atom(u.InternAtom("t"));
+  for (size_t k = 0; k < n; ++k) {
+    Value id = Value::Atom(u.InternAtom("i" + std::to_string(k)));
+    std::vector<Value> pair = {tag, id};
+    w->input.Add(p_rel, {u.InternPath(pair)});
+    w->input.Add(r_rel, {u.SingletonPath(tag), u.SingletonPath(id)});
+  }
+  return true;
+}
+
+void PrintSelectivityPlanning() {
+  std::printf("=== Planner: selectivity-aware vs first-ground-argument ===\n");
+  std::printf("%-8s %-14s %-14s %-10s %-10s\n", "tuples", "legacy(ms)",
+              "selective(ms)", "speedup", "identical");
+  for (size_t n : {256u, 1024u}) {
+    Universe u;
+    SkewedWorkload w;
+    if (!MakeSkewedWorkload(u, n, &w)) std::abort();
+    Result<Database> db = Database::Open(u, w.input);
+    if (!db.ok()) std::abort();
+    // Legacy heuristic vs Database::Stats()-fed compile of the same rule.
+    Result<PreparedProgram> legacy = Engine::Compile(u, w.program);
+    Result<PreparedProgram> selective = db->Compile(w.program);
+    if (!legacy.ok() || !selective.ok()) std::abort();
+    Session session = db->OpenSession();
+    auto time_ms = [&](const PreparedProgram& prog, std::string* out) {
+      Result<Instance> warm = session.Run(prog);  // index build excluded
+      if (!warm.ok()) std::abort();
+      *out = warm->ToString(u);
+      constexpr int kReps = 5;
+      auto start = std::chrono::steady_clock::now();
+      for (int rep = 0; rep < kReps; ++rep) {
+        if (!session.Run(prog).ok()) std::abort();
+      }
+      return std::chrono::duration<double, std::milli>(
+                 std::chrono::steady_clock::now() - start)
+                 .count() /
+             kReps;
+    };
+    std::string legacy_out, selective_out;
+    double legacy_ms = time_ms(*legacy, &legacy_out);
+    double selective_ms = time_ms(*selective, &selective_out);
+    char speedup[32];
+    std::snprintf(speedup, sizeof(speedup), "%.1fx",
+                  legacy_ms / selective_ms);
+    std::printf("%-8zu %-14.3f %-14.3f %-10s %s\n", n, legacy_ms,
+                selective_ms, speedup,
+                legacy_out == selective_out ? "yes" : "NO — MISMATCH");
   }
   std::printf("\n");
 }
@@ -273,6 +347,48 @@ void BM_ReachNaive(benchmark::State& state) {
 }
 BENCHMARK(BM_ReachNaive)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
 
+void RunSkewedJoin(benchmark::State& state, bool selectivity) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Universe u;
+  SkewedWorkload w;
+  if (!MakeSkewedWorkload(u, n, &w)) {
+    state.SkipWithError("workload setup failed");
+    return;
+  }
+  Result<Database> db = Database::Open(u, std::move(w.input));
+  if (!db.ok()) {
+    state.SkipWithError(db.status().ToString().c_str());
+    return;
+  }
+  Result<PreparedProgram> prog = selectivity
+                                     ? db->Compile(std::move(w.program))
+                                     : Engine::Compile(u, std::move(w.program));
+  if (!prog.ok()) {
+    state.SkipWithError(prog.status().ToString().c_str());
+    return;
+  }
+  Session session = db->OpenSession();
+  if (!session.Run(*prog).ok()) {  // build the lazy base indexes once
+    state.SkipWithError("warm-up run failed");
+    return;
+  }
+  for (auto _ : state) {
+    Result<Instance> out = session.Run(*prog);
+    if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
+    benchmark::DoNotOptimize(out);
+  }
+}
+
+void BM_SkewedJoinLegacyPlan(benchmark::State& state) {
+  RunSkewedJoin(state, false);
+}
+BENCHMARK(BM_SkewedJoinLegacyPlan)->Arg(256)->Arg(1024);
+
+void BM_SkewedJoinSelectivityPlan(benchmark::State& state) {
+  RunSkewedJoin(state, true);
+}
+BENCHMARK(BM_SkewedJoinSelectivityPlan)->Arg(256)->Arg(1024);
+
 void BM_StratifiedNegationPipeline(benchmark::State& state) {
   size_t logs = static_cast<size_t>(state.range(0));
   Universe u;
@@ -305,6 +421,7 @@ BENCHMARK(BM_StratifiedNegationPipeline)->Arg(8)->Arg(32)->Arg(128);
 int main(int argc, char** argv) {
   seqdl::PrintRoundCounts();
   seqdl::PrintIndexCounts();
+  seqdl::PrintSelectivityPlanning();
   seqdl::PrintConcurrentThroughput();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

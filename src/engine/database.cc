@@ -13,7 +13,27 @@ Result<Database> Database::Open(Universe& u, Instance edb) {
   return Open(u, std::move(edb), OpenOptions());
 }
 
-Session Database::OpenSession() const { return Session(*universe_, *base_); }
+Session Database::OpenSession() const {
+  return Session(*universe_, *base_, accum_.get());
+}
+
+StoreStats Database::Stats() const {
+  StoreStats stats = base_->Stats();
+  stats.MergeFrom(accum_->Snapshot());
+  return stats;
+}
+
+Result<PreparedProgram> Database::Compile(Program p,
+                                          const CompileOptions& opts) const {
+  StoreStats stats = Stats();
+  CompileOptions with_stats = opts;
+  with_stats.stats = &stats;
+  return Engine::Compile(*universe_, std::move(p), with_stats);
+}
+
+Result<PreparedProgram> Database::Compile(Program p) const {
+  return Compile(std::move(p), CompileOptions());
+}
 
 Result<Instance> Session::Run(const PreparedProgram& prog,
                               const RunOptions& opts,
@@ -23,7 +43,19 @@ Result<Instance> Session::Run(const PreparedProgram& prog,
         "program was compiled against a different Universe than the "
         "database was opened with");
   }
-  return prog.RunOnBase(*base_, opts, stats);
+  // RunOnBase fills EvalStats::derived_stats when asked; route it through
+  // a local EvalStats if the caller did not pass one, so the measurement
+  // still reaches the database's accumulator.
+  EvalStats local;
+  EvalStats* sink =
+      stats != nullptr ? stats
+                       : (opts.collect_derived_stats ? &local : nullptr);
+  Result<Instance> out = prog.RunOnBase(*base_, opts, sink);
+  if (out.ok() && opts.collect_derived_stats && sink != nullptr &&
+      accum_ != nullptr) {
+    accum_->Record(sink->derived_stats);
+  }
+  return out;
 }
 
 Result<Instance> Session::RunQuery(const PreparedProgram& prog, RelId output,

@@ -34,6 +34,7 @@
 #include "src/engine/engine.h"
 #include "src/engine/index.h"
 #include "src/engine/instance.h"
+#include "src/engine/stats.h"
 #include "src/term/universe.h"
 
 namespace seqdl {
@@ -69,6 +70,21 @@ class Database {
   /// number may be open at once, from any threads.
   Session OpenSession() const;
 
+  /// Measured per-(relation, column, index-family) statistics: the base
+  /// EDB's bucket shapes (measured once — the base never changes) merged
+  /// with everything sessions derived in runs that set
+  /// RunOptions::collect_derived_stats. Feed the snapshot into
+  /// CompileOptions::stats — or just call Compile() below — so the
+  /// planner ranks access paths by measured selectivity. Thread-safe.
+  StoreStats Stats() const;
+
+  /// Compiles `p` against this database's Universe with Stats() as the
+  /// planner's selectivity input. Equivalent to Engine::Compile with
+  /// opts.stats pointed at a Stats() snapshot. (Two overloads rather than
+  /// a default argument, matching Open above.)
+  Result<PreparedProgram> Compile(Program p, const CompileOptions& opts) const;
+  Result<PreparedProgram> Compile(Program p) const;
+
   Universe& universe() const { return *universe_; }
   /// The loaded EDB facts.
   const Instance& edb() const { return base_->instance(); }
@@ -79,12 +95,17 @@ class Database {
 
  private:
   Database(Universe& u, std::unique_ptr<BaseStore> base)
-      : universe_(&u), base_(std::move(base)) {}
+      : universe_(&u),
+        base_(std::move(base)),
+        accum_(std::make_unique<StatsAccumulator>()) {}
 
   Universe* universe_;
   /// unique_ptr: BaseStore is immovable (per-column once_flags), and the
   /// address must stay stable for open sessions while Database moves.
   std::unique_ptr<BaseStore> base_;
+  /// Derived-fact statistics reported back by session runs; heap-stable
+  /// for the same reason as base_.
+  std::unique_ptr<StatsAccumulator> accum_;
 };
 
 /// A snapshot handle over a Database. Copyable and cheap; safe to use from
@@ -96,6 +117,9 @@ class Session {
  public:
   /// Runs `prog` over the database's EDB; returns only the derived IDB
   /// facts. `prog` must be compiled against the database's Universe.
+  /// With RunOptions::collect_derived_stats set, the run's derived facts
+  /// are measured into EvalStats::derived_stats and folded into the
+  /// Database's Stats(), so later compiles plan from observed workloads.
   Result<Instance> Run(const PreparedProgram& prog, const RunOptions& opts = {},
                        EvalStats* stats = nullptr) const;
 
@@ -109,10 +133,13 @@ class Session {
 
  private:
   friend class Database;
-  Session(Universe& u, const BaseStore& base) : universe_(&u), base_(&base) {}
+  Session(Universe& u, const BaseStore& base, StatsAccumulator* accum)
+      : universe_(&u), base_(&base), accum_(accum) {}
 
   Universe* universe_;
   const BaseStore* base_;
+  /// The owning Database's derived-stats accumulator (heap-stable).
+  StatsAccumulator* accum_;
 };
 
 }  // namespace seqdl

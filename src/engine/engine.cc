@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <chrono>
+#include <cstdio>
 #include <map>
 #include <set>
 #include <utility>
@@ -9,6 +10,7 @@
 #include "src/analysis/safety.h"
 #include "src/engine/index.h"
 #include "src/engine/match.h"
+#include "src/syntax/printer.h"
 
 namespace seqdl {
 
@@ -25,6 +27,52 @@ constexpr size_t kNoDeltaStep = static_cast<size_t>(-1);
 
 /// How many rule firings pass between cancellation polls.
 constexpr size_t kCancelPollInterval = 256;
+
+/// One explain line for a plan step: the access path the executor will
+/// take, the planner's selectivity estimate (when compiled with
+/// statistics), and whether measured data — rather than a heuristic or an
+/// unknown-relation prior — made the choice.
+std::string DescribeStep(const Universe& u, const RulePlan& plan,
+                         size_t step_idx) {
+  const PlanStep& step = plan.steps[step_idx];
+  const Literal& lit = plan.rule->body[step.lit_idx];
+  std::string out;
+  switch (step.kind) {
+    case PlanStep::Kind::kScan: {
+      out = "scan " + u.RelName(lit.pred.rel) + ": ";
+      if (step.index_arg >= 0) {
+        out += "whole-value key col " + std::to_string(step.index_arg);
+      } else if (step.prefix_arg >= 0) {
+        out += "first-value key col " + std::to_string(step.prefix_arg) +
+               " (prefix " + FormatExpr(u, step.prefix_expr) + ")";
+      } else if (step.suffix_arg >= 0) {
+        out += "last-value key col " + std::to_string(step.suffix_arg) +
+               " (suffix " + FormatExpr(u, step.suffix_expr) + ")";
+      } else {
+        out += "full scan";
+      }
+      if (step.est_cost >= 0) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), ", est %.2f", step.est_cost);
+        out += buf;
+        out += step.stats_chosen ? " [stats]" : " [prior]";
+      }
+      for (size_t rec : plan.recursive_scan_steps) {
+        if (rec == step_idx) {
+          out += " [delta]";
+          break;
+        }
+      }
+      return out;
+    }
+    case PlanStep::Kind::kEq:
+      return "eq " + FormatLiteral(u, lit);
+    case PlanStep::Kind::kNegPred:
+    case PlanStep::Kind::kNegEq:
+      return "check " + FormatLiteral(u, lit);
+  }
+  return out;
+}
 
 }  // namespace
 
@@ -167,53 +215,38 @@ class Executor {
         if (step_idx == delta_step) {
           return ScanDelta(step, lit, v, delta, delta_idx, match_all, next);
         }
-        if (opts_.use_index && step.index_arg >= 0) {
-          // The planner proved this argument ground under every valuation
-          // reaching the step: evaluate it and probe the column index of
-          // both layers (shared base, then private overlay).
-          PathId key;
-          if (!EvalTo(lit.pred.args[static_cast<size_t>(step.index_arg)], v,
-                      &key)) {
-            return false;
-          }
-          if (stats_) ++stats_->index_probes;
-          uint32_t col = static_cast<uint32_t>(step.index_arg);
-          return match_all(store_.base().Probe(lit.pred.rel, col, key)) &&
-                 match_all(store_.overlay().Probe(lit.pred.rel, col, key));
-        }
-        if (opts_.use_index && step.prefix_arg >= 0) {
-          // A leading prefix of this argument is ground: a matching tuple
-          // must start with the prefix's first value, so probe the
-          // first-value index (MatchArgs still filters exactly). An empty
-          // prefix (a bound path variable holding eps) constrains nothing;
-          // fall through to a full scan then.
-          PathId prefix;
-          if (!EvalTo(step.prefix_expr, v, &prefix)) return false;
-          if (prefix != kEmptyPath) {
+        StepKey key;
+        if (opts_.use_index && !EvalStepKey(step, lit, v, &key)) return false;
+        switch (key.kind) {
+          case StepKey::Kind::kWhole:
+            // The planner proved this argument ground under every
+            // valuation reaching the step: probe the whole-value column
+            // index of both layers (shared base, then private overlay).
+            if (stats_) ++stats_->index_probes;
+            return match_all(
+                       store_.base().Probe(lit.pred.rel, key.col, key.whole)) &&
+                   match_all(store_.overlay().Probe(lit.pred.rel, key.col,
+                                                    key.whole));
+          case StepKey::Kind::kFirst:
+            // A leading prefix of this argument is ground: a matching
+            // tuple must start with the prefix's first value, so probe the
+            // first-value index (MatchArgs still filters exactly).
             if (stats_) ++stats_->prefix_probes;
-            uint32_t col = static_cast<uint32_t>(step.prefix_arg);
-            Value first = u_.GetPath(prefix).front();
-            return match_all(
-                       store_.base().ProbeFirst(lit.pred.rel, col, first)) &&
-                   match_all(
-                       store_.overlay().ProbeFirst(lit.pred.rel, col, first));
-          }
-        }
-        if (opts_.use_index && step.suffix_arg >= 0) {
-          // Symmetric: a trailing suffix is ground (`$x ++ a`); a matching
-          // tuple must end with the suffix's last value, so probe the
-          // last-value index.
-          PathId suffix;
-          if (!EvalTo(step.suffix_expr, v, &suffix)) return false;
-          if (suffix != kEmptyPath) {
+            return match_all(store_.base().ProbeFirst(lit.pred.rel, key.col,
+                                                      key.value)) &&
+                   match_all(store_.overlay().ProbeFirst(lit.pred.rel, key.col,
+                                                         key.value));
+          case StepKey::Kind::kLast:
+            // Symmetric: a trailing suffix is ground (`$x ++ a`); a
+            // matching tuple must end with the suffix's last value, so
+            // probe the last-value index.
             if (stats_) ++stats_->suffix_probes;
-            uint32_t col = static_cast<uint32_t>(step.suffix_arg);
-            Value last = u_.GetPath(suffix).back();
-            return match_all(
-                       store_.base().ProbeLast(lit.pred.rel, col, last)) &&
-                   match_all(
-                       store_.overlay().ProbeLast(lit.pred.rel, col, last));
-          }
+            return match_all(store_.base().ProbeLast(lit.pred.rel, key.col,
+                                                     key.value)) &&
+                   match_all(store_.overlay().ProbeLast(lit.pred.rel, key.col,
+                                                        key.value));
+          case StepKey::Kind::kNone:
+            break;
         }
         if (stats_) ++stats_->full_scans;
         for (const Tuple& t : store_.base().Tuples(lit.pred.rel)) {
@@ -270,11 +303,60 @@ class Executor {
     return true;
   }
 
+  // The evaluated index key of a scan step under the current valuation —
+  // the single probe-selection logic shared by the store path
+  // (ExecuteStep) and the delta path (ScanDelta), which used to mirror
+  // it separately.
+  struct StepKey {
+    enum class Kind : uint8_t { kNone, kWhole, kFirst, kLast };
+
+    Kind kind = Kind::kNone;
+    uint32_t col = 0;
+    PathId whole = kEmptyPath;  // kWhole: the ground argument's path.
+    Value value;                // kFirst/kLast: the prefix/suffix end value.
+  };
+
+  // Evaluates the step's planned key: the fully ground argument
+  // (whole-value), or the first/last value of the ground prefix/suffix.
+  // kNone = the step has no key, or the prefix/suffix evaluated to eps (a
+  // bound path variable holding the empty path constrains nothing) — scan
+  // everything. Returns false on expression-evaluation error (status_
+  // set).
+  bool EvalStepKey(const PlanStep& step, const Literal& lit,
+                   const Valuation& v, StepKey* key) {
+    if (step.index_arg >= 0) {
+      key->col = static_cast<uint32_t>(step.index_arg);
+      key->kind = StepKey::Kind::kWhole;
+      return EvalTo(lit.pred.args[static_cast<size_t>(step.index_arg)], v,
+                    &key->whole);
+    }
+    if (step.prefix_arg >= 0) {
+      PathId prefix;
+      if (!EvalTo(step.prefix_expr, v, &prefix)) return false;
+      if (prefix != kEmptyPath) {
+        key->col = static_cast<uint32_t>(step.prefix_arg);
+        key->kind = StepKey::Kind::kFirst;
+        key->value = u_.GetPath(prefix).front();
+      }
+      return true;
+    }
+    if (step.suffix_arg >= 0) {
+      PathId suffix;
+      if (!EvalTo(step.suffix_expr, v, &suffix)) return false;
+      if (suffix != kEmptyPath) {
+        key->col = static_cast<uint32_t>(step.suffix_arg);
+        key->kind = StepKey::Kind::kLast;
+        key->value = u_.GetPath(suffix).back();
+      }
+      return true;
+    }
+    return true;
+  }
+
   // A scan step restricted to the current round's delta. Small deltas are
   // scanned linearly; once a delta reaches RunOptions::delta_index_threshold
   // tuples, the per-round DeltaIndexer answers keyed steps with a bucket
-  // probe instead (same key logic as the main store: whole value, then
-  // ground prefix, then ground suffix).
+  // probe instead (same key logic as the main store, via EvalStepKey).
   template <typename MatchAll, typename Next>
   bool ScanDelta(const PlanStep& step, const Literal& lit, Valuation& v,
                  const std::map<RelId, TupleSet>* delta,
@@ -284,41 +366,27 @@ class Executor {
     auto it = delta->find(lit.pred.rel);
     if (it == delta->end()) return true;
     if (opts_.use_index && delta_idx != nullptr) {
-      if (step.index_arg >= 0) {
-        PathId key;
-        if (!EvalTo(lit.pred.args[static_cast<size_t>(step.index_arg)], v,
-                    &key)) {
-          return false;
-        }
-        if (const std::vector<const Tuple*>* bucket = delta_idx->Probe(
-                lit.pred.rel, static_cast<uint32_t>(step.index_arg), key)) {
-          if (stats_) ++stats_->delta_index_probes;
-          return match_all(*bucket);
-        }
-      } else if (step.prefix_arg >= 0) {
-        PathId prefix;
-        if (!EvalTo(step.prefix_expr, v, &prefix)) return false;
-        if (prefix != kEmptyPath) {
-          if (const std::vector<const Tuple*>* bucket =
-                  delta_idx->ProbeFirst(lit.pred.rel,
-                                        static_cast<uint32_t>(step.prefix_arg),
-                                        u_.GetPath(prefix).front())) {
-            if (stats_) ++stats_->delta_index_probes;
-            return match_all(*bucket);
-          }
-        }
-      } else if (step.suffix_arg >= 0) {
-        PathId suffix;
-        if (!EvalTo(step.suffix_expr, v, &suffix)) return false;
-        if (suffix != kEmptyPath) {
-          if (const std::vector<const Tuple*>* bucket =
-                  delta_idx->ProbeLast(lit.pred.rel,
-                                       static_cast<uint32_t>(step.suffix_arg),
-                                       u_.GetPath(suffix).back())) {
-            if (stats_) ++stats_->delta_index_probes;
-            return match_all(*bucket);
-          }
-        }
+      StepKey key;
+      if (!EvalStepKey(step, lit, v, &key)) return false;
+      const std::vector<const Tuple*>* bucket = nullptr;
+      switch (key.kind) {
+        case StepKey::Kind::kWhole:
+          bucket = delta_idx->Probe(lit.pred.rel, key.col, key.whole);
+          break;
+        case StepKey::Kind::kFirst:
+          bucket = delta_idx->ProbeFirst(lit.pred.rel, key.col, key.value);
+          break;
+        case StepKey::Kind::kLast:
+          bucket = delta_idx->ProbeLast(lit.pred.rel, key.col, key.value);
+          break;
+        case StepKey::Kind::kNone:
+          break;
+      }
+      // nullptr = the delta is below the indexing threshold; fall back to
+      // the linear scan.
+      if (bucket != nullptr) {
+        if (stats_) ++stats_->delta_index_probes;
+        return match_all(*bucket);
       }
     }
     for (const Tuple& t : it->second) {
@@ -428,14 +496,16 @@ Result<PreparedProgram> Engine::CompileShared(
     SEQDL_RETURN_IF_ERROR(ValidateProgram(u, *p));
   }
   PreparedProgram prep(u, std::move(p));
+  PlannerOptions popts;
+  popts.reorder_scans = opts.reorder_scans;
+  popts.stats = opts.stats;
   for (const Stratum& s : prep.program_->strata) {
     std::set<RelId> stratum_idb;
     for (const Rule& r : s.rules) stratum_idb.insert(r.head.rel);
 
     PreparedProgram::CompiledStratum compiled;
     for (const Rule& r : s.rules) {
-      SEQDL_ASSIGN_OR_RETURN(RulePlan plan,
-                             PlanRule(u, r, opts.reorder_scans));
+      SEQDL_ASSIGN_OR_RETURN(RulePlan plan, PlanRule(u, r, popts));
       for (size_t i = 0; i < plan.steps.size(); ++i) {
         const PlanStep& st = plan.steps[i];
         if (st.kind == PlanStep::Kind::kScan &&
@@ -447,8 +517,39 @@ Result<PreparedProgram> Engine::CompileShared(
     }
     prep.strata_.push_back(std::move(compiled));
   }
+  // Record the access-path decisions once; runs copy them into
+  // EvalStats::plan_decisions.
+  for (size_t s = 0; s < prep.strata_.size(); ++s) {
+    for (size_t r = 0; r < prep.strata_[s].plans.size(); ++r) {
+      const RulePlan& plan = prep.strata_[s].plans[r];
+      for (size_t i = 0; i < plan.steps.size(); ++i) {
+        if (plan.steps[i].kind != PlanStep::Kind::kScan) continue;
+        prep.plan_decisions_.push_back(
+            "stratum " + std::to_string(s) + " rule " + std::to_string(r) +
+            " step " + std::to_string(i) + ": " + DescribeStep(u, plan, i));
+      }
+    }
+  }
   prep.compile_seconds_ = SecondsSince(start);
   return prep;
+}
+
+std::string PreparedProgram::ExplainPlan() const {
+  const Universe& u = *universe_;
+  std::string out;
+  for (size_t s = 0; s < strata_.size(); ++s) {
+    out += "stratum " + std::to_string(s) + "\n";
+    for (size_t r = 0; r < strata_[s].plans.size(); ++r) {
+      const RulePlan& plan = strata_[s].plans[r];
+      out += "  rule " + std::to_string(r) + ": " + FormatRule(u, *plan.rule) +
+             "\n";
+      for (size_t i = 0; i < plan.steps.size(); ++i) {
+        out += "    step " + std::to_string(i) + ": " +
+               DescribeStep(u, plan, i) + "\n";
+      }
+    }
+  }
+  return out;
 }
 
 Result<Instance> PreparedProgram::RunOnBase(const BaseStore& base,
@@ -458,9 +559,13 @@ Result<Instance> PreparedProgram::RunOnBase(const BaseStore& base,
   if (stats) {
     *stats = EvalStats{};
     stats->compile_seconds = compile_seconds_;
+    stats->plan_decisions = plan_decisions_;
   }
   internal::Executor exec(*universe_, *this, opts, stats);
   Result<Instance> out = exec.Run(base);
+  if (stats && opts.collect_derived_stats && out.ok()) {
+    stats->derived_stats = ComputeInstanceStats(*universe_, *out);
+  }
   if (stats) stats->run_seconds = SecondsSince(start);
   return out;
 }

@@ -35,6 +35,7 @@
 #include "src/base/status.h"
 #include "src/engine/instance.h"
 #include "src/engine/plan.h"
+#include "src/engine/stats.h"
 #include "src/syntax/ast.h"
 #include "src/term/universe.h"
 
@@ -54,6 +55,13 @@ struct CompileOptions {
   /// Greedily reorder positive body scans so each joins on already-bound
   /// variables where possible; false = scan in body order.
   bool reorder_scans = true;
+  /// Measured store statistics (Database::Stats(), BaseStore::Stats(), or
+  /// ComputeInstanceStats) ranking candidate access paths and the scan
+  /// order by expected bucket size — see plan.h. nullptr = the legacy
+  /// first-ground-argument heuristic. Only read during the Compile call;
+  /// statistics never change results, only cost (the differential harness
+  /// enforces this).
+  const StoreStats* stats = nullptr;
 };
 
 /// Options chosen per run.
@@ -77,6 +85,12 @@ struct RunOptions {
   /// periodically between rule firings. Return true to cancel the run;
   /// Run then fails with kCancelled. Leave empty for no callback.
   std::function<bool()> cancel;
+  /// Measure the run's derived facts into EvalStats::derived_stats (one
+  /// O(derived) pass after the fixpoint). Session::Run additionally feeds
+  /// the measurement back into its Database's statistics accumulator, so
+  /// later Database::Stats()-driven compiles see what runs actually
+  /// derived. Off by default to keep the hot path free of the pass.
+  bool collect_derived_stats = false;
 };
 
 /// Per-stratum execution counters.
@@ -116,6 +130,15 @@ struct EvalStats {
   double run_seconds = 0;
   /// One entry per stratum, in program order.
   std::vector<StratumStats> per_stratum;
+  /// The planner's access-path decision per scan step, one line each
+  /// ("stratum 0 rule 0 step 1: scan R: whole-value key col 1, est 1.0
+  /// [stats]"), recorded at compile time and copied into every run's
+  /// stats. Empty when the run was given no stats out-param.
+  std::vector<std::string> plan_decisions;
+  /// Bucket statistics of the facts this run derived, measured after the
+  /// fixpoint when RunOptions::collect_derived_stats is set (empty
+  /// otherwise).
+  StoreStats derived_stats;
 };
 
 /// A validated, planned program bound to a Universe. Move-only (plans
@@ -150,6 +173,13 @@ class PreparedProgram {
   /// Wall time spent in Engine::Compile for this program.
   double compile_seconds() const { return compile_seconds_; }
 
+  /// Human-readable rendering of the compiled plan: per stratum and rule,
+  /// each scheduled step with its chosen access path (whole/first/last
+  /// -value key column or full scan), the planner's selectivity estimate
+  /// when the program was compiled with statistics, and which scan steps
+  /// re-run against semi-naive deltas. `seqdl run --explain` prints this.
+  std::string ExplainPlan() const;
+
  private:
   friend class Engine;
   friend class Session;
@@ -174,6 +204,9 @@ class PreparedProgram {
   std::shared_ptr<const Program> program_;
   std::vector<CompiledStratum> strata_;
   double compile_seconds_ = 0;
+  /// One line per scan step, precomputed by Compile and copied into
+  /// EvalStats::plan_decisions on stats-carrying runs.
+  std::vector<std::string> plan_decisions_;
 };
 
 /// Stateless compiler front end.

@@ -185,6 +185,13 @@ void BaseStore::BuildAllIndexes() const {
   }
 }
 
+const StoreStats& BaseStore::Stats() const {
+  std::call_once(stats_once_, [&] {
+    stats_ = ComputeInstanceStats(*universe_, edb_);
+  });
+  return stats_;
+}
+
 size_t BaseStore::NumIndexedColumns() const {
   size_t n = 0;
   for (const auto& [rel, cols] : slots_) {

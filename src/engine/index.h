@@ -48,6 +48,7 @@
 #include <vector>
 
 #include "src/engine/instance.h"
+#include "src/engine/stats.h"
 #include "src/term/universe.h"
 
 namespace seqdl {
@@ -148,6 +149,13 @@ class BaseStore {
   /// Number of (relation, column) columns whose indexes have been built.
   size_t NumIndexedColumns() const;
 
+  /// Measured per-(relation, column, family) bucket statistics of the
+  /// store's EDB — the planner's selectivity input (see stats.h). The EDB
+  /// is immutable, so the measurement runs once (std::call_once, like the
+  /// index builds) and the cached reference is safe to read from any
+  /// thread afterwards.
+  const StoreStats& Stats() const;
+
  private:
   /// All three indexes of one (relation, column) pair, built together in
   /// one pass over the relation on first probe.
@@ -167,6 +175,9 @@ class BaseStore {
   /// Fixed after construction; per-relation slot vectors are sized to the
   /// relation's widest tuple and never resized (ColSlot is immovable).
   std::unordered_map<RelId, std::vector<ColSlot>> slots_;
+  /// Lazily measured EDB statistics (Stats()).
+  mutable std::once_flag stats_once_;
+  mutable StoreStats stats_;
 };
 
 /// The executor's copy-on-read view: a shared immutable BaseStore layered

@@ -25,18 +25,28 @@ bool ItemIsGround(const ExprItem& item, const std::set<VarId>& bound) {
   return false;
 }
 
-// Picks the index strategy for a scan of `pred` given the variables bound
-// before it runs: a fully ground argument position (whole-value probe), or
-// failing that, the argument with the longest non-empty leading run of
-// ground items (first-value probe on the evaluated prefix) or trailing run
-// of ground items (last-value probe on the evaluated suffix, the
-// suffix-ground shape `$x ++ a`) — whichever run is longer, prefix winning
-// ties.
-void PickIndexArgs(const Predicate& pred, const std::set<VarId>& bound,
-                   PlanStep* step) {
+/// The access path chosen for one scan, before it is written into a
+/// PlanStep. Family ranks double as deterministic tie-break order: an
+/// exact whole-value probe beats the overapproximating first/last-value
+/// probes beats a full scan when estimates are equal.
+struct AccessChoice {
+  enum Family : uint8_t { kWhole = 0, kFirst = 1, kLast = 2, kFull = 3 };
+
+  Family family = kFull;
+  int arg = -1;
+  PathExpr key_expr;  // kFirst/kLast: the ground prefix/suffix items.
+  double est = 0.0;
+  bool from_stats = false;
+};
+
+/// Legacy heuristic: the first fully ground argument wins (whole-value
+/// probe); failing that, the argument with the longest non-empty leading
+/// or trailing run of ground items (first/last-value probe), the longer
+/// run winning and prefix winning ties.
+AccessChoice ChooseAccessLegacy(const Predicate& pred,
+                                const std::set<VarId>& bound) {
   size_t best_prefix_len = 0, best_suffix_len = 0;
-  int prefix_arg = -1, suffix_arg = -1;
-  PathExpr prefix_expr, suffix_expr;
+  AccessChoice prefix, suffix;
   for (size_t i = 0; i < pred.args.size(); ++i) {
     const PathExpr& arg = pred.args[i];
     size_t ground_items = 0;
@@ -45,17 +55,16 @@ void PickIndexArgs(const Predicate& pred, const std::set<VarId>& bound,
       ++ground_items;
     }
     if (ground_items == arg.items.size()) {
-      step->index_arg = static_cast<int>(i);
-      step->prefix_arg = -1;
-      step->prefix_expr = PathExpr();
-      step->suffix_arg = -1;
-      step->suffix_expr = PathExpr();
-      return;
+      AccessChoice whole;
+      whole.family = AccessChoice::kWhole;
+      whole.arg = static_cast<int>(i);
+      return whole;
     }
     if (ground_items > best_prefix_len) {
       best_prefix_len = ground_items;
-      prefix_arg = static_cast<int>(i);
-      prefix_expr = PathExpr(std::vector<ExprItem>(
+      prefix.family = AccessChoice::kFirst;
+      prefix.arg = static_cast<int>(i);
+      prefix.key_expr = PathExpr(std::vector<ExprItem>(
           arg.items.begin(),
           arg.items.begin() + static_cast<ptrdiff_t>(ground_items)));
     }
@@ -66,33 +75,130 @@ void PickIndexArgs(const Predicate& pred, const std::set<VarId>& bound,
     }
     if (trailing > best_suffix_len) {
       best_suffix_len = trailing;
-      suffix_arg = static_cast<int>(i);
-      suffix_expr = PathExpr(std::vector<ExprItem>(
+      suffix.family = AccessChoice::kLast;
+      suffix.arg = static_cast<int>(i);
+      suffix.key_expr = PathExpr(std::vector<ExprItem>(
           arg.items.end() - static_cast<ptrdiff_t>(trailing),
           arg.items.end()));
     }
   }
-  if (best_prefix_len >= best_suffix_len) {
-    step->prefix_arg = prefix_arg;
-    step->prefix_expr = std::move(prefix_expr);
-  } else {
-    step->suffix_arg = suffix_arg;
-    step->suffix_expr = std::move(suffix_expr);
+  if (best_prefix_len == 0 && best_suffix_len == 0) return AccessChoice();
+  return best_prefix_len >= best_suffix_len ? prefix : suffix;
+}
+
+/// Selectivity-aware model: rank every candidate access path — a
+/// whole-value probe per fully ground argument, a first/last-value probe
+/// per argument with a non-empty ground prefix/suffix run, and the full
+/// scan — by its measured expected bucket size, smallest first. Ties go to
+/// the exacter family, then the lower argument position, keeping plans
+/// deterministic and pinned by tests/planner_test.cc.
+AccessChoice ChooseAccessStats(const Predicate& pred,
+                               const std::set<VarId>& bound,
+                               const StoreStats& stats) {
+  bool known = stats.Knows(pred.rel);
+  AccessChoice best;
+  best.family = AccessChoice::kFull;
+  best.est = stats.EstimateScan(pred.rel);
+  best.from_stats = known;
+  auto consider = [&](AccessChoice cand) {
+    if (cand.est < best.est ||
+        (cand.est == best.est &&
+         (cand.family < best.family ||
+          (cand.family == best.family && cand.arg < best.arg)))) {
+      best = std::move(cand);
+    }
+  };
+  for (size_t i = 0; i < pred.args.size(); ++i) {
+    const PathExpr& arg = pred.args[i];
+    size_t leading = 0;
+    while (leading < arg.items.size() &&
+           ItemIsGround(arg.items[leading], bound)) {
+      ++leading;
+    }
+    uint32_t col = static_cast<uint32_t>(i);
+    if (leading == arg.items.size()) {
+      AccessChoice whole;
+      whole.family = AccessChoice::kWhole;
+      whole.arg = static_cast<int>(i);
+      whole.est = stats.EstimateWhole(pred.rel, col);
+      whole.from_stats = known;
+      consider(std::move(whole));
+      continue;
+    }
+    if (leading > 0) {
+      AccessChoice first;
+      first.family = AccessChoice::kFirst;
+      first.arg = static_cast<int>(i);
+      first.key_expr = PathExpr(std::vector<ExprItem>(
+          arg.items.begin(),
+          arg.items.begin() + static_cast<ptrdiff_t>(leading)));
+      first.est = stats.EstimateFirst(pred.rel, col);
+      first.from_stats = known;
+      consider(std::move(first));
+    }
+    size_t trailing = 0;
+    while (trailing < arg.items.size() &&
+           ItemIsGround(arg.items[arg.items.size() - 1 - trailing], bound)) {
+      ++trailing;
+    }
+    if (trailing > 0) {
+      AccessChoice last;
+      last.family = AccessChoice::kLast;
+      last.arg = static_cast<int>(i);
+      last.key_expr = PathExpr(std::vector<ExprItem>(
+          arg.items.end() - static_cast<ptrdiff_t>(trailing),
+          arg.items.end()));
+      last.est = stats.EstimateLast(pred.rel, col);
+      last.from_stats = known;
+      consider(std::move(last));
+    }
+  }
+  return best;
+}
+
+AccessChoice ChooseAccess(const Predicate& pred, const std::set<VarId>& bound,
+                          const StoreStats* stats) {
+  return stats == nullptr ? ChooseAccessLegacy(pred, bound)
+                          : ChooseAccessStats(pred, bound, *stats);
+}
+
+/// Writes the chosen access path into the step's key fields.
+void ApplyAccess(AccessChoice choice, bool have_stats, PlanStep* step) {
+  switch (choice.family) {
+    case AccessChoice::kWhole:
+      step->index_arg = choice.arg;
+      break;
+    case AccessChoice::kFirst:
+      step->prefix_arg = choice.arg;
+      step->prefix_expr = std::move(choice.key_expr);
+      break;
+    case AccessChoice::kLast:
+      step->suffix_arg = choice.arg;
+      step->suffix_expr = std::move(choice.key_expr);
+      break;
+    case AccessChoice::kFull:
+      break;
+  }
+  if (have_stats) {
+    step->est_cost = choice.est;
+    step->stats_chosen = choice.from_stats;
   }
 }
 
 }  // namespace
 
 Result<RulePlan> PlanRule(const Universe& u, const Rule& r,
-                          bool reorder_scans) {
+                          const PlannerOptions& opts) {
   RulePlan plan;
   plan.rule = &r;
   std::set<VarId> bound;
 
-  // Positive predicate scans. With reordering, greedily pick the scan
-  // sharing the most variables with the already-bound set (a classic join
-  // ordering heuristic that turns cartesian products into keyed joins);
-  // without, keep body order.
+  // Positive predicate scans. With reordering, greedily pick the cheapest
+  // next scan: by measured expected bucket size of its best access path
+  // when statistics are present, else by most variables shared with the
+  // already-bound set (the classic join-ordering heuristic that turns
+  // cartesian products into keyed joins). Without reordering, keep body
+  // order.
   std::vector<size_t> scans;
   for (size_t i = 0; i < r.body.size(); ++i) {
     const Literal& l = r.body[i];
@@ -100,16 +206,43 @@ Result<RulePlan> PlanRule(const Universe& u, const Rule& r,
   }
   while (!scans.empty()) {
     size_t pick = 0;
-    if (reorder_scans) {
-      int best_shared = -1;
-      for (size_t k = 0; k < scans.size(); ++k) {
+    // Stats-mode ordering evaluates each candidate's access choice
+    // anyway; the winner's is kept and reused for its plan step.
+    AccessChoice picked;
+    bool have_picked = false;
+    if (opts.reorder_scans && scans.size() > 1) {
+      auto shared_vars = [&](size_t lit) {
         std::vector<VarId> vars;
-        CollectVars(r.body[scans[k]], &vars);
+        CollectVars(r.body[lit], &vars);
         int shared = 0;
         for (VarId v : vars) shared += bound.count(v) ? 1 : 0;
-        if (shared > best_shared) {
-          best_shared = shared;
-          pick = k;
+        return shared;
+      };
+      if (opts.stats == nullptr) {
+        int best_shared = -1;
+        for (size_t k = 0; k < scans.size(); ++k) {
+          int shared = shared_vars(scans[k]);
+          if (shared > best_shared) {
+            best_shared = shared;
+            pick = k;
+          }
+        }
+      } else {
+        // Cheapest estimated access first; ties broken by most shared
+        // bound variables, then body order (strict improvement required,
+        // so the first candidate wins all-equal ties).
+        int best_shared = -1;
+        for (size_t k = 0; k < scans.size(); ++k) {
+          AccessChoice cand =
+              ChooseAccessStats(r.body[scans[k]].pred, bound, *opts.stats);
+          int shared = shared_vars(scans[k]);
+          if (best_shared < 0 || cand.est < picked.est ||
+              (cand.est == picked.est && shared > best_shared)) {
+            best_shared = shared;
+            pick = k;
+            picked = std::move(cand);
+            have_picked = true;
+          }
         }
       }
     }
@@ -118,7 +251,10 @@ Result<RulePlan> PlanRule(const Universe& u, const Rule& r,
     PlanStep step;
     step.kind = PlanStep::Kind::kScan;
     step.lit_idx = lit;
-    PickIndexArgs(r.body[lit].pred, bound, &step);
+    if (!have_picked) {
+      picked = ChooseAccess(r.body[lit].pred, bound, opts.stats);
+    }
+    ApplyAccess(std::move(picked), opts.stats != nullptr, &step);
     plan.steps.push_back(std::move(step));
     std::vector<VarId> vars;
     CollectVars(r.body[lit], &vars);
@@ -191,6 +327,13 @@ Result<RulePlan> PlanRule(const Universe& u, const Rule& r,
     }
   }
   return plan;
+}
+
+Result<RulePlan> PlanRule(const Universe& u, const Rule& r,
+                          bool reorder_scans) {
+  PlannerOptions opts;
+  opts.reorder_scans = reorder_scans;
+  return PlanRule(u, r, opts);
 }
 
 }  // namespace seqdl

@@ -4,9 +4,24 @@
 // reordered so each scan joins on already-bound variables), then the
 // positive equations in a safety-respecting order, then the negated
 // literals (whose variables are all bound by that point). Planning also
-// precomputes, per scan, which argument position is ground under every
-// valuation reaching that step — the executor uses that position as a hash
-// index key instead of scanning the whole relation (see index.h).
+// picks, per scan, the *access path* the executor uses instead of a full
+// relation scan (see index.h): a whole-value index probe on a fully ground
+// argument position, or a first/last-value probe on an argument with a
+// ground prefix/suffix run.
+//
+// Two cost models choose among the candidates:
+//
+//   * the legacy heuristic (PlannerOptions::stats == nullptr): first fully
+//     ground argument wins, else the longest ground prefix/suffix run;
+//     scans ordered by most shared already-bound variables;
+//   * the selectivity-aware model (stats != nullptr): every candidate is
+//     ranked by its *measured expected bucket size* (StoreStats, stats.h)
+//     — a whole-value probe on a near-constant column loses to a
+//     first-value probe on a discriminating one, and scans are ordered by
+//     cheapest estimated access. PlanStep::est_cost records the estimate.
+//
+// Both models pick among sound access paths only, so they differ in cost,
+// never in results (tests/differential_test.cc enforces this).
 //
 // Planning happens once per rule at Engine::Compile time; plans are
 // immutable afterwards and shared by every PreparedProgram::Run.
@@ -17,6 +32,7 @@
 #include <vector>
 
 #include "src/base/status.h"
+#include "src/engine/stats.h"
 #include "src/syntax/ast.h"
 #include "src/term/universe.h"
 
@@ -47,11 +63,18 @@ struct PlanStep {
   /// suffix-ground shape `$x ++ a`). At runtime the suffix evaluates to a
   /// ground path; if non-empty, its last value keys a last-value index
   /// probe (a matching tuple must end with it). -1 when no argument has a
-  /// ground suffix either (full relation scan). The planner prefers the
-  /// longer of the best prefix and best suffix runs.
+  /// ground suffix either (full relation scan).
   int suffix_arg = -1;
   /// The ground trailing items of args[suffix_arg].
   PathExpr suffix_expr;
+  /// kScan only: the planner's estimate of how many tuples this step
+  /// enumerates per probe (mean bucket size of the chosen index family,
+  /// or the relation size for a full scan). Negative when the plan was
+  /// built without statistics.
+  double est_cost = -1.0;
+  /// kScan only: true when measured statistics (not the legacy heuristic
+  /// or an unknown-relation prior) selected this access path.
+  bool stats_chosen = false;
 };
 
 /// A rule with a precomputed evaluation order.
@@ -65,9 +88,24 @@ struct RulePlan {
   std::vector<size_t> recursive_scan_steps;
 };
 
+/// How PlanRule chooses access paths and scan order.
+struct PlannerOptions {
+  /// Greedily reorder positive body scans; false = keep body order.
+  bool reorder_scans = true;
+  /// Measured store statistics ranking candidate access paths and scan
+  /// order by expected bucket size. nullptr = legacy heuristics (first
+  /// fully ground argument wins, longest prefix/suffix run, most shared
+  /// bound variables). Only read during the PlanRule call.
+  const StoreStats* stats = nullptr;
+};
+
 /// Plans a single rule. Fails with kInvalidArgument if the rule is unsafe
 /// (equations cannot be ordered, a negated literal or the head would see
 /// an unbound variable).
+Result<RulePlan> PlanRule(const Universe& u, const Rule& r,
+                          const PlannerOptions& opts);
+
+/// Legacy-heuristic convenience overload (no statistics).
 Result<RulePlan> PlanRule(const Universe& u, const Rule& r,
                           bool reorder_scans);
 

@@ -1,0 +1,143 @@
+#include "src/engine/stats.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <span>
+#include <unordered_map>
+
+#include "src/term/value.h"
+
+namespace seqdl {
+
+namespace {
+
+/// Finalizes one family from a key -> bucket-size count map.
+template <typename Key, typename Hash>
+FamilyStats Finalize(const std::unordered_map<Key, size_t, Hash>& counts) {
+  FamilyStats f;
+  f.buckets = counts.size();
+  for (const auto& [key, n] : counts) {
+    f.entries += n;
+    if (n > f.max_bucket) f.max_bucket = n;
+  }
+  return f;
+}
+
+std::string FormatFamily(const char* name, const FamilyStats& f) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "%-5s buckets=%zu entries=%zu mean=%.2f max=%zu", name,
+                f.buckets, f.entries, f.MeanBucket(), f.max_bucket);
+  return buf;
+}
+
+}  // namespace
+
+const ColumnStats* StoreStats::Find(RelId rel, uint32_t col) const {
+  auto it = relations.find(rel);
+  if (it == relations.end() || col >= it->second.columns.size()) {
+    return nullptr;
+  }
+  return &it->second.columns[col];
+}
+
+double StoreStats::EstimateWhole(RelId rel, uint32_t col) const {
+  const ColumnStats* c = Find(rel, col);
+  return c == nullptr ? kUnknownWhole : c->whole.MeanBucket();
+}
+
+double StoreStats::EstimateFirst(RelId rel, uint32_t col) const {
+  const ColumnStats* c = Find(rel, col);
+  return c == nullptr ? kUnknownFirstLast : c->first.MeanBucket();
+}
+
+double StoreStats::EstimateLast(RelId rel, uint32_t col) const {
+  const ColumnStats* c = Find(rel, col);
+  return c == nullptr ? kUnknownFirstLast : c->last.MeanBucket();
+}
+
+double StoreStats::EstimateScan(RelId rel) const {
+  auto it = relations.find(rel);
+  return it == relations.end() ? kUnknownScan
+                               : static_cast<double>(it->second.tuples);
+}
+
+void StoreStats::MergeFrom(const StoreStats& other) {
+  for (const auto& [rel, theirs] : other.relations) {
+    RelationStats& mine = relations[rel];
+    mine.tuples += theirs.tuples;
+    if (mine.columns.size() < theirs.columns.size()) {
+      mine.columns.resize(theirs.columns.size());
+    }
+    for (size_t col = 0; col < theirs.columns.size(); ++col) {
+      mine.columns[col].whole.MergeFrom(theirs.columns[col].whole);
+      mine.columns[col].first.MergeFrom(theirs.columns[col].first);
+      mine.columns[col].last.MergeFrom(theirs.columns[col].last);
+    }
+  }
+}
+
+std::string StoreStats::ToString(const Universe& u) const {
+  std::string out;
+  for (const auto& [rel, rs] : relations) {
+    out += u.RelName(rel) + "  tuples=" + std::to_string(rs.tuples) + "\n";
+    for (size_t col = 0; col < rs.columns.size(); ++col) {
+      const ColumnStats& c = rs.columns[col];
+      std::string prefix = "  col " + std::to_string(col) + "  ";
+      out += prefix + FormatFamily("whole", c.whole) + "\n";
+      out += prefix + FormatFamily("first", c.first) + "\n";
+      out += prefix + FormatFamily("last", c.last) + "\n";
+    }
+  }
+  return out;
+}
+
+StoreStats ComputeInstanceStats(const Universe& u, const Instance& inst) {
+  StoreStats stats;
+  for (RelId rel : inst.Relations()) {
+    const TupleSet& tuples = inst.Tuples(rel);
+    RelationStats rs;
+    rs.tuples = tuples.size();
+    uint32_t arity = u.RelArity(rel);
+    rs.columns.resize(arity);
+    for (uint32_t col = 0; col < arity; ++col) {
+      std::unordered_map<PathId, size_t, std::hash<PathId>> whole;
+      std::unordered_map<Value, size_t, ValueHash> first, last;
+      for (const Tuple& t : tuples) {
+        if (col >= t.size()) continue;
+        ++whole[t[col]];
+        std::span<const Value> path = u.GetPath(t[col]);
+        if (!path.empty()) {
+          ++first[path.front()];
+          ++last[path.back()];
+        }
+      }
+      rs.columns[col].whole = Finalize(whole);
+      rs.columns[col].first = Finalize(first);
+      rs.columns[col].last = Finalize(last);
+    }
+    stats.relations.emplace(rel, std::move(rs));
+  }
+  return stats;
+}
+
+void StoreStats::ObserveMax(const StoreStats& other) {
+  for (const auto& [rel, theirs] : other.relations) {
+    auto [it, inserted] = relations.try_emplace(rel, theirs);
+    if (!inserted && theirs.tuples > it->second.tuples) {
+      it->second = theirs;
+    }
+  }
+}
+
+void StatsAccumulator::Record(const StoreStats& s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  total_.ObserveMax(s);
+}
+
+StoreStats StatsAccumulator::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+}  // namespace seqdl

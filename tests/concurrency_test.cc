@@ -204,6 +204,83 @@ TEST(DatabaseConcurrencyTest, ParallelSessionRunsMatchSequential) {
   }
 }
 
+TEST(DatabaseConcurrencyTest, ConcurrentStatsCollectionAndReads) {
+  // Threads race stats-collecting runs (each records derived-fact
+  // measurements into the Database's accumulator) against Database::Stats()
+  // readers (which merge the call_once-cached base measurement with an
+  // accumulator snapshot) and stats-driven compiles. Everything must stay
+  // data-race free and every run byte-identical.
+  Universe u;
+  Result<ParsedQuery> q = ParsePaperQuery(u, "reach_ab");
+  ASSERT_TRUE(q.ok());
+  GraphWorkload gw;
+  gw.nodes = 16;
+  gw.edges = 32;
+  gw.seed = 11;
+  Result<Instance> in = GraphToInstance(u, RandomGraph(gw), "R");
+  ASSERT_TRUE(in.ok());
+  Result<Database> db = Database::Open(u, std::move(*in));
+  ASSERT_TRUE(db.ok());
+  Result<PreparedProgram> prog = Engine::Compile(u, q->program);
+  ASSERT_TRUE(prog.ok());
+
+  Result<Instance> reference = db->OpenSession().Run(*prog);
+  ASSERT_TRUE(reference.ok());
+  std::string reference_text = reference->ToString(u);
+
+  constexpr size_t kRunsPerThread = 3;
+  std::vector<std::string> errors(kThreads);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Session session = db->OpenSession();
+      RunOptions opts;
+      opts.collect_derived_stats = true;
+      for (size_t r = 0; r < kRunsPerThread; ++r) {
+        // Interleave accumulator writes (the run), snapshot reads, and a
+        // stats-driven compile + run.
+        EvalStats stats;
+        Result<Instance> out = session.Run(*prog, opts, &stats);
+        if (!out.ok()) {
+          errors[t] = out.status().ToString();
+          return;
+        }
+        if (out->ToString(u) != reference_text) {
+          errors[t] = "stats-collecting run differed";
+          return;
+        }
+        StoreStats snapshot = db->Stats();
+        if (snapshot.NumRelations() == 0) {
+          errors[t] = "Stats() saw no relations";
+          return;
+        }
+        Result<PreparedProgram> planned = db->Compile(q->program);
+        if (!planned.ok()) {
+          errors[t] = planned.status().ToString();
+          return;
+        }
+        Result<Instance> planned_out = session.Run(*planned);
+        if (!planned_out.ok()) {
+          errors[t] = planned_out.status().ToString();
+          return;
+        }
+        if (planned_out->ToString(u) != reference_text) {
+          errors[t] = "selectivity-planned run differed";
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (size_t t = 0; t < kThreads; ++t) {
+    EXPECT_TRUE(errors[t].empty()) << "thread " << t << ": " << errors[t];
+  }
+  // After the joins, the accumulator holds every collecting run's derived
+  // relation (reach_ab's IDB), merged into the base EDB measurements.
+  StoreStats final_stats = db->Stats();
+  EXPECT_GT(final_stats.NumRelations(), db->base().Stats().NumRelations());
+}
+
 TEST(DatabaseConcurrencyTest, ColdDatabaseRacesIndexBuild) {
   // No sequential warm-up run: all threads hit the lazy call_once index
   // build simultaneously.

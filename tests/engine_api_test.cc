@@ -301,6 +301,71 @@ TEST(EngineTest, DeltaIndexProbesFireAboveThreshold) {
   EXPECT_EQ(*indexed, *default_run);
 }
 
+TEST(EngineTest, DeltaIndexThresholdBoundaries) {
+  // A chain a0 -> a1 -> ... -> a8 and backward transitive closure: the
+  // recursive T scan runs keyed (first-value on the bound middle node),
+  // and the first delta round holds exactly `edges` tuples — so the
+  // indexed-or-linear decision at RunOptions::delta_index_threshold is
+  // observable precisely at the boundary.
+  constexpr size_t kEdges = 8;
+  Universe u;
+  Program p = MustParse(u,
+                        "T(@x ++ @y) <- E(@x ++ @y).\n"
+                        "T(@x ++ @z) <- E(@x ++ @y), T(@y ++ @z).\n");
+  std::string text;
+  for (size_t i = 0; i < kEdges; ++i) {
+    text += "E(n" + std::to_string(i) + " ++ n" + std::to_string(i + 1) +
+            ").\n";
+  }
+  Instance in = MustInstance(u, text);
+  Result<PreparedProgram> prog = Engine::Compile(u, std::move(p));
+  ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+
+  auto run_with_threshold = [&](size_t threshold, EvalStats* stats) {
+    RunOptions opts;
+    opts.delta_index_threshold = threshold;
+    Result<Instance> out = prog->Run(in, opts, stats);
+    EXPECT_TRUE(out.ok()) << out.status().ToString();
+    return std::move(out).value();
+  };
+
+  // 0 = every non-empty delta is indexed; every keyed delta scan probes.
+  EvalStats zero;
+  Instance out_zero = run_with_threshold(0, &zero);
+  EXPECT_GT(zero.delta_index_probes, 0u);
+  EXPECT_EQ(zero.delta_index_probes, zero.delta_scans);
+
+  // Exactly at the threshold: the first delta round holds kEdges tuples,
+  // and a delta of exactly threshold size is indexed (size < threshold is
+  // the linear-scan condition). Later rounds shrink below and scan
+  // linearly, so exactly that one round probes — once per E tuple.
+  EvalStats at;
+  Instance out_at = run_with_threshold(kEdges, &at);
+  EXPECT_EQ(at.delta_index_probes, kEdges);
+
+  // One above: no delta ever reaches the threshold; all scans linear.
+  EvalStats above;
+  Instance out_above = run_with_threshold(kEdges + 1, &above);
+  EXPECT_EQ(above.delta_index_probes, 0u);
+  EXPECT_GT(above.delta_scans, 0u);
+
+  // Huge: never index (the documented SIZE_MAX escape hatch).
+  EvalStats huge;
+  Instance out_huge = run_with_threshold(static_cast<size_t>(-1), &huge);
+  EXPECT_EQ(huge.delta_index_probes, 0u);
+
+  // Results are byte-identical at every boundary, and match the
+  // no-index-at-all ablation.
+  EXPECT_EQ(out_zero, out_at);
+  EXPECT_EQ(out_zero, out_above);
+  EXPECT_EQ(out_zero, out_huge);
+  RunOptions no_index;
+  no_index.use_index = false;
+  Result<Instance> scanned = prog->Run(in, no_index);
+  ASSERT_TRUE(scanned.ok());
+  EXPECT_EQ(out_zero, *scanned);
+}
+
 TEST(EngineTest, IndexProbesFireOnJoinWorkload) {
   // Reachability joins R on a bound first atom: the prefix index must
   // answer those scans.

@@ -1,11 +1,15 @@
 // seqdl — command line front end for the Sequence Datalog library.
 //
 //   seqdl run <program.sdl> <instance.sdl> [--output=REL] [--naive]
-//              [--no-index] [--stats]
+//              [--no-index] [--stats] [--explain] [--legacy-planner]
 //       Evaluate a program on an instance and print the derived facts
-//       (all IDB relations, or just --output). --stats reports the
-//       engine's extended counters (per-stratum rounds, index probes vs.
-//       full scans, compile/run wall times).
+//       (all IDB relations, or just --output). The planner ranks access
+//       paths by selectivity statistics measured over the instance;
+//       --legacy-planner forces the first-ground-argument heuristic.
+//       --explain prints the chosen plan (key column and scan order per
+//       rule step); --stats reports the engine's extended counters
+//       (per-stratum rounds, a per-index-family probe table, compile/run
+//       wall times).
 //
 //   seqdl serve <instance.sdl> [--stats]
 //       Load the instance into a Database once (EDB indexed a single
@@ -13,6 +17,9 @@
 //
 //           run <program.sdl> [REL]    evaluate against the preloaded EDB,
 //                                      print derived facts (or just REL)
+//           stats                      print the database's measured
+//                                      selectivity statistics (base EDB
+//                                      plus everything runs derived)
 //           quit                       exit
 //
 //       Programs are compiled once per path and cached, so repeating a
@@ -57,6 +64,7 @@
 #include "src/engine/database.h"
 #include "src/engine/engine.h"
 #include "src/engine/instance.h"
+#include "src/engine/stats.h"
 #include "src/fragments/fragments.h"
 #include "src/queries/regex.h"
 #include "src/syntax/parser.h"
@@ -99,10 +107,31 @@ std::string FlagValue(const std::vector<std::string>& args,
   return "";
 }
 
+// The per-index-family scan counters as one aligned table.
+void PrintScanTable(const seqdl::EvalStats& stats) {
+  struct Row {
+    const char* name;
+    size_t count;
+  };
+  const Row rows[] = {
+      {"whole-value probes", stats.index_probes},
+      {"first-value probes", stats.prefix_probes},
+      {"last-value probes", stats.suffix_probes},
+      {"full scans", stats.full_scans},
+      {"delta scans", stats.delta_scans},
+      {"delta-indexed", stats.delta_index_probes},
+  };
+  std::fprintf(stderr, "-- %-20s %12s\n", "scan family", "count");
+  for (const Row& row : rows) {
+    std::fprintf(stderr, "-- %-20s %12zu\n", row.name, row.count);
+  }
+}
+
 int CmdRun(const std::vector<std::string>& args) {
   if (args.size() < 2) {
     std::fprintf(stderr, "usage: seqdl run <program> <instance> "
-                         "[--output=REL] [--naive] [--no-index] [--stats]\n");
+                         "[--output=REL] [--naive] [--no-index] [--stats] "
+                         "[--explain] [--legacy-planner]\n");
     return 2;
   }
   seqdl::Universe u;
@@ -115,8 +144,20 @@ int CmdRun(const std::vector<std::string>& args) {
   auto instance = seqdl::ParseInstance(u, *instance_text);
   if (!instance.ok()) return Fail(instance.status());
 
-  auto prepared = seqdl::Engine::Compile(u, std::move(*program));
+  // Measure the instance so the planner can rank access paths by
+  // selectivity; --legacy-planner keeps the first-ground-argument
+  // heuristic (results are identical either way — only cost changes).
+  seqdl::CompileOptions copts;
+  seqdl::StoreStats selectivity;
+  if (!HasFlag(args, "--legacy-planner")) {
+    selectivity = seqdl::ComputeInstanceStats(u, *instance);
+    copts.stats = &selectivity;
+  }
+  auto prepared = seqdl::Engine::Compile(u, std::move(*program), copts);
   if (!prepared.ok()) return Fail(prepared.status());
+  if (HasFlag(args, "--explain")) {
+    std::fprintf(stderr, "%s", prepared->ExplainPlan().c_str());
+  }
 
   seqdl::RunOptions opts;
   opts.seminaive = !HasFlag(args, "--naive");
@@ -138,12 +179,7 @@ int CmdRun(const std::vector<std::string>& args) {
   std::fprintf(stderr, "-- %zu facts derived in %zu rounds (%zu firings)\n",
                stats.derived_facts, stats.rounds, stats.rule_firings);
   if (HasFlag(args, "--stats")) {
-    std::fprintf(stderr,
-                 "-- scans: %zu index probes, %zu prefix probes, %zu suffix "
-                 "probes, %zu full, %zu delta (%zu delta-indexed)\n",
-                 stats.index_probes, stats.prefix_probes, stats.suffix_probes,
-                 stats.full_scans, stats.delta_scans,
-                 stats.delta_index_probes);
+    PrintScanTable(stats);
     std::fprintf(stderr, "-- compile %.3f ms, run %.3f ms\n",
                  stats.compile_seconds * 1e3, stats.run_seconds * 1e3);
     for (size_t i = 0; i < stats.per_stratum.size(); ++i) {
@@ -174,7 +210,7 @@ int CmdServe(const std::vector<std::string>& args) {
   if (!db.ok()) return Fail(db.status());
   seqdl::Session session = db->OpenSession();
   std::fprintf(stderr, "-- serving %zu EDB facts from %s; "
-                       "'run <program> [REL]' or 'quit'\n",
+                       "'run <program> [REL]', 'stats', or 'quit'\n",
                edb_facts, args[0].c_str());
 
   std::map<std::string, seqdl::PreparedProgram> programs;
@@ -185,6 +221,13 @@ int CmdServe(const std::vector<std::string>& args) {
     words >> cmd;
     if (cmd.empty()) continue;
     if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "stats") {
+      // The planner's view: base EDB measurements merged with the
+      // derived-fact statistics reported back by earlier runs.
+      std::printf("%s", db->Stats().ToString(u).c_str());
+      std::fflush(stdout);
+      continue;
+    }
     if (cmd != "run") {
       std::fprintf(stderr, "error: unknown serve command '%s'\n", cmd.c_str());
       continue;
@@ -207,7 +250,9 @@ int CmdServe(const std::vector<std::string>& args) {
         Fail(program.status());
         continue;
       }
-      auto prepared = seqdl::Engine::Compile(u, std::move(*program));
+      // Database::Compile plans with the database's measured statistics
+      // (base EDB plus whatever earlier runs derived and reported back).
+      auto prepared = db->Compile(std::move(*program));
       if (!prepared.ok()) {
         Fail(prepared.status());
         continue;
@@ -215,7 +260,11 @@ int CmdServe(const std::vector<std::string>& args) {
       it = programs.emplace(path, std::move(*prepared)).first;
     }
     seqdl::EvalStats stats;
-    auto derived = session.Run(it->second, {}, &stats);
+    seqdl::RunOptions ropts;
+    // Feed each run's derived-fact statistics back into Database::Stats()
+    // so later-compiled programs plan from the observed workload.
+    ropts.collect_derived_stats = true;
+    auto derived = session.Run(it->second, ropts, &stats);
     if (!derived.ok()) {
       Fail(derived.status());
       continue;
