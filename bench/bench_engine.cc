@@ -9,7 +9,10 @@
 //   * selectivity-aware vs legacy first-ground-argument planning on a
 //     skewed join (one near-constant column, one high-cardinality key);
 //   * concurrent throughput: N threads sharing one pre-indexed Database,
-//     outputs checked byte-identical against a sequential run.
+//     outputs checked byte-identical against a sequential run;
+//   * the ingest path: Append throughput into a versioned Database, and
+//     query latency over a 16-segment stack vs the same facts after
+//     Compact() vs a cold Database::Open on the merged EDB.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -212,6 +215,173 @@ void PrintConcurrentThroughput() {
   }
   std::printf("\n");
 }
+
+// Ingest path: the versioned Database's append throughput, and how query
+// latency over a deep segment stack compares with the same facts after
+// Compact() and with a cold Database::Open on the merged EDB (the
+// acceptance bar: post-compaction within ~10% of cold open).
+struct IngestWorkload {
+  Result<ParsedQuery> query;
+  std::vector<Instance> batches;  // batches[0] seeds Open, the rest Append
+
+  explicit IngestWorkload(Universe& u, size_t nodes, size_t num_batches)
+      : query(ParsePaperQuery(u, "reach_ab")) {
+    GraphWorkload gw;
+    gw.nodes = nodes;
+    gw.edges = nodes * 2;
+    gw.seed = 33;
+    Result<Instance> in = GraphToInstance(u, RandomGraph(gw), "R");
+    if (!in.ok()) return;
+    batches.resize(num_batches);
+    size_t i = 0;
+    for (RelId rel : in->Relations()) {
+      for (const Tuple& t : in->Tuples(rel)) {
+        batches[i++ % num_batches].Add(rel, t);
+      }
+    }
+  }
+
+  Instance Merged() const {
+    Instance all;
+    for (const Instance& b : batches) all.UnionWith(b);
+    return all;
+  }
+};
+
+void PrintIngestBench() {
+  std::printf("=== Versioned ingest: append throughput + compaction ===\n");
+  std::printf("%-8s %-9s %-12s %-13s %-13s %-11s %-10s\n", "nodes",
+              "batches", "append(ms)", "stacked(ms)", "compacted(ms)",
+              "cold(ms)", "cmp/cold");
+  for (size_t nodes : {32u, 64u}) {
+    constexpr size_t kBatches = 16;
+    Universe u;
+    IngestWorkload w(u, nodes, kBatches);
+    if (!w.query.ok() || w.batches.empty()) std::abort();
+    Result<PreparedProgram> prog = Engine::Compile(u, w.query->program);
+    if (!prog.ok()) std::abort();
+
+    Result<Database> db = Database::Open(u, w.batches[0]);
+    if (!db.ok()) std::abort();
+    auto append_start = std::chrono::steady_clock::now();
+    for (size_t i = 1; i < w.batches.size(); ++i) {
+      if (!db->Append(w.batches[i]).ok()) std::abort();
+    }
+    double append_ms = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - append_start)
+                           .count();
+
+    auto time_warm = [&](const Database& target) {
+      Session session = target.Snapshot();
+      if (!session.Run(*prog).ok()) std::abort();  // index build excluded
+      constexpr int kReps = 5;
+      auto start = std::chrono::steady_clock::now();
+      for (int rep = 0; rep < kReps; ++rep) {
+        if (!session.Run(*prog).ok()) std::abort();
+      }
+      return std::chrono::duration<double, std::milli>(
+                 std::chrono::steady_clock::now() - start)
+                 .count() /
+             kReps;
+    };
+
+    double stacked_ms = time_warm(*db);  // 16 segments deep
+    if (!db->Compact()) std::abort();
+    double compacted_ms = time_warm(*db);  // folded to one segment
+    Result<Database> cold = Database::Open(u, w.Merged());
+    if (!cold.ok()) std::abort();
+    double cold_ms = time_warm(*cold);
+
+    std::printf("%-8zu %-9zu %-12.3f %-13.3f %-13.3f %-11.3f %.2fx\n",
+                nodes, kBatches, append_ms, stacked_ms, compacted_ms,
+                cold_ms, compacted_ms / cold_ms);
+  }
+  std::printf("\n");
+}
+
+// Append throughput for the BENCH json: one iteration ingests the whole
+// batched workload into a fresh Database (Open + 15 Appends).
+void BM_IngestAppend(benchmark::State& state) {
+  size_t nodes = static_cast<size_t>(state.range(0));
+  constexpr size_t kBatches = 16;
+  Universe u;
+  IngestWorkload w(u, nodes, kBatches);
+  if (!w.query.ok() || w.batches.empty()) {
+    state.SkipWithError("workload setup failed");
+    return;
+  }
+  size_t total_facts = w.Merged().NumFacts();
+  for (auto _ : state) {
+    Result<Database> db = Database::Open(u, w.batches[0]);
+    if (!db.ok()) {
+      state.SkipWithError(db.status().ToString().c_str());
+      return;
+    }
+    for (size_t i = 1; i < w.batches.size(); ++i) {
+      if (!db->Append(w.batches[i]).ok()) {
+        state.SkipWithError("append failed");
+        return;
+      }
+    }
+    benchmark::DoNotOptimize(db);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(total_facts));
+}
+BENCHMARK(BM_IngestAppend)->Arg(32)->Arg(64);
+
+// Post-compaction query latency vs a cold open on the merged EDB — the
+// two must track each other (compaction's whole point).
+void RunIngestQuery(benchmark::State& state, bool compacted) {
+  size_t nodes = static_cast<size_t>(state.range(0));
+  constexpr size_t kBatches = 16;
+  Universe u;
+  IngestWorkload w(u, nodes, kBatches);
+  if (!w.query.ok() || w.batches.empty()) {
+    state.SkipWithError("workload setup failed");
+    return;
+  }
+  Result<PreparedProgram> prog = Engine::Compile(u, w.query->program);
+  if (!prog.ok()) {
+    state.SkipWithError(prog.status().ToString().c_str());
+    return;
+  }
+  Result<Database> db = Database::Open(
+      u, compacted ? w.batches[0] : w.Merged());
+  if (!db.ok()) {
+    state.SkipWithError(db.status().ToString().c_str());
+    return;
+  }
+  if (compacted) {
+    for (size_t i = 1; i < w.batches.size(); ++i) {
+      if (!db->Append(w.batches[i]).ok()) {
+        state.SkipWithError("append failed");
+        return;
+      }
+    }
+    db->Compact();
+  }
+  Session session = db->Snapshot();
+  if (!session.Run(*prog).ok()) {  // build the lazy indexes once
+    state.SkipWithError("warm-up run failed");
+    return;
+  }
+  for (auto _ : state) {
+    Result<Instance> out = session.Run(*prog);
+    if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
+    benchmark::DoNotOptimize(out);
+  }
+}
+
+void BM_IngestedCompactedQuery(benchmark::State& state) {
+  RunIngestQuery(state, /*compacted=*/true);
+}
+BENCHMARK(BM_IngestedCompactedQuery)->Arg(32)->Arg(64);
+
+void BM_ColdOpenMergedQuery(benchmark::State& state) {
+  RunIngestQuery(state, /*compacted=*/false);
+}
+BENCHMARK(BM_ColdOpenMergedQuery)->Arg(32)->Arg(64);
 
 // One-shot legacy path: validation + stratification + planning on every
 // call, exactly what pre-Engine call sites paid.
@@ -423,6 +593,7 @@ int main(int argc, char** argv) {
   seqdl::PrintIndexCounts();
   seqdl::PrintSelectivityPlanning();
   seqdl::PrintConcurrentThroughput();
+  seqdl::PrintIngestBench();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -1,25 +1,157 @@
 #include "src/engine/database.h"
 
+#include <utility>
+
 namespace seqdl {
+
+namespace {
+
+/// True iff some segment of `set` already holds (rel, t).
+bool StackContains(const std::vector<std::shared_ptr<const BaseStore>>& segs,
+                   RelId rel, const Tuple& t) {
+  for (const auto& seg : segs) {
+    if (seg->Contains(rel, t)) return true;
+  }
+  return false;
+}
+
+}  // namespace
 
 Result<Database> Database::Open(Universe& u, Instance edb,
                                 const OpenOptions& opts) {
-  auto base = std::make_unique<BaseStore>(u, std::move(edb));
-  if (opts.eager_indexes) base->BuildAllIndexes();
-  return Database(u, std::move(base));
+  auto state = std::make_unique<DbState>();
+  state->universe = &u;
+  state->opts = opts;
+  auto segment = std::make_shared<BaseStore>(u, std::move(edb));
+  if (opts.eager_indexes) segment->BuildAllIndexes();
+  auto set = std::make_shared<SegmentSet>();
+  set->epoch = 0;
+  set->total_facts = segment->instance().NumFacts();
+  set->segments.push_back(std::move(segment));
+  state->current = std::move(set);
+  return Database(std::move(state));
 }
 
 Result<Database> Database::Open(Universe& u, Instance edb) {
   return Open(u, std::move(edb), OpenOptions());
 }
 
-Session Database::OpenSession() const {
-  return Session(*universe_, *base_, accum_.get());
+Session Database::Snapshot() const {
+  return Session(*state_->universe, state_->Current(), &state_->accum);
 }
 
+Session Database::OpenSession() const { return Snapshot(); }
+
+Writer Database::MakeWriter() { return Writer(state_.get()); }
+
+Result<uint64_t> Database::AppendTo(DbState& state, Instance delta) {
+  std::lock_guard<std::mutex> writer(state.writer_mu);
+  std::shared_ptr<const SegmentSet> cur = state.Current();
+
+  // Dedupe against the current stack so segments stay pairwise disjoint
+  // (multi-segment scans then enumerate each base fact exactly once).
+  Instance fresh;
+  for (RelId rel : delta.Relations()) {
+    for (const Tuple& t : delta.Tuples(rel)) {
+      if (!StackContains(cur->segments, rel, t)) fresh.Add(rel, t);
+    }
+  }
+  if (fresh.Empty()) return cur->epoch;  // nothing new: the epoch holds
+
+  size_t fresh_facts = fresh.NumFacts();
+  auto segment =
+      std::make_shared<BaseStore>(*state.universe, std::move(fresh));
+  if (state.opts.eager_indexes) segment->BuildAllIndexes();
+
+  auto next = std::make_shared<SegmentSet>();
+  next->epoch = cur->epoch + 1;
+  next->segments = cur->segments;
+  next->segments.push_back(std::move(segment));
+  next->total_facts = cur->total_facts + fresh_facts;
+  uint64_t epoch = next->epoch;
+  state.Publish(std::move(next));
+
+  // The data moved: decay accumulated derived-run measurements so the
+  // planner's view tracks the drifting workload instead of an all-time
+  // peak (see StatsAccumulator::Age).
+  state.accum.Age(StatsAccumulator::kEpochDecay);
+
+  if (PolicyWantsCompaction(state, *state.Current())) CompactLocked(state);
+  return epoch;
+}
+
+Result<uint64_t> Database::Append(Instance delta) {
+  return AppendTo(*state_, std::move(delta));
+}
+
+bool Database::PolicyWantsCompaction(const DbState& state,
+                                     const SegmentSet& set) {
+  if (set.segments.size() <= 1) return false;
+  const OpenOptions& opts = state.opts;
+  if (opts.auto_compact_segments != 0 &&
+      set.segments.size() > opts.auto_compact_segments) {
+    return true;
+  }
+  if (opts.auto_compact_tail_ratio < 1.0 && set.total_facts > 0) {
+    size_t head = set.segments.front()->instance().NumFacts();
+    double tail_ratio =
+        static_cast<double>(set.total_facts - head) /
+        static_cast<double>(set.total_facts);
+    if (tail_ratio > opts.auto_compact_tail_ratio) return true;
+  }
+  return false;
+}
+
+bool Database::CompactLocked(DbState& state) {
+  std::shared_ptr<const SegmentSet> cur = state.Current();
+  if (cur->segments.size() <= 1) return false;
+
+  // Copy (not move) the segment instances: open sessions still pin them.
+  Instance merged;
+  for (const auto& seg : cur->segments) {
+    merged.UnionWith(seg->instance());
+  }
+  auto segment =
+      std::make_shared<BaseStore>(*state.universe, std::move(merged));
+  if (state.opts.eager_indexes) segment->BuildAllIndexes();
+
+  auto next = std::make_shared<SegmentSet>();
+  next->epoch = cur->epoch;  // same facts, same epoch: semantics unchanged
+  next->total_facts = segment->instance().NumFacts();
+  next->segments.push_back(std::move(segment));
+  state.Publish(std::move(next));
+  return true;
+}
+
+bool Database::Compact() {
+  std::lock_guard<std::mutex> writer(state_->writer_mu);
+  return CompactLocked(*state_);
+}
+
+bool Database::MaybeCompact() {
+  std::lock_guard<std::mutex> writer(state_->writer_mu);
+  if (!PolicyWantsCompaction(*state_, *state_->Current())) return false;
+  return CompactLocked(*state_);
+}
+
+uint64_t Database::epoch() const { return state_->Current()->epoch; }
+
+size_t Database::NumSegments() const {
+  return state_->Current()->segments.size();
+}
+
+size_t Database::NumFacts() const { return state_->Current()->total_facts; }
+
 StoreStats Database::Stats() const {
-  StoreStats stats = base_->Stats();
-  stats.MergeFrom(accum_->Snapshot());
+  std::shared_ptr<const SegmentSet> cur = state_->Current();
+  StoreStats stats;
+  // Per-segment measurements are call_once-cached inside each BaseStore;
+  // segments are disjoint, so summing them is the exact merged shape
+  // modulo the documented shared-key bucket overcount.
+  for (const auto& seg : cur->segments) {
+    stats.MergeFrom(seg->Stats());
+  }
+  stats.MergeFrom(state_->accum.Snapshot());
   return stats;
 }
 
@@ -28,11 +160,33 @@ Result<PreparedProgram> Database::Compile(Program p,
   StoreStats stats = Stats();
   CompileOptions with_stats = opts;
   with_stats.stats = &stats;
-  return Engine::Compile(*universe_, std::move(p), with_stats);
+  return Engine::Compile(*state_->universe, std::move(p), with_stats);
 }
 
 Result<PreparedProgram> Database::Compile(Program p) const {
   return Compile(std::move(p), CompileOptions());
+}
+
+Instance Database::edb() const {
+  std::shared_ptr<const SegmentSet> cur = state_->Current();
+  Instance out;
+  for (const auto& seg : cur->segments) {
+    out.UnionWith(seg->instance());
+  }
+  return out;
+}
+
+const BaseStore& Database::base() const {
+  return *state_->Current()->segments.front();
+}
+
+size_t Database::NumIndexedColumns() const {
+  std::shared_ptr<const SegmentSet> cur = state_->Current();
+  size_t n = 0;
+  for (const auto& seg : cur->segments) {
+    n += seg->NumIndexedColumns();
+  }
+  return n;
 }
 
 Result<Instance> Session::Run(const PreparedProgram& prog,
@@ -43,14 +197,17 @@ Result<Instance> Session::Run(const PreparedProgram& prog,
         "program was compiled against a different Universe than the "
         "database was opened with");
   }
-  // RunOnBase fills EvalStats::derived_stats when asked; route it through
-  // a local EvalStats if the caller did not pass one, so the measurement
-  // still reaches the database's accumulator.
+  std::vector<const BaseStore*> segments;
+  segments.reserve(pinned_->segments.size());
+  for (const auto& seg : pinned_->segments) segments.push_back(seg.get());
+  // RunOnSegments fills EvalStats::derived_stats when asked; route it
+  // through a local EvalStats if the caller did not pass one, so the
+  // measurement still reaches the database's accumulator.
   EvalStats local;
   EvalStats* sink =
       stats != nullptr ? stats
                        : (opts.collect_derived_stats ? &local : nullptr);
-  Result<Instance> out = prog.RunOnBase(*base_, opts, sink);
+  Result<Instance> out = prog.RunOnSegments(segments, opts, sink);
   if (out.ok() && opts.collect_derived_stats && sink != nullptr &&
       accum_ != nullptr) {
     accum_->Record(sink->derived_stats);
@@ -63,6 +220,20 @@ Result<Instance> Session::RunQuery(const PreparedProgram& prog, RelId output,
                                    EvalStats* stats) const {
   SEQDL_ASSIGN_OR_RETURN(Instance derived, Run(prog, opts, stats));
   return derived.Project({output});
+}
+
+Instance Session::edb() const {
+  Instance out;
+  for (const auto& seg : pinned_->segments) {
+    out.UnionWith(seg->instance());
+  }
+  return out;
+}
+
+Result<uint64_t> Writer::Commit() {
+  Instance batch = std::move(staged_);
+  staged_ = Instance{};
+  return Database::AppendTo(*state_, std::move(batch));
 }
 
 }  // namespace seqdl

@@ -1,34 +1,53 @@
-// Database/Session: a long-lived, pre-indexed EDB serving concurrent runs.
+// Database/Session: a long-lived, versioned EDB serving concurrent runs.
 //
-// Database::Open loads an EDB instance once and wraps it in an immutable
-// BaseStore whose per-(relation, column) whole-value / first-value /
-// last-value indexes build exactly once (lazily on first probe, or
-// eagerly with OpenOptions::eager_indexes). Sessions are lightweight
-// snapshot handles over that base: each Run layers a private IDB overlay
-// on top of the shared store, never mutating the base, so any number of
-// sessions — on any number of threads — can run any number of
-// PreparedPrograms against one Database concurrently:
+// The EDB is an append-log of immutable *segments*, one per committed
+// ingest batch. The segment list is published atomically under an
+// *epoch* counter (MVCC): Database::Append (or a batching Writer's
+// Commit) never mutates existing segments — it builds a new BaseStore
+// over the freshly ingested facts, dedupes them against the current
+// stack, and publishes segments+1 at epoch+1. Snapshot()/OpenSession()
+// pins the segment list of the current epoch by shared ownership, so a
+// session opened at epoch k keeps reading exactly epoch k's facts —
+// byte-identical results before, during, and after any number of later
+// commits or compactions — while writers race ahead
+// (single-writer/multi-reader, TSan-enforced):
 //
 //   SEQDL_ASSIGN_OR_RETURN(Database db, Database::Open(u, std::move(edb)));
 //   SEQDL_ASSIGN_OR_RETURN(PreparedProgram prog, Engine::Compile(u, p));
-//   Session session = db.OpenSession();
-//   SEQDL_ASSIGN_OR_RETURN(Instance derived, session.Run(prog));  // derived
-//   SEQDL_ASSIGN_OR_RETURN(Instance reach, session.RunQuery(prog, rel));
+//   Session at_k = db.Snapshot();                        // pins epoch k
+//   SEQDL_ASSIGN_OR_RETURN(uint64_t e, db.Append(std::move(more_facts)));
+//   Session at_k1 = db.Snapshot();                       // sees the append
+//   SEQDL_ASSIGN_OR_RETURN(Instance before, at_k.Run(prog));   // epoch k
+//   SEQDL_ASSIGN_OR_RETURN(Instance after, at_k1.Run(prog));   // epoch k+1
 //
-// Thread-safety contract: the Universe interns with synchronization, the
-// BaseStore's lazy index build is std::call_once-guarded, and all per-run
-// mutable state (overlay, deltas, valuations) is private to the run.
-// Sessions must not outlive their Database; the Database must not outlive
-// the Universe.
+// Per-segment whole/first/last-value indexes and StoreStats build exactly
+// once via the BaseStore call_once machinery and are merged lazily at
+// query/Stats() time. Compact() folds the stack into one merged segment
+// (same facts, same epoch — compaction is invisible to semantics); open
+// sessions keep their pinned segments alive via shared_ptr, so compaction
+// under open sessions is a semantic no-op for them and the retired
+// segments are freed when the last pinned session goes away.
+// OpenOptions::auto_compact_segments makes Append fold the stack
+// automatically once it grows past a threshold, LSM-style.
+//
+// Thread-safety contract: one writer at a time (Append/Commit/Compact
+// serialize on an internal writer mutex), any number of concurrent
+// readers; the published segment list is swapped under a mutex and pinned
+// by shared_ptr, all per-run mutable state is private to the run, and the
+// Universe interns with synchronization. Sessions may outlive epochs but
+// not the Database; the Database must not outlive the Universe.
 //
 // Unlike PreparedProgram::Run (input plus derived facts), Session::Run
 // returns only the facts the program derived — the EDB is shared and
-// usually large, so callers materialize db.edb() + derived only when they
-// actually need the union.
+// usually large, so callers materialize session.edb() + derived only when
+// they actually need the union.
 #ifndef SEQDL_ENGINE_DATABASE_H_
 #define SEQDL_ENGINE_DATABASE_H_
 
+#include <cstdint>
 #include <memory>
+#include <mutex>
+#include <vector>
 
 #include "src/base/status.h"
 #include "src/engine/engine.h"
@@ -40,23 +59,36 @@
 namespace seqdl {
 
 class Session;
+class Writer;
 
-/// A long-lived EDB: owns one immutable BaseStore shared by every session.
-/// Move-only; must outlive all sessions opened from it.
+/// A long-lived, versioned EDB: an epoch-stamped stack of immutable
+/// BaseStore segments shared by every session. Move-only; must outlive
+/// all sessions and writers opened from it.
 class Database {
  public:
   struct OpenOptions {
-    /// Build every (relation, column) index at Open time instead of on
-    /// first probe. Front-loads the full indexing cost; with the default
-    /// lazy build, each column's indexes build on the first query that
-    /// probes them (still exactly once across all sessions and threads).
+    /// Build every (relation, column) index of every segment at
+    /// Open/Append/Compact time instead of on first probe. Front-loads
+    /// the full indexing cost; with the default lazy build, each column's
+    /// indexes build on the first query that probes them (still exactly
+    /// once per segment across all sessions and threads).
     bool eager_indexes = false;
+    /// Append folds the segment stack into one merged segment once it
+    /// holds more than this many segments (0 = compact manually via
+    /// Compact()). Keeps read amplification bounded under sustained
+    /// ingest, LSM-style.
+    size_t auto_compact_segments = 0;
+    /// Append also compacts once the facts outside the first (largest)
+    /// segment exceed this fraction of all facts — the size-ratio
+    /// trigger. >= 1.0 disables the ratio trigger.
+    double auto_compact_tail_ratio = 1.0;
   };
 
-  /// Takes ownership of `edb` and indexes it. `u` must be the Universe the
-  /// instance's paths are interned in and must outlive the Database.
-  /// (Two overloads rather than a default argument: GCC rejects defaulted
-  /// nested-aggregate arguments inside the enclosing class.)
+  /// Takes ownership of `edb` and publishes it as the epoch-0 segment.
+  /// `u` must be the Universe the instance's paths are interned in and
+  /// must outlive the Database. (Two overloads rather than a default
+  /// argument: GCC rejects defaulted nested-aggregate arguments inside
+  /// the enclosing class.)
   static Result<Database> Open(Universe& u, Instance edb,
                                const OpenOptions& opts);
   static Result<Database> Open(Universe& u, Instance edb);
@@ -66,16 +98,54 @@ class Database {
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
-  /// A lightweight handle for running programs over this database. Any
-  /// number may be open at once, from any threads.
+  /// An epoch-pinned view of the database: the returned session reads
+  /// exactly the facts committed as of now, forever, regardless of later
+  /// Append/Commit/Compact calls. Any number may be open at once, from
+  /// any threads. OpenSession() is the same operation under its PR 2
+  /// name.
+  Session Snapshot() const;
   Session OpenSession() const;
 
-  /// Measured per-(relation, column, index-family) statistics: the base
-  /// EDB's bucket shapes (measured once — the base never changes) merged
-  /// with everything sessions derived in runs that set
-  /// RunOptions::collect_derived_stats. Feed the snapshot into
-  /// CompileOptions::stats — or just call Compile() below — so the
-  /// planner ranks access paths by measured selectivity. Thread-safe.
+  /// Publishes `delta` as a new immutable segment and bumps the epoch.
+  /// Facts already present in the current stack are dropped (segments
+  /// stay pairwise disjoint); if nothing remains, no segment is published
+  /// and the epoch does not move. Returns the epoch the facts are visible
+  /// at. Serializes with other writers; never blocks readers.
+  Result<uint64_t> Append(Instance delta);
+
+  /// A batching ingest handle: stage facts with Add/Stage, publish them
+  /// as one segment (one epoch bump) with Commit.
+  Writer MakeWriter();
+
+  /// Folds all current segments into one merged segment. The fact set and
+  /// the epoch are unchanged — compaction is invisible to semantics; it
+  /// trades one rebuild for O(1) segment probes afterwards. Open sessions
+  /// keep their pinned pre-compaction segments (freed when the last such
+  /// session closes). Returns false if there was nothing to fold (one
+  /// segment or none). Serializes with other writers.
+  bool Compact();
+
+  /// Runs Compact() iff the OpenOptions policy says the stack is too
+  /// deep (auto_compact_segments / auto_compact_tail_ratio). Append calls
+  /// this after every publish; it is also callable directly.
+  bool MaybeCompact();
+
+  /// The current epoch: 0 after Open, +1 per published Append/Commit.
+  uint64_t epoch() const;
+  /// Number of segments in the current stack (1 after Open or Compact).
+  size_t NumSegments() const;
+  /// Total facts across the current stack.
+  size_t NumFacts() const;
+
+  /// Measured per-(relation, column, index-family) statistics of the
+  /// current epoch: every live segment's call_once-cached measurement
+  /// merged with everything sessions derived in runs that set
+  /// RunOptions::collect_derived_stats. Derived-run measurements age out
+  /// as epochs bump (StatsAccumulator::Age), so estimates can shrink
+  /// after compaction instead of pinning the all-time max. Feed the
+  /// snapshot into CompileOptions::stats — or just call Compile() below —
+  /// so the planner ranks access paths by measured selectivity.
+  /// Thread-safe.
   StoreStats Stats() const;
 
   /// Compiles `p` against this database's Universe with Stats() as the
@@ -85,38 +155,77 @@ class Database {
   Result<PreparedProgram> Compile(Program p, const CompileOptions& opts) const;
   Result<PreparedProgram> Compile(Program p) const;
 
-  Universe& universe() const { return *universe_; }
-  /// The loaded EDB facts.
-  const Instance& edb() const { return base_->instance(); }
-  /// The shared indexed store (mostly for tests and tools).
-  const BaseStore& base() const { return *base_; }
-  /// Number of (relation, column) columns whose indexes exist so far.
-  size_t NumIndexedColumns() const { return base_->NumIndexedColumns(); }
+  Universe& universe() const { return *state_->universe; }
+  /// Materializes the union of the current stack's facts (a copy — the
+  /// EDB spans several immutable segments once appends happened).
+  Instance edb() const;
+  /// The first (oldest / post-compaction merged) segment of the current
+  /// stack, for tests and tools. The reference is stable only while no
+  /// concurrent writer compacts; single-threaded callers only.
+  const BaseStore& base() const;
+  /// Number of (relation, column) columns whose indexes exist so far,
+  /// summed over the current stack's segments.
+  size_t NumIndexedColumns() const;
 
  private:
-  Database(Universe& u, std::unique_ptr<BaseStore> base)
-      : universe_(&u),
-        base_(std::move(base)),
-        accum_(std::make_unique<StatsAccumulator>()) {}
+  friend class Session;
+  friend class Writer;
 
-  Universe* universe_;
-  /// unique_ptr: BaseStore is immovable (per-column once_flags), and the
-  /// address must stay stable for open sessions while Database moves.
-  std::unique_ptr<BaseStore> base_;
-  /// Derived-fact statistics reported back by session runs; heap-stable
-  /// for the same reason as base_.
-  std::unique_ptr<StatsAccumulator> accum_;
+  /// One published version: an immutable, atomically swapped value.
+  /// Sessions pin it (and thereby every segment) by shared ownership.
+  struct SegmentSet {
+    uint64_t epoch = 0;
+    std::vector<std::shared_ptr<const BaseStore>> segments;
+    size_t total_facts = 0;
+  };
+
+  /// Heap-stable shared state: the Database object may move while
+  /// sessions and writers hold pointers into this.
+  struct DbState {
+    Universe* universe = nullptr;
+    OpenOptions opts;
+    /// Guards `current` (pointer swap only — never held during index
+    /// builds or runs).
+    mutable std::mutex mu;
+    std::shared_ptr<const SegmentSet> current;
+    /// Serializes Append/Commit/Compact (single-writer).
+    std::mutex writer_mu;
+    StatsAccumulator accum;
+
+    std::shared_ptr<const SegmentSet> Current() const {
+      std::lock_guard<std::mutex> lock(mu);
+      return current;
+    }
+    void Publish(std::shared_ptr<const SegmentSet> next) {
+      std::lock_guard<std::mutex> lock(mu);
+      current = std::move(next);
+    }
+  };
+
+  explicit Database(std::unique_ptr<DbState> state)
+      : state_(std::move(state)) {}
+
+  /// The append path shared by Database::Append and Writer::Commit.
+  static Result<uint64_t> AppendTo(DbState& state, Instance delta);
+  /// Compact step with writer_mu already held.
+  static bool CompactLocked(DbState& state);
+  static bool PolicyWantsCompaction(const DbState& state,
+                                    const SegmentSet& set);
+
+  std::unique_ptr<DbState> state_;
 };
 
-/// A snapshot handle over a Database. Copyable and cheap; safe to use from
-/// one thread at a time (open one per thread — OpenSession is free).
-/// All runs see the same immutable EDB and write only private overlays.
-/// Holds the heap-stable BaseStore directly (not the Database object), so
-/// moving the Database does not invalidate open sessions.
+/// An epoch-pinned snapshot handle over a Database. Copyable and cheap;
+/// safe to use from one thread at a time (open one per thread —
+/// Snapshot() is free). All runs see exactly the facts of the pinned
+/// epoch and write only private overlays; concurrent Append/Commit/
+/// Compact on the Database never changes what this session reads. Pins
+/// its segments by shared ownership, so moving the Database — or
+/// compacting it — does not invalidate open sessions.
 class Session {
  public:
-  /// Runs `prog` over the database's EDB; returns only the derived IDB
-  /// facts. `prog` must be compiled against the database's Universe.
+  /// Runs `prog` over the pinned epoch's EDB; returns only the derived
+  /// IDB facts. `prog` must be compiled against the database's Universe.
   /// With RunOptions::collect_derived_stats set, the run's derived facts
   /// are measured into EvalStats::derived_stats and folded into the
   /// Database's Stats(), so later compiles plan from observed workloads.
@@ -128,18 +237,56 @@ class Session {
                             const RunOptions& opts = {},
                             EvalStats* stats = nullptr) const;
 
-  /// The EDB facts this session runs over.
-  const Instance& edb() const { return base_->instance(); }
+  /// The epoch this session is pinned to.
+  uint64_t epoch() const { return pinned_->epoch; }
+  /// Segments backing this snapshot (compaction after the pin does not
+  /// change this — the pre-compaction stack stays pinned).
+  size_t NumSegments() const { return pinned_->segments.size(); }
+  /// Total EDB facts visible to this session.
+  size_t NumFacts() const { return pinned_->total_facts; }
+  /// Materializes the union of the pinned segments' facts (a copy).
+  Instance edb() const;
 
  private:
   friend class Database;
-  Session(Universe& u, const BaseStore& base, StatsAccumulator* accum)
-      : universe_(&u), base_(&base), accum_(accum) {}
+  Session(Universe& u, std::shared_ptr<const Database::SegmentSet> pinned,
+          StatsAccumulator* accum)
+      : universe_(&u), pinned_(std::move(pinned)), accum_(accum) {}
 
   Universe* universe_;
-  const BaseStore* base_;
+  std::shared_ptr<const Database::SegmentSet> pinned_;
   /// The owning Database's derived-stats accumulator (heap-stable).
   StatsAccumulator* accum_;
+};
+
+/// A batching ingest handle: stage any number of facts, then publish them
+/// all as one immutable segment — one epoch bump — with Commit(). One
+/// writer per thread; Commit serializes against other writers and against
+/// Append/Compact on the Database. The Writer must not outlive its
+/// Database.
+class Writer {
+ public:
+  /// Stages one fact. Returns true if it was new among the staged facts
+  /// (duplicates against the database resolve at Commit).
+  bool Add(RelId rel, Tuple t) { return staged_.Add(rel, std::move(t)); }
+  /// Stages every fact of `facts`.
+  void Stage(const Instance& facts) { staged_.UnionWith(facts); }
+  void Stage(Instance&& facts) { staged_.UnionWith(std::move(facts)); }
+
+  size_t NumStaged() const { return staged_.NumFacts(); }
+
+  /// Publishes the staged facts as one new segment and clears the
+  /// staging area. Returns the epoch the facts are visible at (the
+  /// current epoch unchanged when every staged fact was already
+  /// present).
+  Result<uint64_t> Commit();
+
+ private:
+  friend class Database;
+  explicit Writer(Database::DbState* state) : state_(state) {}
+
+  Database::DbState* state_;
+  Instance staged_;
 };
 
 }  // namespace seqdl

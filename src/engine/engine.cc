@@ -89,10 +89,12 @@ class Executor {
            EvalStats* stats)
       : u_(u), prog_(prog), opts_(opts), stats_(stats) {}
 
-  // Evaluates over the (shared, never mutated) base; returns the derived
-  // IDB overlay only.
-  Result<Instance> Run(const BaseStore& base) {
-    store_ = LayeredStore(u_, base);
+  // Evaluates over the (shared, never mutated) base segments; returns the
+  // derived IDB overlay only. Segments are scanned in stack order (oldest
+  // epoch first), which preserves the single-base enumeration order
+  // bit-for-bit when there is one segment.
+  Result<Instance> Run(std::span<const BaseStore* const> segments) {
+    store_ = LayeredStore(u_, segments);
     for (const auto& stratum : StrataOf(prog_)) {
       if (stats_) stats_->per_stratum.emplace_back();
       SEQDL_RETURN_IF_ERROR(EvalStratum(stratum));
@@ -221,36 +223,50 @@ class Executor {
           case StepKey::Kind::kWhole:
             // The planner proved this argument ground under every
             // valuation reaching the step: probe the whole-value column
-            // index of both layers (shared base, then private overlay).
+            // index of every layer (shared base segments in epoch order,
+            // then the private overlay).
             if (stats_) ++stats_->index_probes;
-            return match_all(
-                       store_.base().Probe(lit.pred.rel, key.col, key.whole)) &&
-                   match_all(store_.overlay().Probe(lit.pred.rel, key.col,
+            for (const BaseStore* seg : store_.segments()) {
+              if (!match_all(seg->Probe(lit.pred.rel, key.col, key.whole))) {
+                return false;
+              }
+            }
+            return match_all(store_.overlay().Probe(lit.pred.rel, key.col,
                                                     key.whole));
           case StepKey::Kind::kFirst:
             // A leading prefix of this argument is ground: a matching
             // tuple must start with the prefix's first value, so probe the
             // first-value index (MatchArgs still filters exactly).
             if (stats_) ++stats_->prefix_probes;
-            return match_all(store_.base().ProbeFirst(lit.pred.rel, key.col,
-                                                      key.value)) &&
-                   match_all(store_.overlay().ProbeFirst(lit.pred.rel, key.col,
+            for (const BaseStore* seg : store_.segments()) {
+              if (!match_all(
+                      seg->ProbeFirst(lit.pred.rel, key.col, key.value))) {
+                return false;
+              }
+            }
+            return match_all(store_.overlay().ProbeFirst(lit.pred.rel, key.col,
                                                          key.value));
           case StepKey::Kind::kLast:
             // Symmetric: a trailing suffix is ground (`$x ++ a`); a
             // matching tuple must end with the suffix's last value, so
             // probe the last-value index.
             if (stats_) ++stats_->suffix_probes;
-            return match_all(store_.base().ProbeLast(lit.pred.rel, key.col,
-                                                     key.value)) &&
-                   match_all(store_.overlay().ProbeLast(lit.pred.rel, key.col,
+            for (const BaseStore* seg : store_.segments()) {
+              if (!match_all(
+                      seg->ProbeLast(lit.pred.rel, key.col, key.value))) {
+                return false;
+              }
+            }
+            return match_all(store_.overlay().ProbeLast(lit.pred.rel, key.col,
                                                         key.value));
           case StepKey::Kind::kNone:
             break;
         }
         if (stats_) ++stats_->full_scans;
-        for (const Tuple& t : store_.base().Tuples(lit.pred.rel)) {
-          if (!MatchArgs(u_, lit.pred.args, t, v, next)) return false;
+        for (const BaseStore* seg : store_.segments()) {
+          for (const Tuple& t : seg->Tuples(lit.pred.rel)) {
+            if (!MatchArgs(u_, lit.pred.args, t, v, next)) return false;
+          }
         }
         for (const Tuple& t : store_.overlay().Tuples(lit.pred.rel)) {
           if (!MatchArgs(u_, lit.pred.args, t, v, next)) return false;
@@ -552,9 +568,9 @@ std::string PreparedProgram::ExplainPlan() const {
   return out;
 }
 
-Result<Instance> PreparedProgram::RunOnBase(const BaseStore& base,
-                                            const RunOptions& opts,
-                                            EvalStats* stats) const {
+Result<Instance> PreparedProgram::RunOnSegments(
+    std::span<const BaseStore* const> segments, const RunOptions& opts,
+    EvalStats* stats) const {
   auto start = std::chrono::steady_clock::now();
   if (stats) {
     *stats = EvalStats{};
@@ -562,12 +578,19 @@ Result<Instance> PreparedProgram::RunOnBase(const BaseStore& base,
     stats->plan_decisions = plan_decisions_;
   }
   internal::Executor exec(*universe_, *this, opts, stats);
-  Result<Instance> out = exec.Run(base);
+  Result<Instance> out = exec.Run(segments);
   if (stats && opts.collect_derived_stats && out.ok()) {
     stats->derived_stats = ComputeInstanceStats(*universe_, *out);
   }
   if (stats) stats->run_seconds = SecondsSince(start);
   return out;
+}
+
+Result<Instance> PreparedProgram::RunOnBase(const BaseStore& base,
+                                            const RunOptions& opts,
+                                            EvalStats* stats) const {
+  const BaseStore* segment = &base;
+  return RunOnSegments({&segment, 1}, opts, stats);
 }
 
 Result<Instance> PreparedProgram::Run(const Instance& input,

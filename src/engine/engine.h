@@ -30,6 +30,7 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "src/base/status.h"
@@ -189,9 +190,15 @@ class PreparedProgram {
     std::vector<RulePlan> plans;
   };
 
-  /// Evaluates over `base` (shared, never mutated) and returns only the
-  /// derived IDB overlay. The engine of Session::Run and of Run above
-  /// (which wraps `input` in a throwaway base and unions the result back).
+  /// Evaluates over a stack of base segments (shared, never mutated,
+  /// pairwise disjoint — the epoch-pinned EDB of a Session) and returns
+  /// only the derived IDB overlay. The engine of Session::Run and of Run
+  /// above (which wraps `input` in a throwaway single-segment base and
+  /// unions the result back).
+  Result<Instance> RunOnSegments(std::span<const BaseStore* const> segments,
+                                 const RunOptions& opts,
+                                 EvalStats* stats) const;
+  /// Single-segment convenience.
   Result<Instance> RunOnBase(const BaseStore& base, const RunOptions& opts,
                              EvalStats* stats) const;
 

@@ -26,9 +26,11 @@
 //     are read-only afterwards, so any number of threads can probe
 //     concurrently. Database (database.h) wraps one; the legacy one-shot
 //     entry points build a throwaway one per call.
-//   * LayeredStore — the copy-on-read view the executor runs on: a shared
-//     BaseStore underneath, a private IndexedInstance overlay on top.
-//     Derivation only ever mutates the overlay; the base is never touched.
+//   * LayeredStore — the copy-on-read view the executor runs on: a stack
+//     of shared BaseStore segments underneath (one per committed epoch —
+//     see database.h), a private IndexedInstance overlay on top.
+//     Derivation only ever mutates the overlay; the base segments are
+//     never touched.
 //   * DeltaIndexer — per-round view over semi-naive delta sets, indexing a
 //     delta set on first probe once it exceeds a size threshold (small
 //     deltas stay linear scans).
@@ -43,6 +45,7 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <span>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -180,35 +183,47 @@ class BaseStore {
   mutable StoreStats stats_;
 };
 
-/// The executor's copy-on-read view: a shared immutable BaseStore layered
-/// under a private mutable IDB overlay. Lookups consult both layers;
-/// derivation writes only the overlay, so any number of LayeredStores can
-/// share one BaseStore concurrently.
+/// The executor's copy-on-read view: a stack of shared immutable BaseStore
+/// *segments* (the epoch-pinned EDB — one segment per committed Append,
+/// see database.h) layered under a private mutable IDB overlay. Lookups
+/// consult every layer; derivation writes only the overlay, so any number
+/// of LayeredStores can share the same segments concurrently. Segments
+/// hold pairwise-disjoint fact sets (Database::Append dedupes on commit),
+/// so stacking them enumerates each base fact exactly once.
 class LayeredStore {
  public:
   /// Usable only after move-assignment from a real one.
   LayeredStore() = default;
+  LayeredStore(const Universe& u, std::span<const BaseStore* const> segments)
+      : segments_(segments.begin(), segments.end()),
+        overlay_(u, Instance{}) {}
+  /// Single-segment convenience (the one-shot Run path).
   LayeredStore(const Universe& u, const BaseStore& base)
-      : base_(&base), overlay_(u, Instance{}) {}
+      : segments_(1, &base), overlay_(u, Instance{}) {}
 
-  const BaseStore& base() const { return *base_; }
+  std::span<const BaseStore* const> segments() const { return segments_; }
   IndexedInstance& overlay() { return overlay_; }
 
-  /// Adds a fact to the overlay unless either layer already holds it.
+  /// Adds a fact to the overlay unless some layer already holds it.
   bool Add(RelId rel, Tuple t) {
-    if (base_->Contains(rel, t)) return false;
+    for (const BaseStore* seg : segments_) {
+      if (seg->Contains(rel, t)) return false;
+    }
     return overlay_.Add(rel, std::move(t));
   }
 
   bool Contains(RelId rel, const Tuple& t) const {
-    return base_->Contains(rel, t) || overlay_.Contains(rel, t);
+    for (const BaseStore* seg : segments_) {
+      if (seg->Contains(rel, t)) return true;
+    }
+    return overlay_.Contains(rel, t);
   }
 
   /// Releases the overlay (the derived facts only).
   Instance&& TakeOverlay() { return overlay_.TakeInstance(); }
 
  private:
-  const BaseStore* base_ = nullptr;
+  std::vector<const BaseStore*> segments_;
   IndexedInstance overlay_;
 };
 

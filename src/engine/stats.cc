@@ -130,6 +130,49 @@ void StoreStats::ObserveMax(const StoreStats& other) {
   }
 }
 
+void StoreStats::Scale(double factor) {
+  auto scale = [factor](size_t n) {
+    return static_cast<size_t>(static_cast<double>(n) * factor);
+  };
+  for (auto it = relations.begin(); it != relations.end();) {
+    RelationStats& rs = it->second;
+    rs.tuples = scale(rs.tuples);
+    if (rs.tuples == 0) {
+      it = relations.erase(it);
+      continue;
+    }
+    for (ColumnStats& c : rs.columns) {
+      for (FamilyStats* f : {&c.whole, &c.first, &c.last}) {
+        f->buckets = scale(f->buckets);
+        f->entries = scale(f->entries);
+        f->max_bucket = scale(f->max_bucket);
+      }
+    }
+    ++it;
+  }
+}
+
+double StatsDrift(const StoreStats& before, const StoreStats& after) {
+  double drift = 0.0;
+  auto relative = [](size_t a, size_t b) {
+    size_t hi = std::max(a, b);
+    if (hi == 0) return 0.0;
+    size_t lo = std::min(a, b);
+    return static_cast<double>(hi - lo) / static_cast<double>(hi);
+  };
+  for (const auto& [rel, rs] : before.relations) {
+    auto it = after.relations.find(rel);
+    size_t theirs = it == after.relations.end() ? 0 : it->second.tuples;
+    drift = std::max(drift, relative(rs.tuples, theirs));
+  }
+  for (const auto& [rel, rs] : after.relations) {
+    if (before.relations.count(rel) == 0) {
+      drift = std::max(drift, relative(0, rs.tuples));
+    }
+  }
+  return drift;
+}
+
 void StatsAccumulator::Record(const StoreStats& s) {
   std::lock_guard<std::mutex> lock(mu_);
   total_.ObserveMax(s);
@@ -138,6 +181,11 @@ void StatsAccumulator::Record(const StoreStats& s) {
 StoreStats StatsAccumulator::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   return total_;
+}
+
+void StatsAccumulator::Age(double factor) {
+  std::lock_guard<std::mutex> lock(mu_);
+  total_.Scale(factor);
 }
 
 }  // namespace seqdl

@@ -113,6 +113,11 @@ struct StoreStats {
   /// far" is bounded by reality and exact for the repeated-query loop.
   void ObserveMax(const StoreStats& other);
 
+  /// Scales every counter by `factor` (rounding down; relations that
+  /// decay to zero tuples are dropped). The decay step of
+  /// StatsAccumulator::Age.
+  void Scale(double factor);
+
   /// Deterministic multi-line rendering, one row per (relation, column,
   /// family): "R  col 0  whole  buckets=12 entries=30 mean=2.5 max=4".
   std::string ToString(const Universe& u) const;
@@ -131,16 +136,32 @@ StoreStats ComputeInstanceStats(const Universe& u, const Instance& inst);
 /// RunOptions::collect_derived_stats is set), and Database::Stats() merges
 /// a snapshot into the base-EDB measurements. Recording keeps the largest
 /// observed measurement per relation (ObserveMax), so repeating a query
-/// forever cannot inflate its estimates.
+/// forever cannot inflate its estimates — and Age() decays that maximum
+/// on every epoch bump, so the accumulator also *forgets*: after the
+/// workload drifts (or compaction shrinks the base), a few epochs of
+/// smaller observations win over a stale all-time peak and estimates can
+/// come back down.
 class StatsAccumulator {
  public:
+  /// The decay Database applies per epoch bump.
+  static constexpr double kEpochDecay = 0.5;
+
   void Record(const StoreStats& s);
   StoreStats Snapshot() const;
+  /// Multiplies every recorded counter by `factor` in (0, 1].
+  void Age(double factor);
 
  private:
   mutable std::mutex mu_;
   StoreStats total_;
 };
+
+/// Relative drift between two measurements: the largest per-relation
+/// relative change in tuple count over the union of their relations
+/// (a relation present on one side only counts as drift 1). 0 = same
+/// shape; >= `threshold` is the serve loop's cue to recompile cached
+/// programs against fresh statistics.
+double StatsDrift(const StoreStats& before, const StoreStats& after);
 
 }  // namespace seqdl
 

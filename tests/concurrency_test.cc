@@ -376,6 +376,231 @@ TEST(DatabaseConcurrencyTest, SessionRejectsForeignUniverse) {
   EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
 }
 
+// --- Epochs: ingest vs snapshots ---------------------------------------------
+
+// A snapshot pinned at epoch k returns byte-identical results before,
+// during, and after later Append/Commit/Compact — and matches a fresh
+// Database::Open on exactly epoch k's facts.
+TEST(EpochConcurrencyTest, SnapshotsPinTheirEpochAcrossAppendAndCompact) {
+  Universe u;
+  Result<Program> p = ParseProgram(
+      u,
+      "Reach($x, $y) <- R($x ++ $y).\n"
+      "Reach($x, $z) <- Reach($x, $y), R($y ++ $z).");
+  ASSERT_TRUE(p.ok());
+  Result<PreparedProgram> prog = Engine::Compile(u, std::move(*p));
+  ASSERT_TRUE(prog.ok());
+  Result<Instance> first = ParseInstance(u, "R(a ++ b). R(b ++ c).");
+  Result<Instance> second = ParseInstance(u, "R(c ++ d).");
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+
+  Result<Database> db = Database::Open(u, *first);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->epoch(), 0u);
+  Session at0 = db->Snapshot();
+  Result<Instance> before = at0.Run(*prog);
+  ASSERT_TRUE(before.ok());
+  std::string at0_text = before->ToString(u);
+
+  // Cold-open references for both epochs.
+  Result<Database> cold0 = Database::Open(u, *first);
+  ASSERT_TRUE(cold0.ok());
+  EXPECT_EQ(cold0->Snapshot().Run(*prog)->ToString(u), at0_text);
+  Instance merged = *first;
+  merged.UnionWith(*second);
+  Result<Database> cold1 = Database::Open(u, merged);
+  ASSERT_TRUE(cold1.ok());
+  std::string at1_text = cold1->Snapshot().Run(*prog)->ToString(u);
+  ASSERT_NE(at0_text, at1_text);
+
+  // Append publishes epoch 1; the pinned snapshot still reads epoch 0.
+  Result<uint64_t> epoch = db->Append(*second);
+  ASSERT_TRUE(epoch.ok());
+  EXPECT_EQ(*epoch, 1u);
+  EXPECT_EQ(db->NumSegments(), 2u);
+  EXPECT_EQ(at0.epoch(), 0u);
+  EXPECT_EQ(at0.Run(*prog)->ToString(u), at0_text);
+  Session at1 = db->Snapshot();
+  EXPECT_EQ(at1.epoch(), 1u);
+  EXPECT_EQ(at1.Run(*prog)->ToString(u), at1_text);
+
+  // Compaction folds the stack without moving the epoch; both pinned
+  // snapshots are unaffected, and new snapshots see the merged store.
+  EXPECT_TRUE(db->Compact());
+  EXPECT_EQ(db->NumSegments(), 1u);
+  EXPECT_EQ(db->epoch(), 1u);
+  EXPECT_EQ(at0.NumSegments(), 1u);
+  EXPECT_EQ(at1.NumSegments(), 2u);  // the pre-compaction stack, pinned
+  EXPECT_EQ(at0.Run(*prog)->ToString(u), at0_text);
+  EXPECT_EQ(at1.Run(*prog)->ToString(u), at1_text);
+  EXPECT_EQ(db->Snapshot().Run(*prog)->ToString(u), at1_text);
+  // Nothing left to fold.
+  EXPECT_FALSE(db->Compact());
+}
+
+// One writer thread commits batches while reader threads open snapshots
+// and run; every reader must see some prefix epoch's exact results. The
+// per-epoch references are computed from cold opens after the fact.
+TEST(EpochConcurrencyTest, WriterRacesSnapshotReaders) {
+  Universe u;
+  Result<Program> p = ParseProgram(
+      u,
+      "Reach($x, $y) <- R($x ++ $y).\n"
+      "Reach($x, $z) <- Reach($x, $y), R($y ++ $z).");
+  ASSERT_TRUE(p.ok());
+  Result<PreparedProgram> prog = Engine::Compile(u, std::move(*p));
+  ASSERT_TRUE(prog.ok());
+
+  // A chain a0 -> a1 -> ... appended one edge per commit: every epoch has
+  // a distinct Reach closure.
+  constexpr size_t kCommits = 12;
+  std::vector<Instance> batches;
+  RelId r = *u.InternRel("R", 1);
+  for (size_t i = 0; i <= kCommits; ++i) {
+    Value from = Value::Atom(u.InternAtom("n" + std::to_string(i)));
+    Value to = Value::Atom(u.InternAtom("n" + std::to_string(i + 1)));
+    std::vector<Value> edge = {from, to};
+    Instance batch;
+    batch.Add(r, {u.InternPath(edge)});
+    batches.push_back(std::move(batch));
+  }
+
+  Result<Database> db = Database::Open(u, batches[0]);
+  ASSERT_TRUE(db.ok());
+
+  struct Observation {
+    uint64_t epoch;
+    std::string text;
+  };
+  std::vector<std::vector<Observation>> seen(kThreads - 1);
+  std::vector<std::string> errors(kThreads - 1);
+
+  std::vector<std::thread> threads;
+  // Writer: commit the remaining batches through a batching Writer,
+  // compacting halfway to race segment retirement against the readers.
+  threads.emplace_back([&] {
+    Writer w = db->MakeWriter();
+    for (size_t i = 1; i < batches.size(); ++i) {
+      w.Stage(batches[i]);
+      if (!w.Commit().ok()) return;
+      if (i == batches.size() / 2) db->Compact();
+    }
+  });
+  // Readers: snapshot, run twice, record (epoch, bytes). Assertions
+  // happen on the main thread after joining.
+  for (size_t t = 0; t + 1 < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t i = 0; i < 6; ++i) {
+        Session snap = db->Snapshot();
+        Result<Instance> out1 = snap.Run(*prog);
+        Result<Instance> out2 = snap.Run(*prog);
+        if (!out1.ok() || !out2.ok()) {
+          errors[t] = (out1.ok() ? out2 : out1).status().ToString();
+          return;
+        }
+        std::string text = out1->ToString(u);
+        if (text != out2->ToString(u)) {
+          errors[t] = "re-run of one snapshot differed";
+          return;
+        }
+        seen[t].push_back({snap.epoch(), std::move(text)});
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  // Cold-open reference per epoch.
+  std::vector<std::string> reference;
+  Instance accumulated;
+  for (size_t i = 0; i < batches.size(); ++i) {
+    accumulated.UnionWith(batches[i]);
+    Result<Database> cold = Database::Open(u, accumulated);
+    ASSERT_TRUE(cold.ok());
+    Result<Instance> out = cold->Snapshot().Run(*prog);
+    ASSERT_TRUE(out.ok());
+    reference.push_back(out->ToString(u));
+  }
+
+  for (size_t t = 0; t + 1 < kThreads; ++t) {
+    ASSERT_TRUE(errors[t].empty()) << "reader " << t << ": " << errors[t];
+    for (const Observation& o : seen[t]) {
+      ASSERT_LT(o.epoch, reference.size()) << "reader " << t;
+      EXPECT_EQ(o.text, reference[o.epoch])
+          << "reader " << t << " at epoch " << o.epoch;
+    }
+  }
+  EXPECT_EQ(db->epoch(), kCommits);
+}
+
+// Concurrent stats reads and stats-driven compiles stay safe while the
+// epoch moves underneath them.
+TEST(EpochConcurrencyTest, StatsAndCompileRaceIngest) {
+  Universe u;
+  Result<Program> p = ParseProgram(u, "Loop($x) <- R($x ++ $x).");
+  ASSERT_TRUE(p.ok());
+  Program program = *p;
+  Result<Instance> in = ParseInstance(u, "R(a ++ a). R(a ++ b).");
+  ASSERT_TRUE(in.ok());
+  Result<Database> db = Database::Open(u, std::move(*in));
+  ASSERT_TRUE(db.ok());
+
+  RelId r = *u.FindRel("R");
+  std::vector<std::string> errors(kThreads);
+  std::vector<std::thread> threads;
+  threads.emplace_back([&] {
+    for (size_t i = 0; i < 16; ++i) {
+      Value x = Value::Atom(u.InternAtom("x" + std::to_string(i)));
+      std::vector<Value> loop = {x, x};
+      Instance batch;
+      batch.Add(r, {u.InternPath(loop)});
+      if (!db->Append(std::move(batch)).ok()) return;
+      if (i % 5 == 4) db->Compact();
+    }
+  });
+  for (size_t t = 1; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t i = 0; i < 8; ++i) {
+        StoreStats stats = db->Stats();
+        if (stats.NumRelations() == 0) {
+          errors[t] = "Stats() saw no relations";
+          return;
+        }
+        Result<PreparedProgram> planned = db->Compile(program);
+        if (!planned.ok()) {
+          errors[t] = planned.status().ToString();
+          return;
+        }
+        Session snap = db->Snapshot();
+        RunOptions opts;
+        opts.collect_derived_stats = true;
+        Result<Instance> out = snap.Run(*planned, opts);
+        if (!out.ok()) {
+          errors[t] = out.status().ToString();
+          return;
+        }
+        // Within one snapshot, loops == facts whose path is x·x; the
+        // count must match the pinned EDB regardless of racing appends.
+        // (edb() materializes a copy: keep it alive past the loop.)
+        Instance edb = snap.edb();
+        size_t loops = 0;
+        for (const Tuple& tup : edb.Tuples(r)) {
+          std::span<const Value> path = u.GetPath(tup[0]);
+          if (path.size() == 2 && path[0] == path[1]) ++loops;
+        }
+        if (out->NumFacts() != loops) {
+          errors[t] = "derived loop count diverged from pinned EDB";
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (size_t t = 1; t < kThreads; ++t) {
+    EXPECT_TRUE(errors[t].empty()) << "thread " << t << ": " << errors[t];
+  }
+}
+
 // The legacy entry point is thread-safe too now: each Run builds its own
 // throwaway base, and the shared Universe interns with synchronization.
 TEST(DatabaseConcurrencyTest, LegacyPreparedRunsAreThreadSafe) {

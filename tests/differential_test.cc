@@ -56,11 +56,18 @@ struct RandomCase {
 
 // Generates one random case. All randomness flows from the seeded mt19937;
 // `% n` keeps the draw sequence identical across standard libraries.
+// Roughly half the cases draw from the paper's packing fragment: EDB
+// paths may hold packed values `<...>` and body arguments may pack
+// subexpressions, so the harness also pins the engine's nested-value
+// matching across every execution mode.
 class CaseGenerator {
  public:
   CaseGenerator(Universe& u, uint64_t seed) : u_(u), rng_(seed) {}
 
+  bool packing() const { return packing_; }
+
   RandomCase Generate() {
+    packing_ = Pick(2) == 0;
     // Symbol pools.
     std::vector<AtomId> atoms;
     for (char c : {'a', 'b', 'c', 'd'}) {
@@ -92,7 +99,18 @@ class CaseGenerator {
           size_t len = Pick(4);
           for (size_t i = 0; i < len; ++i) {
             size_t a = skewed && Pick(2) == 0 ? 0 : Pick(atoms.size());
-            path.push_back(Value::Atom(atoms[a]));
+            Value v = Value::Atom(atoms[a]);
+            // Packing-fragment cases nest some values one level deep:
+            // <eps>, <b>, or <b·c> instead of a bare atom.
+            if (packing_ && Pick(5) == 0) {
+              std::vector<Value> inner;
+              size_t inner_len = Pick(3);
+              for (size_t k = 0; k < inner_len; ++k) {
+                inner.push_back(Value::Atom(atoms[Pick(atoms.size())]));
+              }
+              v = Value::Packed(u_.InternPath(inner));
+            }
+            path.push_back(v);
           }
           tuple.push_back(u_.InternPath(path));
         }
@@ -123,6 +141,19 @@ class CaseGenerator {
   }
 
   ExprItem RandomItem(const std::vector<AtomId>& atoms) {
+    // Packing-fragment cases spend one slot in six on a packed
+    // subexpression `<...>`; its inner items may introduce fresh
+    // variables, bound by matching against the packed value's contents.
+    if (packing_ && Pick(6) == 0) {
+      std::vector<ExprItem> inner;
+      size_t n = 1 + Pick(2);
+      for (size_t i = 0; i < n; ++i) inner.push_back(FlatItem(atoms));
+      return ExprItem::Pack(PathExpr(std::move(inner)));
+    }
+    return FlatItem(atoms);
+  }
+
+  ExprItem FlatItem(const std::vector<AtomId>& atoms) {
     switch (Pick(5)) {
       case 0:
       case 1:
@@ -209,6 +240,8 @@ class CaseGenerator {
 
   Universe& u_;
   std::mt19937 rng_;
+  /// This case draws from the packing fragment (set per Generate()).
+  bool packing_ = false;
 };
 
 size_t Iterations() {
@@ -221,10 +254,12 @@ size_t Iterations() {
 
 TEST(DifferentialTest, AllExecutionModesAgreeOnRandomPrograms) {
   size_t iterations = Iterations();
-  size_t compared = 0, skipped = 0;
+  size_t compared = 0, skipped = 0, packed_cases = 0;
   for (uint64_t seed = 1; seed <= iterations; ++seed) {
     Universe u;
-    RandomCase c = CaseGenerator(u, seed).Generate();
+    CaseGenerator gen(u, seed);
+    RandomCase c = gen.Generate();
+    if (gen.packing()) ++packed_cases;
     SCOPED_TRACE("seed " + std::to_string(seed) + "\n" +
                  FormatProgram(u, c.program) + c.input.ToString(u));
 
@@ -290,6 +325,109 @@ TEST(DifferentialTest, AllExecutionModesAgreeOnRandomPrograms) {
     ++compared;
   }
   // Guard against generator drift making the harness vacuous.
+  EXPECT_GE(compared * 5, iterations * 4)
+      << compared << " of " << iterations << " seeds compared (" << skipped
+      << " skipped)";
+  // And against the packing fragment silently dropping out of coverage.
+  EXPECT_GE(packed_cases * 4, iterations)
+      << packed_cases << " of " << iterations << " seeds drew packed values";
+}
+
+// The ingest differential: facts arriving through Append must be
+// indistinguishable from facts present at Open. For every random case the
+// EDB is split into three batches ingested at epochs 0/1/2; at each epoch
+// a pinned snapshot's results (and its materialized EDB) must be
+// byte-identical to a fresh Database::Open on exactly that epoch's facts
+// — and the pinned snapshots must keep producing those bytes after later
+// appends and after Compact() rewrites the segment stack underneath them.
+TEST(DifferentialTest, IncrementalIngestMatchesColdOpenPerEpoch) {
+  size_t iterations = Iterations();
+  size_t compared = 0, skipped = 0;
+  for (uint64_t seed = 1; seed <= iterations; ++seed) {
+    Universe u;
+    RandomCase c = CaseGenerator(u, seed).Generate();
+    SCOPED_TRACE("seed " + std::to_string(seed) + "\n" +
+                 FormatProgram(u, c.program) + c.input.ToString(u));
+
+    Result<PreparedProgram> prog = Engine::CompileBorrowed(u, c.program);
+    ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+    RunOptions ropts;
+    ropts.max_facts = kMaxFacts;
+    ropts.max_iterations = kMaxIterations;
+
+    // Split the EDB round-robin into three ingest batches.
+    std::vector<Instance> batches(3);
+    {
+      size_t i = 0;
+      for (RelId rel : c.input.Relations()) {
+        for (const Tuple& t : c.input.Tuples(rel)) {
+          batches[i++ % batches.size()].Add(rel, t);
+        }
+      }
+    }
+
+    Result<Database> db = Database::Open(u, batches[0]);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    ASSERT_TRUE(db->Append(batches[1]).ok());
+    ASSERT_TRUE(db->Append(batches[2]).ok());
+    ASSERT_EQ(db->epoch(), 2u);
+
+    // Per epoch: the cold-open expectation on that epoch's facts, and
+    // the matching pinned snapshot (reopened per epoch via a throwaway
+    // prefix database so the snapshot predates the later appends).
+    Instance accumulated;
+    std::vector<std::string> expected_derived, expected_edb;
+    bool budget_hit = false;
+    for (size_t e = 0; e < batches.size(); ++e) {
+      accumulated.UnionWith(batches[e]);
+      Result<Database> cold = Database::Open(u, accumulated);
+      ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+      Result<Instance> derived = cold->Snapshot().Run(*prog, ropts);
+      if (!derived.ok()) {
+        ASSERT_EQ(derived.status().code(), StatusCode::kResourceExhausted)
+            << derived.status().ToString();
+        budget_hit = true;
+        break;
+      }
+      expected_derived.push_back(derived->ToString(u));
+      expected_edb.push_back(cold->edb().ToString(u));
+    }
+    if (budget_hit) {
+      ++skipped;
+      continue;
+    }
+
+    // Replay the ingest with live pinned snapshots this time.
+    Result<Database> live = Database::Open(u, batches[0]);
+    ASSERT_TRUE(live.ok()) << live.status().ToString();
+    std::vector<Session> pinned;
+    pinned.push_back(live->Snapshot());
+    ASSERT_TRUE(live->Append(batches[1]).ok());
+    pinned.push_back(live->Snapshot());
+    ASSERT_TRUE(live->Append(batches[2]).ok());
+    pinned.push_back(live->Snapshot());
+
+    auto check_all = [&](const char* phase) {
+      for (size_t e = 0; e < pinned.size(); ++e) {
+        EXPECT_EQ(pinned[e].epoch(), e) << phase;
+        Result<Instance> got = pinned[e].Run(*prog, ropts);
+        ASSERT_TRUE(got.ok())
+            << phase << " epoch " << e << ": " << got.status().ToString();
+        EXPECT_EQ(expected_derived[e], got->ToString(u))
+            << phase << " epoch " << e;
+        EXPECT_EQ(expected_edb[e], pinned[e].edb().ToString(u))
+            << phase << " epoch " << e;
+      }
+    };
+    check_all("pre-compaction");
+    // Compaction rewrites the live stack to one segment; every pinned
+    // snapshot must be unaffected, bit for bit.
+    live->Compact();
+    EXPECT_EQ(live->NumSegments(), 1u);
+    EXPECT_EQ(live->epoch(), 2u);
+    check_all("post-compaction");
+    ++compared;
+  }
   EXPECT_GE(compared * 5, iterations * 4)
       << compared << " of " << iterations << " seeds compared (" << skipped
       << " skipped)";

@@ -622,6 +622,203 @@ TEST(DatabaseTest, RunsDoNotMutateTheBase) {
   EXPECT_EQ(db->edb().NumFacts(), 2u);  // base untouched
 }
 
+// --- Versioned Database: epochs, Writer, Compact ------------------------------
+
+TEST(EpochTest, AppendPublishesSegmentsAndBumpsEpoch) {
+  Universe u;
+  Result<Database> db = Database::Open(u, MustInstance(u, "R(a). R(b)."));
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->epoch(), 0u);
+  EXPECT_EQ(db->NumSegments(), 1u);
+  EXPECT_EQ(db->NumFacts(), 2u);
+
+  Result<uint64_t> e1 = db->Append(MustInstance(u, "R(c). S(d, d)."));
+  ASSERT_TRUE(e1.ok());
+  EXPECT_EQ(*e1, 1u);
+  EXPECT_EQ(db->epoch(), 1u);
+  EXPECT_EQ(db->NumSegments(), 2u);
+  EXPECT_EQ(db->NumFacts(), 4u);
+  // edb() materializes the union of all segments.
+  Instance edb = db->edb();
+  EXPECT_EQ(edb.NumFacts(), 4u);
+  EXPECT_TRUE(edb.Contains(*u.FindRel("R"), {u.PathOfChars("c")}));
+}
+
+TEST(EpochTest, AppendDedupesAgainstTheCurrentStack) {
+  Universe u;
+  Result<Database> db = Database::Open(u, MustInstance(u, "R(a). R(b)."));
+  ASSERT_TRUE(db.ok());
+  // Entirely duplicate: no segment published, no epoch bump.
+  Result<uint64_t> e = db->Append(MustInstance(u, "R(a)."));
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(*e, 0u);
+  EXPECT_EQ(db->NumSegments(), 1u);
+  // Partially duplicate: only the fresh fact lands in the new segment.
+  e = db->Append(MustInstance(u, "R(a). R(c)."));
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(*e, 1u);
+  EXPECT_EQ(db->NumFacts(), 3u);
+  // Multi-segment scans therefore enumerate each fact exactly once: a
+  // run over `R($x)` derives one S fact per distinct R fact.
+  Program p = MustParse(u, "S($x) <- R($x).");
+  Result<PreparedProgram> prog = Engine::Compile(u, std::move(p));
+  ASSERT_TRUE(prog.ok());
+  Result<Instance> derived = db->Snapshot().Run(*prog);
+  ASSERT_TRUE(derived.ok());
+  EXPECT_EQ(derived->NumFacts(), 3u);
+}
+
+TEST(EpochTest, WriterBatchesIntoOneCommit) {
+  Universe u;
+  Result<Database> db = Database::Open(u, MustInstance(u, "R(a)."));
+  ASSERT_TRUE(db.ok());
+  Writer w = db->MakeWriter();
+  RelId r = *u.FindRel("R");
+  EXPECT_TRUE(w.Add(r, {u.PathOfChars("b")}));
+  EXPECT_FALSE(w.Add(r, {u.PathOfChars("b")}));  // staged duplicate
+  w.Stage(MustInstance(u, "R(c). R(d)."));
+  EXPECT_EQ(w.NumStaged(), 3u);
+  Result<uint64_t> epoch = w.Commit();
+  ASSERT_TRUE(epoch.ok());
+  EXPECT_EQ(*epoch, 1u);
+  EXPECT_EQ(db->NumSegments(), 2u);  // one batch = one segment
+  EXPECT_EQ(db->NumFacts(), 4u);
+  EXPECT_EQ(w.NumStaged(), 0u);  // staging area cleared by Commit
+  // An empty commit publishes nothing.
+  Result<uint64_t> again = w.Commit();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, 1u);
+  EXPECT_EQ(db->NumSegments(), 2u);
+}
+
+TEST(EpochTest, SnapshotIgnoresLaterAppends) {
+  Universe u;
+  Program p = MustParse(u, "S($x) <- R($x).");
+  Result<PreparedProgram> prog = Engine::Compile(u, std::move(p));
+  ASSERT_TRUE(prog.ok());
+  Result<Database> db = Database::Open(u, MustInstance(u, "R(a)."));
+  ASSERT_TRUE(db.ok());
+  Session old = db->Snapshot();
+  ASSERT_TRUE(db->Append(MustInstance(u, "R(b).")).ok());
+  Result<Instance> old_out = old.Run(*prog);
+  Result<Instance> new_out = db->Snapshot().Run(*prog);
+  ASSERT_TRUE(old_out.ok());
+  ASSERT_TRUE(new_out.ok());
+  EXPECT_EQ(old_out->NumFacts(), 1u);  // pinned at epoch 0
+  EXPECT_EQ(new_out->NumFacts(), 2u);
+  EXPECT_EQ(old.NumFacts(), 1u);
+  EXPECT_EQ(old.edb().NumFacts(), 1u);
+}
+
+TEST(EpochTest, AutoCompactionFoldsBySegmentCount) {
+  Universe u;
+  Database::OpenOptions opts;
+  opts.auto_compact_segments = 2;
+  Result<Database> db =
+      Database::Open(u, MustInstance(u, "R(a)."), opts);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE(db->Append(MustInstance(u, "R(b).")).ok());
+  EXPECT_EQ(db->NumSegments(), 2u);  // at the limit: no fold yet
+  ASSERT_TRUE(db->Append(MustInstance(u, "R(c).")).ok());
+  EXPECT_EQ(db->NumSegments(), 1u);  // 3 > 2 folded back to one
+  EXPECT_EQ(db->epoch(), 2u);        // compaction never moves the epoch
+  EXPECT_EQ(db->NumFacts(), 3u);
+}
+
+TEST(EpochTest, AutoCompactionFoldsByTailRatio) {
+  Universe u;
+  Database::OpenOptions opts;
+  opts.auto_compact_tail_ratio = 0.4;
+  Result<Database> db =
+      Database::Open(u, MustInstance(u, "R(a). R(b). R(c). R(d)."), opts);
+  ASSERT_TRUE(db.ok());
+  // Tail 1/5 = 0.2 <= 0.4: stays stacked.
+  ASSERT_TRUE(db->Append(MustInstance(u, "R(e).")).ok());
+  EXPECT_EQ(db->NumSegments(), 2u);
+  // Tail 5/9 > 0.4: folds.
+  ASSERT_TRUE(db->Append(MustInstance(u, "R(f). R(g). R(h). R(i).")).ok());
+  EXPECT_EQ(db->NumSegments(), 1u);
+  EXPECT_EQ(db->NumFacts(), 9u);
+}
+
+TEST(EpochTest, StatsAreEpochAware) {
+  Universe u;
+  Result<Database> db = Database::Open(u, MustInstance(u, "R(a). R(b)."));
+  ASSERT_TRUE(db.ok());
+  RelId r = *u.FindRel("R");
+  EXPECT_EQ(db->Stats().EstimateScan(r), 2.0);
+  ASSERT_TRUE(db->Append(MustInstance(u, "R(c). R(d).")).ok());
+  // Per-segment measurements merge: the new segment's facts count.
+  EXPECT_EQ(db->Stats().EstimateScan(r), 4.0);
+  // Compaction re-measures the merged store; totals are unchanged.
+  ASSERT_TRUE(db->Compact());
+  EXPECT_EQ(db->Stats().EstimateScan(r), 4.0);
+}
+
+// --- Stats aging + drift -------------------------------------------------------
+
+TEST(StatsAgingTest, AccumulatorForgetsUnderEpochDecay) {
+  Universe u;
+  RelId s = *u.InternRel("S", 1);
+  Instance big;
+  for (int i = 0; i < 16; ++i) {
+    big.Add(s, {u.SingletonPath(Value::Atom(u.InternAtom(
+                   "v" + std::to_string(i))))});
+  }
+  StatsAccumulator accum;
+  accum.Record(ComputeInstanceStats(u, big));
+  EXPECT_EQ(accum.Snapshot().EstimateScan(s), 16.0);
+  // Pre-aging, ObserveMax pins the all-time peak: a smaller observation
+  // cannot shrink the estimate...
+  Instance small;
+  small.Add(s, {u.PathOfChars("a")});
+  accum.Record(ComputeInstanceStats(u, small));
+  EXPECT_EQ(accum.Snapshot().EstimateScan(s), 16.0);
+  // ...but epoch aging decays the peak until fresh observations win.
+  for (int i = 0; i < 4; ++i) accum.Age(StatsAccumulator::kEpochDecay);
+  EXPECT_EQ(accum.Snapshot().EstimateScan(s), 1.0);
+  accum.Record(ComputeInstanceStats(u, small));
+  EXPECT_EQ(accum.Snapshot().EstimateScan(s), 1.0);
+  // Full decay drops the relation entirely.
+  for (int i = 0; i < 8; ++i) accum.Age(StatsAccumulator::kEpochDecay);
+  EXPECT_FALSE(accum.Snapshot().Knows(s));
+}
+
+TEST(StatsAgingTest, DatabaseAgesAccumulatedStatsOnEpochBump) {
+  Universe u;
+  Program p = MustParse(u, "S($x) <- R($x).");
+  Result<PreparedProgram> prog = Engine::Compile(u, std::move(p));
+  ASSERT_TRUE(prog.ok());
+  Result<Database> db =
+      Database::Open(u, MustInstance(u, "R(a). R(b). R(c). R(d)."));
+  ASSERT_TRUE(db.ok());
+  RelId s = *u.FindRel("S");
+  RunOptions opts;
+  opts.collect_derived_stats = true;
+  ASSERT_TRUE(db->Snapshot().Run(*prog, opts).ok());
+  EXPECT_EQ(db->Stats().EstimateScan(s), 4.0);
+  // Each committed epoch halves the remembered derived measurement, so
+  // post-ingest estimates shrink instead of pinning the all-time max.
+  ASSERT_TRUE(db->Append(MustInstance(u, "T(x).")).ok());
+  ASSERT_TRUE(db->Append(MustInstance(u, "T(y).")).ok());
+  EXPECT_EQ(db->Stats().EstimateScan(s), 1.0);
+}
+
+TEST(StatsDriftTest, MeasuresRelativeTupleChange) {
+  Universe u;
+  StoreStats before =
+      ComputeInstanceStats(u, MustInstance(u, "R(a). R(b). R(c). R(d)."));
+  EXPECT_EQ(StatsDrift(before, before), 0.0);
+  StoreStats grown = ComputeInstanceStats(
+      u, MustInstance(u, "R(a). R(b). R(c). R(d). R(e). R(f). R(g). R(h)."));
+  EXPECT_DOUBLE_EQ(StatsDrift(before, grown), 0.5);
+  EXPECT_DOUBLE_EQ(StatsDrift(grown, before), 0.5);  // symmetric
+  // A relation appearing from nothing is full drift.
+  StoreStats with_s = before;
+  with_s.MergeFrom(ComputeInstanceStats(u, MustInstance(u, "S(a, b).")));
+  EXPECT_EQ(StatsDrift(before, with_s), 1.0);
+}
+
 // --- Instance satellite: move union + shared empty set --------------------------
 
 TEST(InstanceTest, MoveUnionSplicesTuples) {

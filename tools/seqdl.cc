@@ -11,20 +11,33 @@
 //       (per-stratum rounds, a per-index-family probe table, compile/run
 //       wall times).
 //
-//   seqdl serve <instance.sdl> [--stats]
-//       Load the instance into a Database once (EDB indexed a single
-//       time), then answer queries from stdin until EOF, one per line:
+//   seqdl serve <instance.sdl> [--stats] [--threads=N]
+//               [--recompile-drift=X] [--auto-compact=N]
+//       Load the instance into a versioned Database once, then answer
+//       commands from stdin until EOF, one per line:
 //
-//           run <program.sdl> [REL]    evaluate against the preloaded EDB,
-//                                      print derived facts (or just REL)
+//           run <program.sdl> [REL]    evaluate against the current-epoch
+//                                      EDB, print derived facts (or REL)
+//           append <instance.sdl>      ingest more facts: publishes a new
+//                                      immutable segment and bumps the
+//                                      epoch; in-flight runs keep their
+//                                      pinned snapshot
+//           epoch                      print epoch / segment / fact counts
+//           compact                    fold all segments into one store
 //           stats                      print the database's measured
-//                                      selectivity statistics (base EDB
-//                                      plus everything runs derived)
+//                                      selectivity statistics (live
+//                                      segments plus everything runs
+//                                      derived, epoch-aged)
 //           quit                       exit
 //
-//       Programs are compiled once per path and cached, so repeating a
-//       query pays neither compilation nor EDB indexing again — the
-//       serving loop the Database/Session API exists for.
+//       Programs are compiled once per path and cached; when a later
+//       append moves the database's measured statistics past
+//       --recompile-drift (default 0.25, relative tuple-count change),
+//       the cached plan is recompiled against the fresh statistics.
+//       --threads=N answers `run` commands on a worker pool of N threads
+//       (snapshot runs are safe to race with each other and with
+//       appends); --auto-compact=N folds the segment stack whenever it
+//       grows past N segments (default 8, 0 = manual `compact` only).
 //
 //   seqdl check <program.sdl>
 //       Validate safety/stratification, report the features used and the
@@ -48,13 +61,20 @@
 //       Compile a regular expression to a Sequence Datalog matcher and
 //       print the program.
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "src/algebra/algebra.h"
@@ -192,28 +212,321 @@ int CmdRun(const std::vector<std::string>& args) {
   return 0;
 }
 
-// Repeated-query serving loop: one Database (EDB loaded and indexed once),
-// one Universe, a cache of compiled programs, any number of session runs.
+// Repeated-query serving loop over a versioned Database: the EDB is
+// loaded once and then grows by `append` (epoch-bumping segment
+// publishes); `run` commands execute against an epoch-pinned snapshot,
+// on the calling thread or on a --threads=N worker pool. Compiled
+// programs are cached per path and recompiled when the database's
+// measured statistics drift past --recompile-drift since compile time.
+class ServeLoop {
+ public:
+  ServeLoop(seqdl::Universe& u, seqdl::Database db, bool stats_on,
+            double recompile_drift)
+      : u_(u),
+        db_(std::move(db)),
+        stats_on_(stats_on),
+        recompile_drift_(recompile_drift) {}
+
+  ~ServeLoop() { StopWorkers(); }
+
+  void StartWorkers(size_t threads) {
+    for (size_t t = 0; t < threads; ++t) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  void StopWorkers() {
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      done_ = true;
+    }
+    queue_cv_.notify_all();
+    for (std::thread& w : workers_) w.join();
+    workers_.clear();
+  }
+
+  // `run <program> [REL]`: inline when there is no pool, else enqueued.
+  void Run(std::string path, std::string output_rel) {
+    if (workers_.empty()) {
+      RunOne(path, output_rel);
+      return;
+    }
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_.emplace_back(std::move(path), std::move(output_rel));
+    }
+    queue_cv_.notify_one();
+  }
+
+  void Append(const std::string& path) {
+    auto text = ReadFile(path);
+    if (!text.ok()) {
+      std::lock_guard<std::mutex> lock(io_mu_);
+      Fail(text.status());
+      return;
+    }
+    auto delta = seqdl::ParseInstance(u_, *text);
+    if (!delta.ok()) {
+      std::lock_guard<std::mutex> lock(io_mu_);
+      Fail(delta.status());
+      return;
+    }
+    size_t staged = delta->NumFacts();
+    auto epoch = db_.Append(std::move(*delta));
+    if (!epoch.ok()) {
+      std::lock_guard<std::mutex> lock(io_mu_);
+      Fail(epoch.status());
+      return;
+    }
+    std::lock_guard<std::mutex> lock(io_mu_);
+    std::fprintf(stderr,
+                 "-- appended %s (%zu facts): epoch %llu, %zu segments, "
+                 "%zu facts total\n",
+                 path.c_str(), staged,
+                 static_cast<unsigned long long>(*epoch), db_.NumSegments(),
+                 db_.NumFacts());
+  }
+
+  void Epoch() {
+    std::lock_guard<std::mutex> lock(io_mu_);
+    std::printf("epoch %llu: %zu segments, %zu facts\n",
+                static_cast<unsigned long long>(db_.epoch()),
+                db_.NumSegments(), db_.NumFacts());
+    std::fflush(stdout);
+  }
+
+  void Compact() {
+    bool folded = db_.Compact();
+    std::lock_guard<std::mutex> lock(io_mu_);
+    std::fprintf(stderr, "-- %s: epoch %llu, %zu segments, %zu facts\n",
+                 folded ? "compacted" : "nothing to compact",
+                 static_cast<unsigned long long>(db_.epoch()),
+                 db_.NumSegments(), db_.NumFacts());
+  }
+
+  void Stats() {
+    // The planner's view: live-segment measurements merged with the
+    // derived-fact statistics reported back by earlier runs.
+    std::string rendered = db_.Stats().ToString(u_);
+    std::lock_guard<std::mutex> lock(io_mu_);
+    std::printf("%s", rendered.c_str());
+    std::fflush(stdout);
+  }
+
+  // Waits until every queued `run` has finished (quit/EOF path).
+  void Drain() {
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    drained_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  }
+
+ private:
+  struct CachedProgram {
+    std::shared_ptr<seqdl::PreparedProgram> prog;
+    uint64_t epoch;             // db_.epoch() at compile time
+    seqdl::StoreStats stats;    // Stats() snapshot the plan was ranked by
+  };
+
+  void WorkerLoop() {
+    while (true) {
+      std::pair<std::string, std::string> job;
+      {
+        std::unique_lock<std::mutex> lock(queue_mu_);
+        queue_cv_.wait(lock, [this] { return done_ || !queue_.empty(); });
+        if (queue_.empty()) {
+          if (done_) return;
+          continue;
+        }
+        job = std::move(queue_.front());
+        queue_.pop_front();
+        ++in_flight_;
+      }
+      RunOne(job.first, job.second);
+      {
+        std::unique_lock<std::mutex> lock(queue_mu_);
+        --in_flight_;
+      }
+      drained_cv_.notify_all();
+    }
+  }
+
+  // Returns the cached prepared program for `path`, compiling on first
+  // use and recompiling when the measured statistics drifted past the
+  // threshold since the cached plan was ranked. The cache lock covers
+  // only lookups and inserts — IO, parsing, and compilation run outside
+  // it, so one slow compile never stalls workers running cached plans.
+  std::shared_ptr<seqdl::PreparedProgram> Prepare(const std::string& path) {
+    std::shared_ptr<seqdl::PreparedProgram> cached;
+    uint64_t stale_epoch = 0;
+    double drift = 0.0;
+    {
+      std::lock_guard<std::mutex> lock(programs_mu_);
+      auto it = programs_.find(path);
+      if (it != programs_.end()) {
+        cached = it->second.prog;
+        if (db_.epoch() == it->second.epoch) return cached;
+        drift = seqdl::StatsDrift(it->second.stats, db_.Stats());
+        if (drift < recompile_drift_) return cached;
+        stale_epoch = it->second.epoch;
+      }
+    }
+    std::shared_ptr<seqdl::PreparedProgram> fresh = CompileFor(path);
+    if (fresh == nullptr) return cached;  // keep the stale plan, if any
+    if (cached != nullptr) {
+      std::lock_guard<std::mutex> io(io_mu_);
+      std::fprintf(stderr,
+                   "-- recompiled %s (stats drift %.2f >= %.2f since epoch "
+                   "%llu)\n",
+                   path.c_str(), drift, recompile_drift_,
+                   static_cast<unsigned long long>(stale_epoch));
+    }
+    return fresh;
+  }
+
+  // Parses + compiles `path` against a fresh statistics snapshot and
+  // stores the cache entry. Runs without programs_mu_: two workers may
+  // race to compile the same path — both plans are correct, the last
+  // insert wins. nullptr on failure (already reported).
+  std::shared_ptr<seqdl::PreparedProgram> CompileFor(const std::string& path) {
+    auto text = ReadFile(path);
+    if (!text.ok()) {
+      std::lock_guard<std::mutex> io(io_mu_);
+      Fail(text.status());
+      return nullptr;
+    }
+    auto program = seqdl::ParseProgram(u_, *text);
+    if (!program.ok()) {
+      std::lock_guard<std::mutex> io(io_mu_);
+      Fail(program.status());
+      return nullptr;
+    }
+    // Read the epoch before the stats snapshot: if an append lands
+    // between the two reads, the entry is stamped older than its
+    // statistics and the next Prepare re-runs the drift check (the safe
+    // direction) instead of masking it behind a current-looking epoch.
+    uint64_t epoch = db_.epoch();
+    seqdl::StoreStats stats = db_.Stats();
+    // Compile with the database's measured statistics (live segments
+    // plus whatever earlier runs derived and reported back).
+    seqdl::CompileOptions copts;
+    copts.stats = &stats;
+    auto prepared = seqdl::Engine::Compile(u_, std::move(*program), copts);
+    if (!prepared.ok()) {
+      std::lock_guard<std::mutex> io(io_mu_);
+      Fail(prepared.status());
+      return nullptr;
+    }
+    CachedProgram entry;
+    entry.prog =
+        std::make_shared<seqdl::PreparedProgram>(std::move(*prepared));
+    entry.epoch = epoch;
+    entry.stats = std::move(stats);
+    auto prog = entry.prog;
+    std::lock_guard<std::mutex> lock(programs_mu_);
+    programs_[path] = std::move(entry);
+    return prog;
+  }
+
+  void RunOne(const std::string& path, const std::string& output_rel) {
+    std::shared_ptr<seqdl::PreparedProgram> prog = Prepare(path);
+    if (prog == nullptr) return;
+    // Pin the current epoch for exactly this run: appends committed
+    // while the run executes do not affect it.
+    seqdl::Session session = db_.Snapshot();
+    seqdl::EvalStats stats;
+    seqdl::RunOptions ropts;
+    // Feed each run's derived-fact statistics back into Database::Stats()
+    // so later-compiled programs plan from the observed workload.
+    ropts.collect_derived_stats = true;
+    auto derived = session.Run(*prog, ropts, &stats);
+    std::lock_guard<std::mutex> lock(io_mu_);
+    if (!derived.ok()) {
+      Fail(derived.status());
+      return;
+    }
+    if (!output_rel.empty()) {
+      auto rel = u_.FindRel(output_rel);
+      if (!rel.ok()) {
+        Fail(rel.status());
+        return;
+      }
+      std::printf("%s", derived->Project({*rel}).ToString(u_).c_str());
+    } else {
+      std::printf("%s", derived->ToString(u_).c_str());
+    }
+    std::fflush(stdout);
+    std::fprintf(stderr, "-- %zu facts derived in %.3f ms (epoch %llu)\n",
+                 stats.derived_facts, stats.run_seconds * 1e3,
+                 static_cast<unsigned long long>(session.epoch()));
+    if (stats_on_) {
+      std::fprintf(stderr,
+                   "-- scans: %zu index, %zu prefix, %zu suffix, %zu full, "
+                   "%zu delta (%zu delta-indexed); %zu base columns indexed "
+                   "over %zu segments\n",
+                   stats.index_probes, stats.prefix_probes,
+                   stats.suffix_probes, stats.full_scans, stats.delta_scans,
+                   stats.delta_index_probes, db_.NumIndexedColumns(),
+                   session.NumSegments());
+    }
+  }
+
+  seqdl::Universe& u_;
+  seqdl::Database db_;
+  bool stats_on_;
+  double recompile_drift_;
+
+  std::mutex io_mu_;
+
+  std::mutex programs_mu_;
+  std::map<std::string, CachedProgram> programs_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_, drained_cv_;
+  std::deque<std::pair<std::string, std::string>> queue_;
+  size_t in_flight_ = 0;
+  bool done_ = false;
+  std::vector<std::thread> workers_;
+};
+
 int CmdServe(const std::vector<std::string>& args) {
   if (args.empty()) {
-    std::fprintf(stderr, "usage: seqdl serve <instance> [--stats]\n");
+    std::fprintf(stderr,
+                 "usage: seqdl serve <instance> [--stats] [--threads=N] "
+                 "[--recompile-drift=X] [--auto-compact=N]\n");
     return 2;
   }
   bool stats_on = HasFlag(args, "--stats");
+  size_t threads = 1;
+  if (std::string v = FlagValue(args, "--threads="); !v.empty()) {
+    threads = std::strtoull(v.c_str(), nullptr, 10);
+    if (threads == 0) threads = 1;
+  }
+  double recompile_drift = 0.25;
+  if (std::string v = FlagValue(args, "--recompile-drift="); !v.empty()) {
+    recompile_drift = std::strtod(v.c_str(), nullptr);
+  }
+  seqdl::Database::OpenOptions dbopts;
+  dbopts.auto_compact_segments = 8;
+  if (std::string v = FlagValue(args, "--auto-compact="); !v.empty()) {
+    dbopts.auto_compact_segments = std::strtoull(v.c_str(), nullptr, 10);
+  }
+
   seqdl::Universe u;
   auto instance_text = ReadFile(args[0]);
   if (!instance_text.ok()) return Fail(instance_text.status());
   auto instance = seqdl::ParseInstance(u, *instance_text);
   if (!instance.ok()) return Fail(instance.status());
   size_t edb_facts = instance->NumFacts();
-  auto db = seqdl::Database::Open(u, std::move(*instance));
+  auto db = seqdl::Database::Open(u, std::move(*instance), dbopts);
   if (!db.ok()) return Fail(db.status());
-  seqdl::Session session = db->OpenSession();
-  std::fprintf(stderr, "-- serving %zu EDB facts from %s; "
-                       "'run <program> [REL]', 'stats', or 'quit'\n",
-               edb_facts, args[0].c_str());
+  std::fprintf(stderr,
+               "-- serving %zu EDB facts from %s (%zu worker thread%s); "
+               "'run <program> [REL]', 'append <instance>', 'epoch', "
+               "'compact', 'stats', or 'quit'\n",
+               edb_facts, args[0].c_str(), threads, threads == 1 ? "" : "s");
 
-  std::map<std::string, seqdl::PreparedProgram> programs;
+  ServeLoop loop(u, std::move(*db), stats_on, recompile_drift);
+  if (threads > 1) loop.StartWorkers(threads);
+
   std::string line;
   while (std::getline(std::cin, line)) {
     std::istringstream words(line);
@@ -222,10 +535,25 @@ int CmdServe(const std::vector<std::string>& args) {
     if (cmd.empty()) continue;
     if (cmd == "quit" || cmd == "exit") break;
     if (cmd == "stats") {
-      // The planner's view: base EDB measurements merged with the
-      // derived-fact statistics reported back by earlier runs.
-      std::printf("%s", db->Stats().ToString(u).c_str());
-      std::fflush(stdout);
+      loop.Stats();
+      continue;
+    }
+    if (cmd == "epoch") {
+      loop.Epoch();
+      continue;
+    }
+    if (cmd == "compact") {
+      loop.Compact();
+      continue;
+    }
+    if (cmd == "append") {
+      std::string path;
+      words >> path;
+      if (path.empty()) {
+        std::fprintf(stderr, "usage: append <instance>\n");
+        continue;
+      }
+      loop.Append(path);
       continue;
     }
     if (cmd != "run") {
@@ -238,59 +566,10 @@ int CmdServe(const std::vector<std::string>& args) {
       std::fprintf(stderr, "usage: run <program> [REL]\n");
       continue;
     }
-    auto it = programs.find(path);
-    if (it == programs.end()) {
-      auto text = ReadFile(path);
-      if (!text.ok()) {
-        Fail(text.status());
-        continue;
-      }
-      auto program = seqdl::ParseProgram(u, *text);
-      if (!program.ok()) {
-        Fail(program.status());
-        continue;
-      }
-      // Database::Compile plans with the database's measured statistics
-      // (base EDB plus whatever earlier runs derived and reported back).
-      auto prepared = db->Compile(std::move(*program));
-      if (!prepared.ok()) {
-        Fail(prepared.status());
-        continue;
-      }
-      it = programs.emplace(path, std::move(*prepared)).first;
-    }
-    seqdl::EvalStats stats;
-    seqdl::RunOptions ropts;
-    // Feed each run's derived-fact statistics back into Database::Stats()
-    // so later-compiled programs plan from the observed workload.
-    ropts.collect_derived_stats = true;
-    auto derived = session.Run(it->second, ropts, &stats);
-    if (!derived.ok()) {
-      Fail(derived.status());
-      continue;
-    }
-    if (!output_rel.empty()) {
-      auto rel = u.FindRel(output_rel);
-      if (!rel.ok()) {
-        Fail(rel.status());
-        continue;
-      }
-      std::printf("%s", derived->Project({*rel}).ToString(u).c_str());
-    } else {
-      std::printf("%s", derived->ToString(u).c_str());
-    }
-    std::fflush(stdout);
-    std::fprintf(stderr, "-- %zu facts derived in %.3f ms\n",
-                 stats.derived_facts, stats.run_seconds * 1e3);
-    if (stats_on) {
-      std::fprintf(stderr,
-                   "-- scans: %zu index, %zu prefix, %zu suffix, %zu full, "
-                   "%zu delta (%zu delta-indexed); %zu base columns indexed\n",
-                   stats.index_probes, stats.prefix_probes,
-                   stats.suffix_probes, stats.full_scans, stats.delta_scans,
-                   stats.delta_index_probes, db->NumIndexedColumns());
-    }
+    loop.Run(std::move(path), std::move(output_rel));
   }
+  loop.Drain();
+  loop.StopWorkers();
   return 0;
 }
 
