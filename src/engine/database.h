@@ -44,6 +44,7 @@
 #ifndef SEQDL_ENGINE_DATABASE_H_
 #define SEQDL_ENGINE_DATABASE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -110,8 +111,10 @@ class Database {
   /// Facts already present in the current stack are dropped (segments
   /// stay pairwise disjoint); if nothing remains, no segment is published
   /// and the epoch does not move. Returns the epoch the facts are visible
-  /// at. Serializes with other writers; never blocks readers.
-  Result<uint64_t> Append(Instance delta);
+  /// at, and (optionally) how many facts were actually new — measured
+  /// under the writer lock, so it is exact even with concurrent writers.
+  /// Serializes with other writers; never blocks readers.
+  Result<uint64_t> Append(Instance delta, size_t* appended = nullptr);
 
   /// A batching ingest handle: stage facts with Add/Stage, publish them
   /// as one segment (one epoch bump) with Commit.
@@ -129,6 +132,15 @@ class Database {
   /// deep (auto_compact_segments / auto_compact_tail_ratio). Append calls
   /// this after every publish; it is also callable directly.
   bool MaybeCompact();
+
+  /// Retires the database from ingest: every later Append or
+  /// Writer::Commit fails with kFailedPrecondition, and Compact becomes a
+  /// no-op. Reads are unaffected — Snapshot() and open sessions keep
+  /// serving the final epoch. Idempotent. A draining server closes its
+  /// database so late appends cannot land after the final epoch was
+  /// reported.
+  void Close();
+  bool closed() const;
 
   /// The current epoch: 0 after Open, +1 per published Append/Commit.
   uint64_t epoch() const;
@@ -190,6 +202,8 @@ class Database {
     std::shared_ptr<const SegmentSet> current;
     /// Serializes Append/Commit/Compact (single-writer).
     std::mutex writer_mu;
+    /// Set by Close(): writers fail, readers continue.
+    std::atomic<bool> closed{false};
     StatsAccumulator accum;
 
     std::shared_ptr<const SegmentSet> Current() const {
@@ -206,7 +220,9 @@ class Database {
       : state_(std::move(state)) {}
 
   /// The append path shared by Database::Append and Writer::Commit.
-  static Result<uint64_t> AppendTo(DbState& state, Instance delta);
+  /// `appended` (may be null) receives the post-dedupe fact count.
+  static Result<uint64_t> AppendTo(DbState& state, Instance delta,
+                                   size_t* appended);
   /// Compact step with writer_mu already held.
   static bool CompactLocked(DbState& state);
   static bool PolicyWantsCompaction(const DbState& state,

@@ -1,0 +1,156 @@
+#include "src/server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace seqdl {
+
+using protocol::MsgType;
+
+Result<Client> Client::Connect(const std::string& host, uint16_t port,
+                               size_t max_frame_bytes) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket failed: ") +
+                            std::strerror(errno));
+  }
+  struct sockaddr_in addr;
+  if (Status st = protocol::FillSockAddr(host, port, &addr); !st.ok()) {
+    ::close(fd);
+    return st;
+  }
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    Status st = Status::NotFound("cannot connect to " + host + ":" +
+                                 std::to_string(port) + ": " +
+                                 std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  protocol::SetNoDelay(fd);
+  return Client(fd, max_frame_bytes);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_),
+      max_frame_bytes_(other.max_frame_bytes_),
+      reader_(std::move(other.reader_)) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    max_frame_bytes_ = other.max_frame_bytes_;
+    reader_ = std::move(other.reader_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Client::~Client() { Close(); }
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<protocol::Reply> Client::RoundTrip(const std::string& frame,
+                                          MsgType expect) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is closed");
+  if (reader_ == nullptr) {
+    reader_ = std::make_unique<protocol::FrameReader>(fd_, max_frame_bytes_);
+  }
+  SEQDL_RETURN_IF_ERROR(protocol::WriteFrame(fd_, frame));
+  SEQDL_ASSIGN_OR_RETURN(std::string payload, reader_->Next(nullptr));
+  SEQDL_ASSIGN_OR_RETURN(protocol::Reply reply,
+                         protocol::DecodeReply(payload));
+  if (!reply.status.ok()) return reply.status;
+  if (reply.orig_type != expect) {
+    return Status::Internal(
+        std::string("protocol mismatch: expected a reply to ") +
+        protocol::MsgTypeToString(expect) + ", got " +
+        protocol::MsgTypeToString(reply.orig_type));
+  }
+  return reply;
+}
+
+Result<protocol::CompileReply> Client::Compile(
+    const std::string& program, const std::string& source_name) {
+  protocol::CompileRequest req;
+  req.program = program;
+  req.source_name = source_name;
+  SEQDL_ASSIGN_OR_RETURN(
+      protocol::Reply reply,
+      RoundTrip(protocol::EncodeCompileRequest(req), MsgType::kCompile));
+  return reply.compile;
+}
+
+Result<protocol::RunReply> Client::Run(const std::string& program,
+                                       const std::string& output_rel,
+                                       const std::string& source_name,
+                                       bool collect_derived_stats) {
+  protocol::RunRequest req;
+  req.program = program;
+  req.source_name = source_name;
+  req.output_rel = output_rel;
+  req.collect_derived_stats = collect_derived_stats;
+  SEQDL_ASSIGN_OR_RETURN(
+      protocol::Reply reply,
+      RoundTrip(protocol::EncodeRunRequest(req), MsgType::kRun));
+  return reply.run;
+}
+
+Result<protocol::AppendReply> Client::Append(const std::string& facts,
+                                             const std::string& source_name) {
+  protocol::AppendRequest req;
+  req.facts = facts;
+  req.source_name = source_name;
+  SEQDL_ASSIGN_OR_RETURN(
+      protocol::Reply reply,
+      RoundTrip(protocol::EncodeAppendRequest(req), MsgType::kAppend));
+  return reply.append;
+}
+
+Result<protocol::DbInfo> Client::Epoch() {
+  SEQDL_ASSIGN_OR_RETURN(
+      protocol::Reply reply,
+      RoundTrip(protocol::EncodeBareRequest(MsgType::kEpoch),
+                MsgType::kEpoch));
+  return reply.info;
+}
+
+Result<protocol::CompactReply> Client::Compact() {
+  SEQDL_ASSIGN_OR_RETURN(
+      protocol::Reply reply,
+      RoundTrip(protocol::EncodeBareRequest(MsgType::kCompact),
+                MsgType::kCompact));
+  return reply.compact;
+}
+
+Result<protocol::StatsReply> Client::Stats() {
+  SEQDL_ASSIGN_OR_RETURN(
+      protocol::Reply reply,
+      RoundTrip(protocol::EncodeBareRequest(MsgType::kStats),
+                MsgType::kStats));
+  return reply.stats;
+}
+
+Status Client::Shutdown() {
+  Result<protocol::Reply> reply = RoundTrip(
+      protocol::EncodeBareRequest(MsgType::kShutdown), MsgType::kShutdown);
+  if (!reply.ok()) return reply.status();
+  return Status::OK();
+}
+
+}  // namespace seqdl

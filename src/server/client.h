@@ -1,0 +1,98 @@
+// Blocking C++ client for the seqdl wire protocol: one TCP connection,
+// one outstanding request at a time. Used by `seqdl query --connect`,
+// the server tests (including the loopback differential), and the
+// bench_server load generator.
+//
+//   SEQDL_ASSIGN_OR_RETURN(Client c, Client::Connect("127.0.0.1", port));
+//   SEQDL_ASSIGN_OR_RETURN(protocol::RunReply r, c.Run(program_text));
+//   std::fputs(r.rendered.c_str(), stdout);
+//
+// Each method ships text to the server, blocks for the reply frame, and
+// surfaces a server-side error Status as this call's error — a parse
+// error in a shipped program comes back as kInvalidArgument with the
+// "<source_name>:line:col: ..." message the server rendered. Transport
+// failures (connection reset, truncated reply) are kInvalidArgument /
+// kNotFound from the frame layer.
+//
+// A Client is move-only (it owns the socket) and not thread-safe; open
+// one per thread — connections are cheap next to the EDB they avoid
+// shipping.
+#ifndef SEQDL_SERVER_CLIENT_H_
+#define SEQDL_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/base/status.h"
+#include "src/server/protocol.h"
+
+namespace seqdl {
+
+class Client {
+ public:
+  /// Connects to host:port (IPv4 dotted quad or "localhost") and enables
+  /// TCP_NODELAY — queries are small; latency beats batching.
+  static Result<Client> Connect(
+      const std::string& host, uint16_t port,
+      size_t max_frame_bytes = protocol::kDefaultMaxFrameBytes);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  /// Parse + plan `program` server-side and cache it by text.
+  Result<protocol::CompileReply> Compile(const std::string& program,
+                                         const std::string& source_name = "");
+
+  /// Evaluate `program` on an epoch-pinned server snapshot; the reply
+  /// carries the rendered derived facts (projected onto `output_rel`
+  /// when nonempty).
+  Result<protocol::RunReply> Run(const std::string& program,
+                                 const std::string& output_rel = "",
+                                 const std::string& source_name = "",
+                                 bool collect_derived_stats = true);
+
+  /// Ingest `facts` (instance syntax) as a new epoch.
+  Result<protocol::AppendReply> Append(const std::string& facts,
+                                       const std::string& source_name = "");
+
+  Result<protocol::DbInfo> Epoch();
+  Result<protocol::CompactReply> Compact();
+  Result<protocol::StatsReply> Stats();
+
+  /// Asks the server to drain and exit. The reply arrives before the
+  /// server closes the connection.
+  Status Shutdown();
+
+  /// Closes the connection (also done by the destructor). Safe to call
+  /// twice.
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// The raw socket, for tests that need to misbehave at the byte level
+  /// (oversized frames, truncated frames, mid-run disconnects).
+  int fd() const { return fd_; }
+
+ private:
+  Client(int fd, size_t max_frame_bytes)
+      : fd_(fd), max_frame_bytes_(max_frame_bytes) {}
+
+  /// Sends one encoded frame and decodes the reply; checks the reply
+  /// answers `expect` and propagates an error Status from the server.
+  Result<protocol::Reply> RoundTrip(const std::string& frame,
+                                    protocol::MsgType expect);
+
+  int fd_ = -1;
+  size_t max_frame_bytes_ = protocol::kDefaultMaxFrameBytes;
+  /// Buffered reply reader, created on first round trip. Do not mix the
+  /// typed methods with raw ReadFrame(fd()) on one connection — buffered
+  /// bytes would be lost (raw byte-level tests use only raw IO).
+  std::unique_ptr<protocol::FrameReader> reader_;
+};
+
+}  // namespace seqdl
+
+#endif  // SEQDL_SERVER_CLIENT_H_

@@ -1,0 +1,149 @@
+// The seqdl TCP front end: a poll-based accept loop feeding a pool of N
+// worker threads, each serving one client connection at a time over the
+// framed wire protocol (protocol.h) against a shared DatabaseService
+// (service.h).
+//
+// Life of a request: the acceptor thread polls the listening socket,
+// accepts a connection (TCP_NODELAY), and queues it; a worker picks the
+// connection up and loops read-frame -> decode -> dispatch -> write-reply
+// until the client disconnects. Runs execute on epoch-pinned
+// Database::Snapshot() sessions, so any number of runs race safely with
+// each other and with appends/compactions from other connections
+// (single-writer/multi-reader, exactly the database's MVCC contract).
+// Compiled programs are shared across all connections through the
+// service's text-keyed cache with stats-drift recompilation.
+//
+// Shutdown is graceful: Shutdown() (or a client's `shutdown` request)
+// stops the acceptor, cancels in-flight runs through RunOptions::cancel
+// (clients see kCancelled error replies), lets each worker finish — never
+// abandon mid-write — its current reply, closes every connection, and
+// joins all threads. Queued-but-unserved connections are closed without a
+// reply. A frame whose declared length exceeds
+// ServerOptions::max_frame_bytes gets a kResourceExhausted error reply
+// and the connection is closed (the bytes are never read).
+//
+//   SEQDL_ASSIGN_OR_RETURN(Database db, Database::Open(u, std::move(edb)));
+//   DatabaseService service(u, std::move(db));
+//   SEQDL_ASSIGN_OR_RETURN(std::unique_ptr<Server> server,
+//                          Server::Start(service, {.port = 0}));
+//   std::fprintf(stderr, "listening on %u\n", server->port());
+//   server->Wait();  // returns once a shutdown request drained the server
+#ifndef SEQDL_SERVER_SERVER_H_
+#define SEQDL_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/server/protocol.h"
+#include "src/server/service.h"
+
+namespace seqdl {
+
+struct ServerOptions {
+  /// Address to bind; the default serves loopback only.
+  std::string host = "127.0.0.1";
+  /// 0 picks an ephemeral port (read it back via Server::port()).
+  uint16_t port = 0;
+  /// Worker threads; each serves one connection at a time, so this is
+  /// also the number of concurrently served clients.
+  size_t threads = 4;
+  /// Frames declared larger than this are rejected with an error reply.
+  size_t max_frame_bytes = protocol::kDefaultMaxFrameBytes;
+  /// listen(2) backlog.
+  int backlog = 128;
+};
+
+/// A running seqdl TCP server. Create with Start; non-movable (live
+/// threads point at it) — hold by unique_ptr.
+class Server {
+ public:
+  /// Binds, listens, and spawns the acceptor + worker threads. The
+  /// service must outlive the returned server.
+  static Result<std::unique_ptr<Server>> Start(DatabaseService& service,
+                                               const ServerOptions& opts = {});
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Implies Shutdown().
+  ~Server();
+
+  /// The bound port (the chosen one when options said 0).
+  uint16_t port() const { return port_; }
+  const std::string& host() const { return host_; }
+
+  /// Graceful drain: stop accepting, cancel in-flight runs, finish
+  /// current replies, close connections, join threads. Idempotent and
+  /// callable from any thread (including concurrently with Wait()).
+  void Shutdown();
+
+  /// Blocks until the server has shut down — via Shutdown() from another
+  /// thread or a client's `shutdown` request — then completes the drain
+  /// and returns.
+  void Wait();
+
+  /// True once shutdown has been requested (drain may still be running).
+  bool ShuttingDown() const {
+    return stop_.load(std::memory_order_relaxed);
+  }
+
+  /// Total connections accepted / requests answered (monotonic).
+  uint64_t connections_accepted() const {
+    return connections_.load(std::memory_order_relaxed);
+  }
+  uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Server(DatabaseService& service, const ServerOptions& opts);
+
+  Status Listen();
+  void AcceptLoop();
+  void WorkerLoop();
+  /// Serves one connection until disconnect/shutdown; owns and closes fd.
+  void ServeConnection(int fd);
+  /// Decode + dispatch one request payload; returns the encoded reply
+  /// frame and sets *shutdown when the request was kShutdown.
+  std::string HandleRequest(const std::string& payload, bool* shutdown);
+  /// Sets the stop flag and wakes the acceptor and every worker.
+  void SignalShutdown();
+
+  DatabaseService& service_;
+  ServerOptions opts_;
+  std::string host_;
+  uint16_t port_ = 0;
+
+  int listen_fd_ = -1;
+  int wake_rd_ = -1, wake_wr_ = -1;  ///< self-pipe: poll-wake on shutdown
+
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> connections_{0};
+  std::atomic<uint64_t> requests_{0};
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_;  ///< accepted fds awaiting a worker
+
+  std::mutex lifecycle_mu_;  ///< serializes the join/close of Shutdown
+  bool joined_ = false;
+  std::mutex wait_mu_;  ///< Wait() blocks on this, never on lifecycle_mu_,
+                        ///< so a worker's own SignalShutdown cannot
+                        ///< deadlock against a concurrent join
+  std::condition_variable stopped_cv_;
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace seqdl
+
+#endif  // SEQDL_SERVER_SERVER_H_

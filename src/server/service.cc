@@ -1,0 +1,241 @@
+#include "src/server/service.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "src/engine/instance.h"
+#include "src/syntax/parser.h"
+
+namespace seqdl {
+
+namespace {
+
+protocol::WireEvalStats ToWire(const EvalStats& s) {
+  protocol::WireEvalStats w;
+  w.derived_facts = s.derived_facts;
+  w.rounds = s.rounds;
+  w.rule_firings = s.rule_firings;
+  w.index_probes = s.index_probes;
+  w.prefix_probes = s.prefix_probes;
+  w.suffix_probes = s.suffix_probes;
+  w.full_scans = s.full_scans;
+  w.delta_scans = s.delta_scans;
+  w.delta_index_probes = s.delta_index_probes;
+  w.compile_seconds = s.compile_seconds;
+  w.run_seconds = s.run_seconds;
+  return w;
+}
+
+}  // namespace
+
+DatabaseService::DatabaseService(Universe& u, Database db, ServiceOptions opts)
+    : u_(&u), db_(std::move(db)), opts_(std::move(opts)) {}
+
+Result<protocol::CompileReply> DatabaseService::Compile(
+    const std::string& program_text, const std::string& source_name) {
+  bool cache_hit = false;
+  SEQDL_ASSIGN_OR_RETURN(std::shared_ptr<PreparedProgram> prog,
+                         Prepare(program_text, source_name, &cache_hit));
+  protocol::CompileReply reply;
+  reply.cache_hit = cache_hit;
+  reply.rules = prog->program().NumRules();
+  reply.strata = prog->program().strata.size();
+  reply.compile_seconds = prog->compile_seconds();
+  return reply;
+}
+
+Result<protocol::RunReply> DatabaseService::Run(
+    const protocol::RunRequest& req, const std::function<bool()>& cancel) {
+  // Result cache first: a hit answers without compiling, snapshotting,
+  // or running. Valid iff the entry's epoch is still current — Append
+  // bumps the epoch (miss, lazily overwritten), Compact does not (same
+  // facts, hits stay correct).
+  std::string result_key;
+  if (opts_.result_cache_entries > 0) {
+    result_key = req.program;
+    result_key.push_back('\0');
+    result_key += req.output_rel;
+    std::lock_guard<std::mutex> lock(results_mu_);
+    auto it = results_.find(result_key);
+    if (it != results_.end() && it->second.epoch == db_.epoch()) {
+      protocol::RunReply reply;
+      reply.epoch = it->second.epoch;
+      reply.segments = it->second.segments;
+      reply.rendered = it->second.rendered;
+      reply.stats = it->second.stats;
+      reply.result_cached = true;
+      return reply;
+    }
+  }
+
+  bool cache_hit = false;
+  SEQDL_ASSIGN_OR_RETURN(std::shared_ptr<PreparedProgram> prog,
+                         Prepare(req.program, req.source_name, &cache_hit));
+
+  RunOptions ropts = opts_.run_options;
+  ropts.collect_derived_stats = req.collect_derived_stats;
+  if (cancel) {
+    if (ropts.cancel) {
+      std::function<bool()> base = ropts.cancel;
+      ropts.cancel = [base, cancel] { return base() || cancel(); };
+    } else {
+      ropts.cancel = cancel;
+    }
+  }
+
+  // Pin the current epoch for exactly this run: appends committed while
+  // the run executes do not affect it.
+  Session session = db_.Snapshot();
+  EvalStats stats;
+  SEQDL_ASSIGN_OR_RETURN(Instance derived, session.Run(*prog, ropts, &stats));
+
+  protocol::RunReply reply;
+  reply.epoch = session.epoch();
+  reply.segments = session.NumSegments();
+  if (!req.output_rel.empty()) {
+    SEQDL_ASSIGN_OR_RETURN(RelId rel, u_->FindRel(req.output_rel));
+    reply.rendered = derived.Project({rel}).ToString(*u_);
+  } else {
+    reply.rendered = derived.ToString(*u_);
+  }
+  reply.stats = ToWire(stats);
+
+  if (opts_.result_cache_entries > 0) {
+    CachedResult entry;
+    entry.epoch = reply.epoch;
+    entry.segments = reply.segments;
+    entry.rendered = reply.rendered;
+    entry.stats = reply.stats;
+    std::lock_guard<std::mutex> lock(results_mu_);
+    // Crude but bounded eviction: drop everything when full. Stale-epoch
+    // entries die here too, so the map never grows past the cap.
+    if (results_.size() >= opts_.result_cache_entries) results_.clear();
+    results_[result_key] = std::move(entry);
+  }
+  return reply;
+}
+
+size_t DatabaseService::NumCachedResults() const {
+  std::lock_guard<std::mutex> lock(results_mu_);
+  return results_.size();
+}
+
+Result<protocol::AppendReply> DatabaseService::Append(
+    const protocol::AppendRequest& req) {
+  Result<Instance> delta = ParseInstance(*u_, req.facts);
+  if (!delta.ok()) {
+    // Structured "<name>:line:col: ..." instead of a bare parse error —
+    // the client (or the stdin serve loop) sees where in *its* file the
+    // malformed fact sits.
+    return protocol::AnnotateParseError(req.source_name, delta.status());
+  }
+  size_t appended = 0;
+  SEQDL_ASSIGN_OR_RETURN(uint64_t epoch,
+                         db_.Append(std::move(*delta), &appended));
+  protocol::AppendReply reply;
+  reply.appended = appended;  // exact: counted under the writer lock
+  reply.db = Info();
+  reply.db.epoch = epoch;
+  return reply;
+}
+
+protocol::DbInfo DatabaseService::Info() const {
+  protocol::DbInfo info;
+  info.epoch = db_.epoch();
+  info.segments = db_.NumSegments();
+  info.facts = db_.NumFacts();
+  return info;
+}
+
+protocol::CompactReply DatabaseService::Compact() {
+  protocol::CompactReply reply;
+  reply.folded = db_.Compact();
+  reply.db = Info();
+  return reply;
+}
+
+protocol::StatsReply DatabaseService::Stats() const {
+  protocol::StatsReply reply;
+  reply.rendered = db_.Stats().ToString(*u_);
+  return reply;
+}
+
+size_t DatabaseService::NumCachedPrograms() const {
+  std::lock_guard<std::mutex> lock(programs_mu_);
+  return programs_.size();
+}
+
+Result<std::shared_ptr<PreparedProgram>> DatabaseService::Prepare(
+    const std::string& program_text, const std::string& source_name,
+    bool* cache_hit) {
+  *cache_hit = false;
+  std::shared_ptr<PreparedProgram> cached;
+  uint64_t stale_epoch = 0;
+  double drift = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(programs_mu_);
+    auto it = programs_.find(program_text);
+    if (it != programs_.end()) {
+      cached = it->second.prog;
+      if (db_.epoch() == it->second.epoch) {
+        *cache_hit = true;
+        return cached;
+      }
+      drift = StatsDrift(it->second.stats, db_.Stats());
+      if (drift < opts_.recompile_drift) {
+        *cache_hit = true;
+        return cached;
+      }
+      stale_epoch = it->second.epoch;
+    }
+  }
+  Result<std::shared_ptr<PreparedProgram>> fresh =
+      CompileFresh(program_text, source_name);
+  if (!fresh.ok()) {
+    // A program that compiled before the statistics drifted is still
+    // valid — keep serving the stale plan rather than failing the
+    // request. (Compile errors on a never-cached text do fail.)
+    if (cached != nullptr) return cached;
+    return fresh.status();
+  }
+  if (cached != nullptr && opts_.log) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "recompiled %s (stats drift %.2f >= %.2f since epoch %llu)",
+                  source_name.empty() ? "<program>" : source_name.c_str(),
+                  drift, opts_.recompile_drift,
+                  static_cast<unsigned long long>(stale_epoch));
+    opts_.log(buf);
+  }
+  return *fresh;
+}
+
+Result<std::shared_ptr<PreparedProgram>> DatabaseService::CompileFresh(
+    const std::string& program_text, const std::string& source_name) {
+  Result<Program> program = ParseProgram(*u_, program_text);
+  if (!program.ok()) {
+    return protocol::AnnotateParseError(source_name, program.status());
+  }
+  // Read the epoch before the stats snapshot: if an append lands between
+  // the two reads, the entry is stamped older than its statistics and the
+  // next Prepare re-runs the drift check (the safe direction).
+  uint64_t epoch = db_.epoch();
+  StoreStats stats = db_.Stats();
+  CompileOptions copts;
+  copts.stats = &stats;
+  Result<PreparedProgram> prepared =
+      Engine::Compile(*u_, std::move(*program), copts);
+  if (!prepared.ok()) {
+    return protocol::AnnotateParseError(source_name, prepared.status());
+  }
+  CachedProgram entry;
+  entry.prog = std::make_shared<PreparedProgram>(std::move(*prepared));
+  entry.epoch = epoch;
+  entry.stats = std::move(stats);
+  std::shared_ptr<PreparedProgram> prog = entry.prog;
+  std::lock_guard<std::mutex> lock(programs_mu_);
+  programs_[program_text] = std::move(entry);
+  return prog;
+}
+
+}  // namespace seqdl

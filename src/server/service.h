@@ -1,0 +1,148 @@
+// DatabaseService: the engine-facing half of a seqdl server, shared by
+// the TCP front end (server.h), the CLI's stdin serve loop, and tests
+// that want to exercise request handling without sockets.
+//
+// A service owns a versioned Database (database.h) plus a compiled-
+// program cache keyed by *program text* — clients ship small program
+// sources to the large, long-lived, indexed EDB, and two clients sending
+// byte-identical programs share one plan. Cached plans are ranked by the
+// database's measured statistics at compile time and recompiled when the
+// statistics drift past ServiceOptions::recompile_drift (relative
+// tuple-count change, StatsDrift), exactly the PR 4 serve-loop policy —
+// generalized here out of the CLI so every front end gets it.
+//
+// Thread-safety: all methods may be called concurrently from any number
+// of threads. Run pins an epoch snapshot per call (Database::Snapshot);
+// Append/Compact serialize on the database's writer mutex; the program
+// cache takes its own mutex for lookups/inserts only (parse + compile run
+// outside it, so a slow compile never stalls cached runs).
+#ifndef SEQDL_SERVER_SERVICE_H_
+#define SEQDL_SERVER_SERVICE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "src/base/status.h"
+#include "src/engine/database.h"
+#include "src/engine/engine.h"
+#include "src/engine/stats.h"
+#include "src/server/protocol.h"
+#include "src/term/universe.h"
+
+namespace seqdl {
+
+struct ServiceOptions {
+  /// Recompile a cached program once the database's measured statistics
+  /// drift past this relative change since the plan was ranked
+  /// (StatsDrift); the epoch must also have moved. <= 0 recompiles on
+  /// every epoch bump; >= 1 effectively never.
+  double recompile_drift = 0.25;
+  /// Budgets and knobs applied to every Run (the per-request cancel
+  /// callback is layered on top of, and ORed with, any cancel set here).
+  RunOptions run_options;
+  /// Diagnostic sink for recompilation notices ("recompiled <name>
+  /// (stats drift 0.31 >= 0.25 since epoch 3)"); null = silent.
+  std::function<void(const std::string&)> log;
+  /// Capacity of the epoch-keyed result cache (0 disables it). At a
+  /// pinned epoch the EDB is immutable and evaluation is deterministic,
+  /// so a run's rendered output is a pure function of (program text,
+  /// output relation, epoch): repeated point queries are answered
+  /// straight from the cache until an Append bumps the epoch —
+  /// invalidation is the epoch counter itself, and compaction (same
+  /// facts, same epoch) correctly leaves hits valid. This is what lets a
+  /// loopback server answer >= 100k small queries/s: a hit costs a hash
+  /// lookup instead of a fixpoint.
+  size_t result_cache_entries = 4096;
+};
+
+/// The request handlers of a seqdl server, over an owned Database.
+class DatabaseService {
+ public:
+  /// `u` must be the Universe `db` was opened with and must outlive the
+  /// service.
+  DatabaseService(Universe& u, Database db, ServiceOptions opts = {});
+
+  DatabaseService(const DatabaseService&) = delete;
+  DatabaseService& operator=(const DatabaseService&) = delete;
+
+  /// Parses + plans `program_text` and caches the plan keyed by the text;
+  /// a later identical text is a cache hit (no parse, no plan). Parse
+  /// errors come back annotated "<source_name>:line:col: ...".
+  Result<protocol::CompileReply> Compile(const std::string& program_text,
+                                         const std::string& source_name);
+
+  /// Evaluates the request's program on an epoch-pinned snapshot and
+  /// renders the derived facts (projected onto output_rel when set).
+  /// Compiles through the same cache as Compile. `cancel` (may be null)
+  /// is polled during evaluation; returning true fails the run with
+  /// kCancelled — the server's graceful-drain hook.
+  Result<protocol::RunReply> Run(const protocol::RunRequest& req,
+                                 const std::function<bool()>& cancel = {});
+
+  /// Parses the request's facts and publishes them as a new segment.
+  Result<protocol::AppendReply> Append(const protocol::AppendRequest& req);
+
+  /// Current epoch / segment / fact counts.
+  protocol::DbInfo Info() const;
+
+  /// Folds the segment stack (Database::Compact).
+  protocol::CompactReply Compact();
+
+  /// Rendered measured statistics (Database::Stats).
+  protocol::StatsReply Stats() const;
+
+  /// Number of distinct program texts currently cached.
+  size_t NumCachedPrograms() const;
+  /// Entries currently in the result cache (all epochs, pre-eviction).
+  size_t NumCachedResults() const;
+
+  Database& db() { return db_; }
+  const Database& db() const { return db_; }
+  Universe& universe() { return *u_; }
+
+ private:
+  struct CachedProgram {
+    std::shared_ptr<PreparedProgram> prog;
+    uint64_t epoch = 0;       ///< db epoch at compile time
+    StoreStats stats;         ///< Stats() snapshot the plan was ranked by
+  };
+
+  /// Cache lookup honoring the drift policy; compiles on miss/drift.
+  /// Never returns null on OK.
+  Result<std::shared_ptr<PreparedProgram>> Prepare(
+      const std::string& program_text, const std::string& source_name,
+      bool* cache_hit);
+
+  /// Parse + compile against a fresh statistics snapshot; inserts the
+  /// cache entry (last writer wins when two threads race on one text).
+  Result<std::shared_ptr<PreparedProgram>> CompileFresh(
+      const std::string& program_text, const std::string& source_name);
+
+  struct CachedResult {
+    uint64_t epoch = 0;
+    uint64_t segments = 0;
+    std::string rendered;
+    protocol::WireEvalStats stats;
+  };
+
+  Universe* u_;
+  Database db_;
+  ServiceOptions opts_;
+
+  mutable std::mutex programs_mu_;
+  std::map<std::string, CachedProgram> programs_;
+
+  /// Rendered results keyed by "program\0output_rel"; an entry is valid
+  /// only at its recorded epoch and is lazily overwritten after appends.
+  mutable std::mutex results_mu_;
+  std::unordered_map<std::string, CachedResult> results_;
+};
+
+}  // namespace seqdl
+
+#endif  // SEQDL_SERVER_SERVICE_H_

@@ -34,6 +34,9 @@
 #include "src/engine/engine.h"
 #include "src/engine/eval.h"
 #include "src/engine/instance.h"
+#include "src/server/client.h"
+#include "src/server/server.h"
+#include "src/server/service.h"
 #include "src/syntax/ast.h"
 #include "src/syntax/printer.h"
 #include "src/term/universe.h"
@@ -59,15 +62,25 @@ struct RandomCase {
 // Roughly half the cases draw from the paper's packing fragment: EDB
 // paths may hold packed values `<...>` and body arguments may pack
 // subexpressions, so the harness also pins the engine's nested-value
-// matching across every execution mode.
+// matching across every execution mode. Independently, roughly half the
+// cases add a second stratum whose rules may *negate IDB relations
+// defined in the first* — multi-stratum negation, the part of stratified
+// semantics a single stratum can never exercise (negation there is
+// restricted to EDB relations).
 class CaseGenerator {
  public:
   CaseGenerator(Universe& u, uint64_t seed) : u_(u), rng_(seed) {}
 
   bool packing() const { return packing_; }
+  bool multi_stratum() const { return multi_stratum_; }
+  /// Some rule negates a stratum-1 IDB relation (subset of
+  /// multi_stratum() cases).
+  bool negates_idb() const { return negates_idb_; }
 
   RandomCase Generate() {
     packing_ = Pick(2) == 0;
+    multi_stratum_ = Pick(2) == 0;
+    negates_idb_ = false;
     // Symbol pools.
     std::vector<AtomId> atoms;
     for (char c : {'a', 'b', 'c', 'd'}) {
@@ -84,6 +97,7 @@ class CaseGenerator {
       idb.push_back(*u_.InternRel("I" + std::to_string(i),
                                   static_cast<uint32_t>(1 + Pick(2))));
     }
+    edb_rels_ = edb;
 
     RandomCase c;
     // EDB facts: 3-8 tuples per relation, paths of 0-3 random atoms. Skew
@@ -118,20 +132,52 @@ class CaseGenerator {
       }
     }
 
-    // Rules: 2-4 in one stratum (recursion through IDB body literals
-    // exercises the semi-naive delta path; negation is restricted to EDB
-    // relations, so the stratum is trivially stratified).
+    // Stratum 1: 2-4 rules (recursion through IDB body literals
+    // exercises the semi-naive delta path; negation here is restricted
+    // to EDB relations, so the stratum is trivially stratified).
     Stratum stratum;
     size_t num_rules = 2 + Pick(3);
     for (size_t i = 0; i < num_rules; ++i) {
-      stratum.rules.push_back(GenerateRule(atoms, edb, idb));
+      stratum.rules.push_back(GenerateRule(atoms, edb, idb, idb, edb));
     }
     c.program.strata.push_back(std::move(stratum));
+
+    // Stratum 2 (about half the cases): heads draw from fresh relations
+    // (a relation defined in stratum 1 must not gain rules later), the
+    // positive body may join EDB, stratum-1 IDB, and stratum-2 IDB, and
+    // the negated literal may target stratum-1 IDB relations — the
+    // stratified-negation shape proper.
+    if (multi_stratum_) {
+      std::vector<RelId> idb2;
+      size_t num_idb2 = 1 + Pick(2);  // 1-2
+      for (size_t i = 0; i < num_idb2; ++i) {
+        idb2.push_back(*u_.InternRel("J" + std::to_string(i),
+                                     static_cast<uint32_t>(1 + Pick(2))));
+      }
+      std::vector<RelId> positive = edb;
+      positive.insert(positive.end(), idb.begin(), idb.end());
+      std::vector<RelId> negatable = edb;
+      negatable.insert(negatable.end(), idb.begin(), idb.end());
+      Stratum second;
+      size_t num_rules2 = 1 + Pick(2);  // 1-2
+      for (size_t i = 0; i < num_rules2; ++i) {
+        second.rules.push_back(
+            GenerateRule(atoms, positive, idb2, idb2, negatable));
+      }
+      c.program.strata.push_back(std::move(second));
+    }
     return c;
   }
 
  private:
   size_t Pick(size_t n) { return rng_() % n; }
+
+  bool IsEdb(RelId rel) const {
+    for (RelId e : edb_rels_) {
+      if (e == rel) return true;
+    }
+    return false;
+  }
 
   VarId PathVar(size_t i) {
     return u_.InternVar(VarKind::kPath, "p" + std::to_string(i));
@@ -173,16 +219,24 @@ class CaseGenerator {
     return PathExpr(std::move(items));
   }
 
+  /// One safe rule: positive body literals draw from `base_pool` (70%)
+  /// or `rec_pool` (30%, same-stratum recursion), the head from
+  /// `head_pool`, the optional negated literal from `neg_pool`. The
+  /// single-stratum caller passes (edb, idb, idb, edb); the stratum-2
+  /// caller widens base and negation pools to include stratum-1 IDB.
   Rule GenerateRule(const std::vector<AtomId>& atoms,
-                    const std::vector<RelId>& edb,
-                    const std::vector<RelId>& idb) {
+                    const std::vector<RelId>& base_pool,
+                    const std::vector<RelId>& rec_pool,
+                    const std::vector<RelId>& head_pool,
+                    const std::vector<RelId>& neg_pool) {
     Rule r;
-    // Positive body: 1-3 predicate literals, mostly EDB (IDB body
-    // literals make the rule recursive).
+    // Positive body: 1-3 predicate literals, mostly from the base pool
+    // (recursion-pool literals make the rule recursive).
     size_t body_preds = 1 + Pick(3);
     for (size_t i = 0; i < body_preds; ++i) {
-      bool use_idb = !idb.empty() && Pick(10) < 3;
-      RelId rel = use_idb ? idb[Pick(idb.size())] : edb[Pick(edb.size())];
+      bool use_rec = !rec_pool.empty() && Pick(10) < 3;
+      RelId rel = use_rec ? rec_pool[Pick(rec_pool.size())]
+                          : base_pool[Pick(base_pool.size())];
       Predicate pred;
       pred.rel = rel;
       for (uint32_t col = 0; col < u_.RelArity(rel); ++col) {
@@ -206,9 +260,12 @@ class CaseGenerator {
       CollectVars(r.body.back(), &bound);
     }
 
-    // Optional negated EDB literal over bound variables / constants only.
+    // Optional negated literal (over bound variables / constants only)
+    // from the stratification-safe pool: EDB in stratum 1, EDB plus
+    // stratum-1 IDB in stratum 2.
     if (!bound.empty() && Pick(4) == 0) {
-      RelId rel = edb[Pick(edb.size())];
+      RelId rel = neg_pool[Pick(neg_pool.size())];
+      if (!IsEdb(rel)) negates_idb_ = true;
       Predicate pred;
       pred.rel = rel;
       for (uint32_t col = 0; col < u_.RelArity(rel); ++col) {
@@ -222,10 +279,11 @@ class CaseGenerator {
       r.body.push_back(Literal::Pred(std::move(pred), /*negated=*/true));
     }
 
-    // Head: a random IDB relation; every argument is a single bound
-    // variable (or a constant), which both guarantees safety and bounds
-    // derived paths to subpaths of the input — the termination argument.
-    RelId head_rel = idb[Pick(idb.size())];
+    // Head: a random relation from the head pool; every argument is a
+    // single bound variable (or a constant), which both guarantees
+    // safety and bounds derived paths to subpaths of the input — the
+    // termination argument.
+    RelId head_rel = head_pool[Pick(head_pool.size())];
     r.head.rel = head_rel;
     for (uint32_t col = 0; col < u_.RelArity(head_rel); ++col) {
       if (!bound.empty() && Pick(4) != 0) {
@@ -242,6 +300,11 @@ class CaseGenerator {
   std::mt19937 rng_;
   /// This case draws from the packing fragment (set per Generate()).
   bool packing_ = false;
+  /// This case has a second stratum (set per Generate()).
+  bool multi_stratum_ = false;
+  /// Some stratum-2 rule negates a stratum-1 IDB relation.
+  bool negates_idb_ = false;
+  std::vector<RelId> edb_rels_;
 };
 
 size_t Iterations() {
@@ -255,11 +318,14 @@ size_t Iterations() {
 TEST(DifferentialTest, AllExecutionModesAgreeOnRandomPrograms) {
   size_t iterations = Iterations();
   size_t compared = 0, skipped = 0, packed_cases = 0;
+  size_t multi_stratum_cases = 0, idb_negation_cases = 0;
   for (uint64_t seed = 1; seed <= iterations; ++seed) {
     Universe u;
     CaseGenerator gen(u, seed);
     RandomCase c = gen.Generate();
     if (gen.packing()) ++packed_cases;
+    if (gen.multi_stratum()) ++multi_stratum_cases;
+    if (gen.negates_idb()) ++idb_negation_cases;
     SCOPED_TRACE("seed " + std::to_string(seed) + "\n" +
                  FormatProgram(u, c.program) + c.input.ToString(u));
 
@@ -331,6 +397,15 @@ TEST(DifferentialTest, AllExecutionModesAgreeOnRandomPrograms) {
   // And against the packing fragment silently dropping out of coverage.
   EXPECT_GE(packed_cases * 4, iterations)
       << packed_cases << " of " << iterations << " seeds drew packed values";
+  // Multi-stratum negation must stay covered too: about half the seeds
+  // carry a second stratum, and a meaningful fraction of those actually
+  // negate a stratum-1 IDB relation.
+  EXPECT_GE(multi_stratum_cases * 4, iterations)
+      << multi_stratum_cases << " of " << iterations
+      << " seeds drew a second stratum";
+  EXPECT_GE(idb_negation_cases * 40, iterations)
+      << idb_negation_cases << " of " << iterations
+      << " seeds negated a stratum-1 IDB relation";
 }
 
 // The ingest differential: facts arriving through Append must be
@@ -426,6 +501,107 @@ TEST(DifferentialTest, IncrementalIngestMatchesColdOpenPerEpoch) {
     EXPECT_EQ(live->NumSegments(), 1u);
     EXPECT_EQ(live->epoch(), 2u);
     check_all("post-compaction");
+    ++compared;
+  }
+  EXPECT_GE(compared * 5, iterations * 4)
+      << compared << " of " << iterations << " seeds compared (" << skipped
+      << " skipped)";
+}
+
+// The server differential: running a random program through a loopback
+// TCP server (text in, rendered text out — a *separate Universe*, so
+// every symbol is re-interned from the shipped source) must produce
+// byte-identical output to in-process Session::Run on the generating
+// Universe. Exercised across an append epoch (the server ingests batch 2
+// over the wire) and across a compaction, per the epoch/MVCC contract.
+TEST(DifferentialTest, LoopbackServerMatchesInProcess) {
+  size_t iterations = Iterations();
+  size_t compared = 0, skipped = 0;
+  for (uint64_t seed = 1; seed <= iterations; ++seed) {
+    Universe u;
+    RandomCase c = CaseGenerator(u, seed).Generate();
+    std::string program_text = FormatProgram(u, c.program);
+    SCOPED_TRACE("seed " + std::to_string(seed) + "\n" + program_text +
+                 c.input.ToString(u));
+
+    // Split the EDB into the open batch and one appended batch.
+    std::vector<Instance> batches(2);
+    {
+      size_t i = 0;
+      for (RelId rel : c.input.Relations()) {
+        for (const Tuple& t : c.input.Tuples(rel)) {
+          batches[i++ % batches.size()].Add(rel, t);
+        }
+      }
+    }
+
+    RunOptions ropts;
+    ropts.max_facts = kMaxFacts;
+    ropts.max_iterations = kMaxIterations;
+
+    // In-process expectations: derived-overlay renderings per epoch.
+    Result<PreparedProgram> prog = Engine::CompileBorrowed(u, c.program);
+    ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+    Result<Database> db = Database::Open(u, batches[0]);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    Result<Instance> derived0 = db->Snapshot().Run(*prog, ropts);
+    ASSERT_TRUE(db->Append(batches[1]).ok());
+    Result<Instance> derived1 = db->Snapshot().Run(*prog, ropts);
+    if (!derived0.ok() || !derived1.ok()) {
+      const Status& st =
+          derived0.ok() ? derived1.status() : derived0.status();
+      ASSERT_EQ(st.code(), StatusCode::kResourceExhausted) << st.ToString();
+      ++skipped;
+      continue;
+    }
+    std::string expected0 = derived0->ToString(u);
+    std::string expected1 = derived1->ToString(u);
+
+    // Server side: a fresh Universe fed only by wire text.
+    Universe server_u;
+    Result<Instance> server_edb =
+        ParseInstance(server_u, batches[0].ToString(u));
+    ASSERT_TRUE(server_edb.ok()) << server_edb.status().ToString();
+    Result<Database> server_db =
+        Database::Open(server_u, std::move(*server_edb));
+    ASSERT_TRUE(server_db.ok()) << server_db.status().ToString();
+    ServiceOptions sopts;
+    sopts.run_options = ropts;
+    // Cache off: every wire run must re-evaluate, so the post-compaction
+    // request exercises the merged single-segment stack instead of a
+    // (trivially correct) cache hit.
+    sopts.result_cache_entries = 0;
+    DatabaseService service(server_u, std::move(*server_db), sopts);
+    ServerOptions server_opts;
+    server_opts.threads = 2;
+    Result<std::unique_ptr<Server>> server =
+        Server::Start(service, server_opts);
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    Result<Client> client = Client::Connect("127.0.0.1", (*server)->port());
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+    Result<protocol::RunReply> at0 = client->Run(program_text);
+    ASSERT_TRUE(at0.ok()) << at0.status().ToString();
+    EXPECT_EQ(at0->epoch, 0u);
+    EXPECT_EQ(expected0, at0->rendered) << "server @ epoch 0";
+
+    Result<protocol::AppendReply> appended =
+        client->Append(batches[1].ToString(u));
+    ASSERT_TRUE(appended.ok()) << appended.status().ToString();
+    Result<protocol::RunReply> at1 = client->Run(program_text);
+    ASSERT_TRUE(at1.ok()) << at1.status().ToString();
+    EXPECT_EQ(at1->epoch, appended->db.epoch);
+    EXPECT_EQ(expected1, at1->rendered) << "server @ epoch 1";
+
+    // Compaction folds the server's stack; results must not move.
+    Result<protocol::CompactReply> compacted = client->Compact();
+    ASSERT_TRUE(compacted.ok()) << compacted.status().ToString();
+    Result<protocol::RunReply> after = client->Run(program_text);
+    ASSERT_TRUE(after.ok()) << after.status().ToString();
+    EXPECT_EQ(expected1, after->rendered) << "server post-compaction";
+
+    client->Close();
+    (*server)->Shutdown();
     ++compared;
   }
   EXPECT_GE(compared * 5, iterations * 4)

@@ -691,6 +691,90 @@ TEST(EpochTest, WriterBatchesIntoOneCommit) {
   EXPECT_EQ(db->NumSegments(), 2u);
 }
 
+// --- Writer / Compact error paths ---------------------------------------------
+
+TEST(EpochTest, CommitOnClosedDatabaseFails) {
+  Universe u;
+  Result<Database> db = Database::Open(u, MustInstance(u, "R(a)."));
+  ASSERT_TRUE(db.ok());
+  Writer w = db->MakeWriter();
+  w.Stage(MustInstance(u, "R(b)."));
+  EXPECT_FALSE(db->closed());
+  db->Close();
+  EXPECT_TRUE(db->closed());
+
+  // Writers fail fast; the staged facts never publish.
+  Result<uint64_t> commit = w.Commit();
+  ASSERT_FALSE(commit.ok());
+  EXPECT_EQ(commit.status().code(), StatusCode::kFailedPrecondition);
+  Result<uint64_t> append = db->Append(MustInstance(u, "R(c)."));
+  ASSERT_FALSE(append.ok());
+  EXPECT_EQ(append.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(db->epoch(), 0u);
+  EXPECT_EQ(db->NumFacts(), 1u);
+
+  // Reads are unaffected: snapshots keep serving the final epoch.
+  Program p = MustParse(u, "S($x) <- R($x).");
+  Result<PreparedProgram> prog = Engine::Compile(u, std::move(p));
+  ASSERT_TRUE(prog.ok());
+  Result<Instance> derived = db->Snapshot().Run(*prog);
+  ASSERT_TRUE(derived.ok());
+  EXPECT_EQ(derived->NumFacts(), 1u);
+
+  // Close is idempotent.
+  db->Close();
+  EXPECT_TRUE(db->closed());
+}
+
+TEST(EpochTest, DoubleCommitPublishesNothingTwice) {
+  Universe u;
+  Result<Database> db = Database::Open(u, MustInstance(u, "R(a)."));
+  ASSERT_TRUE(db.ok());
+  Writer w = db->MakeWriter();
+  w.Stage(MustInstance(u, "R(b)."));
+  Result<uint64_t> first = w.Commit();
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(*first, 1u);
+  // The staging area was consumed: an immediate second Commit is an
+  // empty batch — no new segment, no epoch bump, not an error.
+  Result<uint64_t> second = w.Commit();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*second, 1u);
+  EXPECT_EQ(db->NumSegments(), 2u);
+  EXPECT_EQ(db->NumFacts(), 2u);
+  // And a commit whose every staged fact is already present publishes
+  // nothing either.
+  w.Stage(MustInstance(u, "R(a). R(b)."));
+  Result<uint64_t> dup = w.Commit();
+  ASSERT_TRUE(dup.ok());
+  EXPECT_EQ(*dup, 1u);
+  EXPECT_EQ(db->NumSegments(), 2u);
+}
+
+TEST(EpochTest, CompactWithNothingToFold) {
+  Universe u;
+  // A single-segment stack (fresh open) has nothing to fold — even when
+  // that one segment is empty.
+  Result<Database> empty = Database::Open(u, Instance{});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_FALSE(empty->Compact());
+  EXPECT_EQ(empty->NumSegments(), 1u);
+  EXPECT_EQ(empty->epoch(), 0u);
+
+  Result<Database> db = Database::Open(u, MustInstance(u, "R(a)."));
+  ASSERT_TRUE(db.ok());
+  EXPECT_FALSE(db->Compact());
+  // After appends there is something to fold — once; the second Compact
+  // sees one segment again. A closed database refuses to fold at all.
+  ASSERT_TRUE(db->Append(MustInstance(u, "R(b).")).ok());
+  EXPECT_TRUE(db->Compact());
+  EXPECT_FALSE(db->Compact());
+  ASSERT_TRUE(db->Append(MustInstance(u, "R(c).")).ok());
+  db->Close();
+  EXPECT_FALSE(db->Compact());
+  EXPECT_EQ(db->NumSegments(), 2u);
+}
+
 TEST(EpochTest, SnapshotIgnoresLaterAppends) {
   Universe u;
   Program p = MustParse(u, "S($x) <- R($x).");

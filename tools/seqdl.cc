@@ -12,9 +12,18 @@
 //       wall times).
 //
 //   seqdl serve <instance.sdl> [--stats] [--threads=N]
-//               [--recompile-drift=X] [--auto-compact=N]
-//       Load the instance into a versioned Database once, then answer
-//       commands from stdin until EOF, one per line:
+//               [--recompile-drift=X] [--auto-compact=N] [--listen=PORT]
+//       Load the instance into a versioned Database once, then serve it.
+//       With --listen=PORT the database is served over TCP (the framed
+//       wire protocol of src/server/protocol.h; PORT 0 picks a free
+//       ephemeral port): the server prints "listening on HOST:PORT" to
+//       stdout and runs until a client sends `shutdown`. --threads=N
+//       sizes the worker pool (one connection served per worker at a
+//       time). Use `seqdl query --connect=HOST:PORT ...` or the C++
+//       client (src/server/client.h) to talk to it; see docs/server.md.
+//
+//       Without --listen, answer commands from stdin until EOF, one per
+//       line:
 //
 //           run <program.sdl> [REL]    evaluate against the current-epoch
 //                                      EDB, print derived facts (or REL)
@@ -30,14 +39,26 @@
 //                                      derived, epoch-aged)
 //           quit                       exit
 //
-//       Programs are compiled once per path and cached; when a later
-//       append moves the database's measured statistics past
-//       --recompile-drift (default 0.25, relative tuple-count change),
-//       the cached plan is recompiled against the fresh statistics.
-//       --threads=N answers `run` commands on a worker pool of N threads
-//       (snapshot runs are safe to race with each other and with
-//       appends); --auto-compact=N folds the segment stack whenever it
-//       grows past N segments (default 8, 0 = manual `compact` only).
+//       Programs are compiled once per source text and cached (shared
+//       with TCP clients sending the same text); when a later append
+//       moves the database's measured statistics past --recompile-drift
+//       (default 0.25, relative tuple-count change), the cached plan is
+//       recompiled against the fresh statistics. --threads=N answers
+//       `run` commands on a worker pool of N threads (snapshot runs are
+//       safe to race with each other and with appends); --auto-compact=N
+//       folds the segment stack whenever it grows past N segments
+//       (default 8, 0 = manual `compact` only). Malformed `append` files
+//       are reported as structured "<file>:line:col: ..." errors.
+//
+//   seqdl query --connect=HOST:PORT <command> [args]
+//       Blocking client for a `seqdl serve --listen` server. Commands:
+//           run <program.sdl> [REL]     ship the program text to the
+//                                       server, print the derived facts
+//           compile <program.sdl>       warm the server's program cache
+//           append <instance.sdl>       ship facts; bumps the epoch
+//           epoch | compact | stats     as in serve's stdin mode
+//           shutdown                    drain and stop the server
+//       [--stats] prints the run's engine counters to stderr.
 //
 //   seqdl check <program.sdl>
 //       Validate safety/stratification, report the features used and the
@@ -87,6 +108,10 @@
 #include "src/engine/stats.h"
 #include "src/fragments/fragments.h"
 #include "src/queries/regex.h"
+#include "src/server/client.h"
+#include "src/server/protocol.h"
+#include "src/server/server.h"
+#include "src/server/service.h"
 #include "src/syntax/parser.h"
 #include "src/syntax/printer.h"
 #include "src/term/universe.h"
@@ -212,20 +237,18 @@ int CmdRun(const std::vector<std::string>& args) {
   return 0;
 }
 
-// Repeated-query serving loop over a versioned Database: the EDB is
-// loaded once and then grows by `append` (epoch-bumping segment
-// publishes); `run` commands execute against an epoch-pinned snapshot,
-// on the calling thread or on a --threads=N worker pool. Compiled
-// programs are cached per path and recompiled when the database's
-// measured statistics drift past --recompile-drift since compile time.
+// Repeated-query serving loop over a DatabaseService (the same request
+// handlers the TCP server dispatches to — the stdin loop is just another
+// front end): the EDB is loaded once and then grows by `append`
+// (epoch-bumping segment publishes); `run` commands execute against an
+// epoch-pinned snapshot, on the calling thread or on a --threads=N
+// worker pool. Compiled programs are cached by source text in the
+// service and recompiled when the database's measured statistics drift
+// past --recompile-drift since compile time.
 class ServeLoop {
  public:
-  ServeLoop(seqdl::Universe& u, seqdl::Database db, bool stats_on,
-            double recompile_drift)
-      : u_(u),
-        db_(std::move(db)),
-        stats_on_(stats_on),
-        recompile_drift_(recompile_drift) {}
+  ServeLoop(seqdl::DatabaseService& service, bool stats_on)
+      : service_(service), stats_on_(stats_on) {}
 
   ~ServeLoop() { StopWorkers(); }
 
@@ -265,49 +288,52 @@ class ServeLoop {
       Fail(text.status());
       return;
     }
-    auto delta = seqdl::ParseInstance(u_, *text);
-    if (!delta.ok()) {
+    seqdl::protocol::AppendRequest req;
+    req.facts = std::move(*text);
+    // Naming the source turns a malformed fact into a structured
+    // "<path>:line:col: ..." error instead of a bare parse error.
+    req.source_name = path;
+    auto reply = service_.Append(req);
+    if (!reply.ok()) {
       std::lock_guard<std::mutex> lock(io_mu_);
-      Fail(delta.status());
-      return;
-    }
-    size_t staged = delta->NumFacts();
-    auto epoch = db_.Append(std::move(*delta));
-    if (!epoch.ok()) {
-      std::lock_guard<std::mutex> lock(io_mu_);
-      Fail(epoch.status());
+      Fail(reply.status());
       return;
     }
     std::lock_guard<std::mutex> lock(io_mu_);
     std::fprintf(stderr,
-                 "-- appended %s (%zu facts): epoch %llu, %zu segments, "
-                 "%zu facts total\n",
-                 path.c_str(), staged,
-                 static_cast<unsigned long long>(*epoch), db_.NumSegments(),
-                 db_.NumFacts());
+                 "-- appended %s (%llu new facts): epoch %llu, %llu "
+                 "segments, %llu facts total\n",
+                 path.c_str(),
+                 static_cast<unsigned long long>(reply->appended),
+                 static_cast<unsigned long long>(reply->db.epoch),
+                 static_cast<unsigned long long>(reply->db.segments),
+                 static_cast<unsigned long long>(reply->db.facts));
   }
 
   void Epoch() {
+    seqdl::protocol::DbInfo info = service_.Info();
     std::lock_guard<std::mutex> lock(io_mu_);
-    std::printf("epoch %llu: %zu segments, %zu facts\n",
-                static_cast<unsigned long long>(db_.epoch()),
-                db_.NumSegments(), db_.NumFacts());
+    std::printf("epoch %llu: %llu segments, %llu facts\n",
+                static_cast<unsigned long long>(info.epoch),
+                static_cast<unsigned long long>(info.segments),
+                static_cast<unsigned long long>(info.facts));
     std::fflush(stdout);
   }
 
   void Compact() {
-    bool folded = db_.Compact();
+    seqdl::protocol::CompactReply reply = service_.Compact();
     std::lock_guard<std::mutex> lock(io_mu_);
-    std::fprintf(stderr, "-- %s: epoch %llu, %zu segments, %zu facts\n",
-                 folded ? "compacted" : "nothing to compact",
-                 static_cast<unsigned long long>(db_.epoch()),
-                 db_.NumSegments(), db_.NumFacts());
+    std::fprintf(stderr, "-- %s: epoch %llu, %llu segments, %llu facts\n",
+                 reply.folded ? "compacted" : "nothing to compact",
+                 static_cast<unsigned long long>(reply.db.epoch),
+                 static_cast<unsigned long long>(reply.db.segments),
+                 static_cast<unsigned long long>(reply.db.facts));
   }
 
   void Stats() {
     // The planner's view: live-segment measurements merged with the
     // derived-fact statistics reported back by earlier runs.
-    std::string rendered = db_.Stats().ToString(u_);
+    std::string rendered = service_.Stats().rendered;
     std::lock_guard<std::mutex> lock(io_mu_);
     std::printf("%s", rendered.c_str());
     std::fflush(stdout);
@@ -320,12 +346,6 @@ class ServeLoop {
   }
 
  private:
-  struct CachedProgram {
-    std::shared_ptr<seqdl::PreparedProgram> prog;
-    uint64_t epoch;             // db_.epoch() at compile time
-    seqdl::StoreStats stats;    // Stats() snapshot the plan was ranked by
-  };
-
   void WorkerLoop() {
     while (true) {
       std::pair<std::string, std::string> job;
@@ -349,135 +369,56 @@ class ServeLoop {
     }
   }
 
-  // Returns the cached prepared program for `path`, compiling on first
-  // use and recompiling when the measured statistics drifted past the
-  // threshold since the cached plan was ranked. The cache lock covers
-  // only lookups and inserts — IO, parsing, and compilation run outside
-  // it, so one slow compile never stalls workers running cached plans.
-  std::shared_ptr<seqdl::PreparedProgram> Prepare(const std::string& path) {
-    std::shared_ptr<seqdl::PreparedProgram> cached;
-    uint64_t stale_epoch = 0;
-    double drift = 0.0;
-    {
-      std::lock_guard<std::mutex> lock(programs_mu_);
-      auto it = programs_.find(path);
-      if (it != programs_.end()) {
-        cached = it->second.prog;
-        if (db_.epoch() == it->second.epoch) return cached;
-        drift = seqdl::StatsDrift(it->second.stats, db_.Stats());
-        if (drift < recompile_drift_) return cached;
-        stale_epoch = it->second.epoch;
-      }
-    }
-    std::shared_ptr<seqdl::PreparedProgram> fresh = CompileFor(path);
-    if (fresh == nullptr) return cached;  // keep the stale plan, if any
-    if (cached != nullptr) {
-      std::lock_guard<std::mutex> io(io_mu_);
-      std::fprintf(stderr,
-                   "-- recompiled %s (stats drift %.2f >= %.2f since epoch "
-                   "%llu)\n",
-                   path.c_str(), drift, recompile_drift_,
-                   static_cast<unsigned long long>(stale_epoch));
-    }
-    return fresh;
-  }
-
-  // Parses + compiles `path` against a fresh statistics snapshot and
-  // stores the cache entry. Runs without programs_mu_: two workers may
-  // race to compile the same path — both plans are correct, the last
-  // insert wins. nullptr on failure (already reported).
-  std::shared_ptr<seqdl::PreparedProgram> CompileFor(const std::string& path) {
+  // Reads the program, ships it through the service (text-keyed program
+  // cache, drift-aware recompilation, epoch-pinned snapshot run), and
+  // prints the rendered derived facts.
+  void RunOne(const std::string& path, const std::string& output_rel) {
     auto text = ReadFile(path);
     if (!text.ok()) {
-      std::lock_guard<std::mutex> io(io_mu_);
+      std::lock_guard<std::mutex> lock(io_mu_);
       Fail(text.status());
-      return nullptr;
-    }
-    auto program = seqdl::ParseProgram(u_, *text);
-    if (!program.ok()) {
-      std::lock_guard<std::mutex> io(io_mu_);
-      Fail(program.status());
-      return nullptr;
-    }
-    // Read the epoch before the stats snapshot: if an append lands
-    // between the two reads, the entry is stamped older than its
-    // statistics and the next Prepare re-runs the drift check (the safe
-    // direction) instead of masking it behind a current-looking epoch.
-    uint64_t epoch = db_.epoch();
-    seqdl::StoreStats stats = db_.Stats();
-    // Compile with the database's measured statistics (live segments
-    // plus whatever earlier runs derived and reported back).
-    seqdl::CompileOptions copts;
-    copts.stats = &stats;
-    auto prepared = seqdl::Engine::Compile(u_, std::move(*program), copts);
-    if (!prepared.ok()) {
-      std::lock_guard<std::mutex> io(io_mu_);
-      Fail(prepared.status());
-      return nullptr;
-    }
-    CachedProgram entry;
-    entry.prog =
-        std::make_shared<seqdl::PreparedProgram>(std::move(*prepared));
-    entry.epoch = epoch;
-    entry.stats = std::move(stats);
-    auto prog = entry.prog;
-    std::lock_guard<std::mutex> lock(programs_mu_);
-    programs_[path] = std::move(entry);
-    return prog;
-  }
-
-  void RunOne(const std::string& path, const std::string& output_rel) {
-    std::shared_ptr<seqdl::PreparedProgram> prog = Prepare(path);
-    if (prog == nullptr) return;
-    // Pin the current epoch for exactly this run: appends committed
-    // while the run executes do not affect it.
-    seqdl::Session session = db_.Snapshot();
-    seqdl::EvalStats stats;
-    seqdl::RunOptions ropts;
-    // Feed each run's derived-fact statistics back into Database::Stats()
-    // so later-compiled programs plan from the observed workload.
-    ropts.collect_derived_stats = true;
-    auto derived = session.Run(*prog, ropts, &stats);
-    std::lock_guard<std::mutex> lock(io_mu_);
-    if (!derived.ok()) {
-      Fail(derived.status());
       return;
     }
-    if (!output_rel.empty()) {
-      auto rel = u_.FindRel(output_rel);
-      if (!rel.ok()) {
-        Fail(rel.status());
-        return;
-      }
-      std::printf("%s", derived->Project({*rel}).ToString(u_).c_str());
-    } else {
-      std::printf("%s", derived->ToString(u_).c_str());
+    seqdl::protocol::RunRequest req;
+    req.program = std::move(*text);
+    req.source_name = path;
+    req.output_rel = output_rel;
+    // Feed each run's derived-fact statistics back into Database::Stats()
+    // so later-compiled programs plan from the observed workload.
+    req.collect_derived_stats = true;
+    auto reply = service_.Run(req);
+    std::lock_guard<std::mutex> lock(io_mu_);
+    if (!reply.ok()) {
+      Fail(reply.status());
+      return;
     }
+    std::printf("%s", reply->rendered.c_str());
     std::fflush(stdout);
-    std::fprintf(stderr, "-- %zu facts derived in %.3f ms (epoch %llu)\n",
-                 stats.derived_facts, stats.run_seconds * 1e3,
-                 static_cast<unsigned long long>(session.epoch()));
+    const seqdl::protocol::WireEvalStats& stats = reply->stats;
+    std::fprintf(stderr, "-- %llu facts derived in %.3f ms (epoch %llu)\n",
+                 static_cast<unsigned long long>(stats.derived_facts),
+                 stats.run_seconds * 1e3,
+                 static_cast<unsigned long long>(reply->epoch));
     if (stats_on_) {
       std::fprintf(stderr,
-                   "-- scans: %zu index, %zu prefix, %zu suffix, %zu full, "
-                   "%zu delta (%zu delta-indexed); %zu base columns indexed "
-                   "over %zu segments\n",
-                   stats.index_probes, stats.prefix_probes,
-                   stats.suffix_probes, stats.full_scans, stats.delta_scans,
-                   stats.delta_index_probes, db_.NumIndexedColumns(),
-                   session.NumSegments());
+                   "-- scans: %llu index, %llu prefix, %llu suffix, %llu "
+                   "full, %llu delta (%llu delta-indexed); %zu base columns "
+                   "indexed over %llu segments\n",
+                   static_cast<unsigned long long>(stats.index_probes),
+                   static_cast<unsigned long long>(stats.prefix_probes),
+                   static_cast<unsigned long long>(stats.suffix_probes),
+                   static_cast<unsigned long long>(stats.full_scans),
+                   static_cast<unsigned long long>(stats.delta_scans),
+                   static_cast<unsigned long long>(stats.delta_index_probes),
+                   service_.db().NumIndexedColumns(),
+                   static_cast<unsigned long long>(reply->segments));
     }
   }
 
-  seqdl::Universe& u_;
-  seqdl::Database db_;
+  seqdl::DatabaseService& service_;
   bool stats_on_;
-  double recompile_drift_;
 
   std::mutex io_mu_;
-
-  std::mutex programs_mu_;
-  std::map<std::string, CachedProgram> programs_;
 
   std::mutex queue_mu_;
   std::condition_variable queue_cv_, drained_cv_;
@@ -491,11 +432,18 @@ int CmdServe(const std::vector<std::string>& args) {
   if (args.empty()) {
     std::fprintf(stderr,
                  "usage: seqdl serve <instance> [--stats] [--threads=N] "
-                 "[--recompile-drift=X] [--auto-compact=N]\n");
+                 "[--recompile-drift=X] [--auto-compact=N] "
+                 "[--listen=PORT]\n");
     return 2;
   }
   bool stats_on = HasFlag(args, "--stats");
-  size_t threads = 1;
+  bool listen_mode = false;
+  uint16_t listen_port = 0;
+  if (std::string v = FlagValue(args, "--listen="); !v.empty()) {
+    listen_mode = true;
+    listen_port = static_cast<uint16_t>(std::strtoul(v.c_str(), nullptr, 10));
+  }
+  size_t threads = listen_mode ? 4 : 1;
   if (std::string v = FlagValue(args, "--threads="); !v.empty()) {
     threads = std::strtoull(v.c_str(), nullptr, 10);
     if (threads == 0) threads = 1;
@@ -518,13 +466,59 @@ int CmdServe(const std::vector<std::string>& args) {
   size_t edb_facts = instance->NumFacts();
   auto db = seqdl::Database::Open(u, std::move(*instance), dbopts);
   if (!db.ok()) return Fail(db.status());
+
+  static std::mutex log_mu;
+  seqdl::ServiceOptions sopts;
+  sopts.recompile_drift = recompile_drift;
+  sopts.log = [](const std::string& msg) {
+    std::lock_guard<std::mutex> lock(log_mu);
+    std::fprintf(stderr, "-- %s\n", msg.c_str());
+  };
+  seqdl::DatabaseService service(u, std::move(*db), sopts);
+
+  if (listen_mode) {
+    if (stats_on) {
+      std::fprintf(stderr,
+                   "-- note: --stats has no effect with --listen; per-run "
+                   "counters travel in each reply (seqdl query ... run "
+                   "--stats)\n");
+    }
+    seqdl::ServerOptions server_opts;
+    server_opts.port = listen_port;
+    server_opts.threads = threads;
+    auto server = seqdl::Server::Start(service, server_opts);
+    if (!server.ok()) return Fail(server.status());
+    // The CI integration step and scripts parse this line; keep stdout.
+    std::printf("listening on %s:%u\n", (*server)->host().c_str(),
+                (*server)->port());
+    std::fflush(stdout);
+    std::fprintf(stderr,
+                 "-- serving %zu EDB facts from %s over TCP "
+                 "(%zu worker thread%s); stop with "
+                 "'seqdl query --connect=%s:%u shutdown'\n",
+                 edb_facts, args[0].c_str(), threads,
+                 threads == 1 ? "" : "s", (*server)->host().c_str(),
+                 (*server)->port());
+    (*server)->Wait();
+    // The final epoch is now immutable: reject any append that lost the
+    // race against shutdown.
+    service.db().Close();
+    std::fprintf(stderr,
+                 "-- server drained: %llu connections, %llu requests\n",
+                 static_cast<unsigned long long>(
+                     (*server)->connections_accepted()),
+                 static_cast<unsigned long long>(
+                     (*server)->requests_served()));
+    return 0;
+  }
+
   std::fprintf(stderr,
                "-- serving %zu EDB facts from %s (%zu worker thread%s); "
                "'run <program> [REL]', 'append <instance>', 'epoch', "
                "'compact', 'stats', or 'quit'\n",
                edb_facts, args[0].c_str(), threads, threads == 1 ? "" : "s");
 
-  ServeLoop loop(u, std::move(*db), stats_on, recompile_drift);
+  ServeLoop loop(service, stats_on);
   if (threads > 1) loop.StartWorkers(threads);
 
   std::string line;
@@ -571,6 +565,141 @@ int CmdServe(const std::vector<std::string>& args) {
   loop.Drain();
   loop.StopWorkers();
   return 0;
+}
+
+// Client for a `seqdl serve --listen` server: ships program/fact texts
+// over the wire protocol and prints the replies.
+int CmdQuery(const std::vector<std::string>& args) {
+  const char* usage =
+      "usage: seqdl query --connect=HOST:PORT "
+      "<run <program> [REL] | compile <program> | append <instance> | "
+      "epoch | compact | stats | shutdown> [--stats]\n";
+  std::string endpoint = FlagValue(args, "--connect=");
+  size_t colon = endpoint.rfind(':');
+  if (endpoint.empty() || colon == std::string::npos) {
+    std::fprintf(stderr, "%s", usage);
+    return 2;
+  }
+  std::string host = endpoint.substr(0, colon);
+  uint16_t port = static_cast<uint16_t>(
+      std::strtoul(endpoint.c_str() + colon + 1, nullptr, 10));
+
+  // The first non-flag argument is the command; the rest are operands.
+  std::vector<std::string> words;
+  for (const std::string& a : args) {
+    if (a.rfind("--", 0) != 0) words.push_back(a);
+  }
+  if (words.empty()) {
+    std::fprintf(stderr, "%s", usage);
+    return 2;
+  }
+  const std::string& cmd = words[0];
+
+  auto client = seqdl::Client::Connect(host, port);
+  if (!client.ok()) return Fail(client.status());
+
+  if (cmd == "run") {
+    if (words.size() < 2) {
+      std::fprintf(stderr, "usage: seqdl query --connect=... run "
+                           "<program> [REL]\n");
+      return 2;
+    }
+    auto text = ReadFile(words[1]);
+    if (!text.ok()) return Fail(text.status());
+    std::string output_rel = words.size() > 2 ? words[2] : "";
+    auto reply = client->Run(*text, output_rel, words[1]);
+    if (!reply.ok()) return Fail(reply.status());
+    std::printf("%s", reply->rendered.c_str());
+    std::fflush(stdout);
+    std::fprintf(stderr, "-- %llu facts derived in %.3f ms (epoch %llu)\n",
+                 static_cast<unsigned long long>(
+                     reply->stats.derived_facts),
+                 reply->stats.run_seconds * 1e3,
+                 static_cast<unsigned long long>(reply->epoch));
+    if (HasFlag(args, "--stats")) {
+      const seqdl::protocol::WireEvalStats& s = reply->stats;
+      std::fprintf(stderr,
+                   "-- scans: %llu index, %llu prefix, %llu suffix, "
+                   "%llu full, %llu delta (%llu delta-indexed)\n",
+                   static_cast<unsigned long long>(s.index_probes),
+                   static_cast<unsigned long long>(s.prefix_probes),
+                   static_cast<unsigned long long>(s.suffix_probes),
+                   static_cast<unsigned long long>(s.full_scans),
+                   static_cast<unsigned long long>(s.delta_scans),
+                   static_cast<unsigned long long>(s.delta_index_probes));
+    }
+    return 0;
+  }
+  if (cmd == "compile") {
+    if (words.size() < 2) {
+      std::fprintf(stderr,
+                   "usage: seqdl query --connect=... compile <program>\n");
+      return 2;
+    }
+    auto text = ReadFile(words[1]);
+    if (!text.ok()) return Fail(text.status());
+    auto reply = client->Compile(*text, words[1]);
+    if (!reply.ok()) return Fail(reply.status());
+    std::printf("%s: %llu rules in %llu strata (%s, compile %.3f ms)\n",
+                words[1].c_str(),
+                static_cast<unsigned long long>(reply->rules),
+                static_cast<unsigned long long>(reply->strata),
+                reply->cache_hit ? "cache hit" : "compiled",
+                reply->compile_seconds * 1e3);
+    return 0;
+  }
+  if (cmd == "append") {
+    if (words.size() < 2) {
+      std::fprintf(stderr,
+                   "usage: seqdl query --connect=... append <instance>\n");
+      return 2;
+    }
+    auto text = ReadFile(words[1]);
+    if (!text.ok()) return Fail(text.status());
+    auto reply = client->Append(*text, words[1]);
+    if (!reply.ok()) return Fail(reply.status());
+    std::printf("appended %llu facts: epoch %llu, %llu segments, "
+                "%llu facts total\n",
+                static_cast<unsigned long long>(reply->appended),
+                static_cast<unsigned long long>(reply->db.epoch),
+                static_cast<unsigned long long>(reply->db.segments),
+                static_cast<unsigned long long>(reply->db.facts));
+    return 0;
+  }
+  if (cmd == "epoch") {
+    auto reply = client->Epoch();
+    if (!reply.ok()) return Fail(reply.status());
+    std::printf("epoch %llu: %llu segments, %llu facts\n",
+                static_cast<unsigned long long>(reply->epoch),
+                static_cast<unsigned long long>(reply->segments),
+                static_cast<unsigned long long>(reply->facts));
+    return 0;
+  }
+  if (cmd == "compact") {
+    auto reply = client->Compact();
+    if (!reply.ok()) return Fail(reply.status());
+    std::printf("%s: epoch %llu, %llu segments, %llu facts\n",
+                reply->folded ? "compacted" : "nothing to compact",
+                static_cast<unsigned long long>(reply->db.epoch),
+                static_cast<unsigned long long>(reply->db.segments),
+                static_cast<unsigned long long>(reply->db.facts));
+    return 0;
+  }
+  if (cmd == "stats") {
+    auto reply = client->Stats();
+    if (!reply.ok()) return Fail(reply.status());
+    std::printf("%s", reply->rendered.c_str());
+    return 0;
+  }
+  if (cmd == "shutdown") {
+    seqdl::Status st = client->Shutdown();
+    if (!st.ok()) return Fail(st);
+    std::printf("server shut down\n");
+    return 0;
+  }
+  std::fprintf(stderr, "error: unknown query command '%s'\n%s", cmd.c_str(),
+               usage);
+  return 2;
 }
 
 int CmdCheck(const std::vector<std::string>& args) {
@@ -733,14 +862,15 @@ int CmdRegex(const std::vector<std::string>& args) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: seqdl <run|serve|check|transform|normalform|algebra|"
-                 "hasse|regex> ...\n");
+                 "usage: seqdl <run|serve|query|check|transform|normalform|"
+                 "algebra|hasse|regex> ...\n");
     return 2;
   }
   std::string cmd = argv[1];
   std::vector<std::string> args(argv + 2, argv + argc);
   if (cmd == "run") return CmdRun(args);
   if (cmd == "serve") return CmdServe(args);
+  if (cmd == "query") return CmdQuery(args);
   if (cmd == "check") return CmdCheck(args);
   if (cmd == "transform") return CmdTransform(args);
   if (cmd == "normalform") return CmdNormalForm(args);
