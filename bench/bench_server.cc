@@ -19,6 +19,13 @@
 //   * BM_AppendRoundTrip      — small ingest batches: epoch publishes
 //     per second over the wire (single client; appends serialize on the
 //     database's writer lock by design).
+//   * BM_DeltaAppendQuery /
+//     BM_FullAppendQuery      — an append followed by a re-serve of a
+//     recursive query over a 128-node chain. With maintained views
+//     (the default) the append delta-refreshes the materialized view
+//     and the re-serve replays it; with the cache disabled every
+//     re-serve pays the whole fixpoint again. The acceptance bar:
+//     delta >= 5x the full re-run.
 //
 // Threaded benches share one server and open one connection per client
 // thread (the client is not thread-safe; connections are cheap). The
@@ -236,6 +243,87 @@ void BM_AppendRoundTrip(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_AppendRoundTrip);
+
+constexpr char kReachQuery[] =
+    "R($x, $y) <- E($x, $y).\n"
+    "R($x, $z) <- R($x, $y), E($y, $z).\n";
+
+/// A 128-node chain: the reachability fixpoint derives ~n^2/2 tuples,
+/// making a full re-run expensive while a single appended edge only
+/// derives the fresh source's reachable set.
+std::string ChainEdb() {
+  std::string out;
+  for (int i = 0; i + 1 < 128; ++i) {
+    out += "E(v" + std::to_string(i) + ", v" + std::to_string(i + 1) +
+           ").\n";
+  }
+  return out;
+}
+
+// One append + one re-serve per iteration. `maintained` toggles the
+// service between the maintained-view cache (append delta-refreshes the
+// view, the run replays it) and the uncached evaluate-every-time path.
+void RunDeltaAppendServer(benchmark::State& state, bool maintained) {
+  Universe u;
+  Result<Instance> edb = ParseInstance(u, ChainEdb());
+  if (!edb.ok()) {
+    state.SkipWithError("edb setup failed");
+    return;
+  }
+  Database::OpenOptions dbopts;
+  dbopts.auto_compact_segments = 8;
+  Result<Database> db = Database::Open(u, std::move(*edb), dbopts);
+  if (!db.ok()) {
+    state.SkipWithError(db.status().ToString().c_str());
+    return;
+  }
+  ServiceOptions sopts;
+  if (!maintained) sopts.result_cache_entries = 0;
+  DatabaseService service(u, std::move(*db), std::move(sopts));
+  Result<std::unique_ptr<Server>> server = Server::Start(service, {});
+  if (!server.ok()) {
+    state.SkipWithError(server.status().ToString().c_str());
+    return;
+  }
+  Result<Client> client = Client::Connect("127.0.0.1", (*server)->port());
+  if (!client.ok()) {
+    state.SkipWithError(client.status().ToString().c_str());
+    return;
+  }
+  // Warm-up: compile the program and materialize the view (or build the
+  // indexes) before the timed loop.
+  if (!client->Run(kReachQuery, "", "", false).ok()) {
+    state.SkipWithError("warm-up run failed");
+    return;
+  }
+  size_t next = 0;
+  for (auto _ : state) {
+    Result<protocol::AppendReply> append =
+        client->Append("E(z" + std::to_string(next++) + ", v0).");
+    if (!append.ok()) {
+      state.SkipWithError(append.status().ToString().c_str());
+      return;
+    }
+    Result<protocol::RunReply> run =
+        client->Run(kReachQuery, "", "", /*collect_derived_stats=*/false);
+    if (!run.ok()) {
+      state.SkipWithError(run.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(run->rendered);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void BM_DeltaAppendQuery(benchmark::State& state) {
+  RunDeltaAppendServer(state, /*maintained=*/true);
+}
+BENCHMARK(BM_DeltaAppendQuery);
+
+void BM_FullAppendQuery(benchmark::State& state) {
+  RunDeltaAppendServer(state, /*maintained=*/false);
+}
+BENCHMARK(BM_FullAppendQuery);
 
 }  // namespace
 }  // namespace seqdl

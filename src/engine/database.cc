@@ -1,8 +1,17 @@
 #include "src/engine/database.h"
 
+#include <algorithm>
 #include <utility>
 
+#include "src/view/view.h"
+
 namespace seqdl {
+
+Database::Database(Database&&) noexcept = default;
+Database& Database::operator=(Database&&) noexcept = default;
+Database::~Database() = default;
+Database::DbState::DbState() = default;
+Database::DbState::~DbState() = default;
 
 namespace {
 
@@ -28,7 +37,9 @@ Result<Database> Database::Open(Universe& u, Instance edb,
   set->epoch = 0;
   set->total_facts = segment->instance().NumFacts();
   set->segments.push_back(std::move(segment));
+  set->segment_epochs.push_back(0);
   state->current = std::move(set);
+  state->views.reset(new ViewManager(*state));
   return Database(std::move(state));
 }
 
@@ -74,14 +85,17 @@ Result<uint64_t> Database::AppendTo(DbState& state, Instance delta,
   next->epoch = cur->epoch + 1;
   next->segments = cur->segments;
   next->segments.push_back(std::move(segment));
+  next->segment_epochs = cur->segment_epochs;
+  next->segment_epochs.push_back(next->epoch);
   next->total_facts = cur->total_facts + fresh_facts;
   uint64_t epoch = next->epoch;
   state.Publish(std::move(next));
 
-  // The data moved: decay accumulated derived-run measurements so the
-  // planner's view tracks the drifting workload instead of an all-time
-  // peak (see StatsAccumulator::Age).
-  state.accum.Age(StatsAccumulator::kEpochDecay);
+  // The data moved: note the epoch so the accumulated derived-run
+  // measurements decay once something actually re-derives (deferred —
+  // see StatsAccumulator::NoteEpoch; a maintained view serving across
+  // appends is not fresh evidence that the derived shape drifted).
+  state.accum.NoteEpoch();
 
   if (PolicyWantsCompaction(state, *state.Current())) CompactLocked(state);
   return epoch;
@@ -126,6 +140,11 @@ bool Database::CompactLocked(DbState& state) {
   next->epoch = cur->epoch;  // same facts, same epoch: semantics unchanged
   next->total_facts = segment->instance().NumFacts();
   next->segments.push_back(std::move(segment));
+  // The merged segment keeps the newest folded publish stamp: views at
+  // least that fresh still see it as covered base, older views see one
+  // (over-approximate but sound) delta segment.
+  next->segment_epochs.push_back(*std::max_element(
+      cur->segment_epochs.begin(), cur->segment_epochs.end()));
   state.Publish(std::move(next));
   return true;
 }
@@ -187,6 +206,8 @@ Result<PreparedProgram> Database::Compile(Program p) const {
   return Compile(std::move(p), CompileOptions());
 }
 
+ViewManager& Database::views() const { return *state_->views; }
+
 Instance Database::edb() const {
   std::shared_ptr<const SegmentSet> cur = state_->Current();
   Instance out;
@@ -228,9 +249,13 @@ Result<Instance> Session::Run(const PreparedProgram& prog,
       stats != nullptr ? stats
                        : (opts.collect_derived_stats ? &local : nullptr);
   Result<Instance> out = prog.RunOnSegments(segments, opts, sink);
-  if (out.ok() && opts.collect_derived_stats && sink != nullptr &&
-      accum_ != nullptr) {
-    accum_->Record(sink->derived_stats);
+  if (out.ok() && accum_ != nullptr) {
+    // A full recomputation happened: apply any epoch decays deferred by
+    // appends, then record what this run actually derived.
+    accum_->AgeOnRecompute(StatsAccumulator::kEpochDecay);
+    if (opts.collect_derived_stats && sink != nullptr) {
+      accum_->Record(sink->derived_stats);
+    }
   }
   return out;
 }

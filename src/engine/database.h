@@ -60,6 +60,7 @@
 namespace seqdl {
 
 class Session;
+class ViewManager;
 class Writer;
 
 /// A long-lived, versioned EDB: an epoch-stamped stack of immutable
@@ -94,8 +95,11 @@ class Database {
                                const OpenOptions& opts);
   static Result<Database> Open(Universe& u, Instance edb);
 
-  Database(Database&&) = default;
-  Database& operator=(Database&&) = default;
+  // Moves and the destructor are defined out of line: DbState holds the
+  // (forward-declared) ViewManager by unique_ptr.
+  Database(Database&&) noexcept;
+  Database& operator=(Database&&) noexcept;
+  ~Database();
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
@@ -167,6 +171,13 @@ class Database {
   Result<PreparedProgram> Compile(Program p, const CompileOptions& opts) const;
   Result<PreparedProgram> Compile(Program p) const;
 
+  /// The materialized-view subsystem over this database (view/view.h):
+  /// per-program derived-IDB snapshots kept current across appends by
+  /// delta evaluation instead of re-running the fixpoint. Lazily does
+  /// nothing until someone calls ViewManager::Refresh; heap-stable (lives
+  /// in DbState), so the reference survives moves of the Database.
+  ViewManager& views() const;
+
   Universe& universe() const { return *state_->universe; }
   /// Materializes the union of the current stack's facts (a copy — the
   /// EDB spans several immutable segments once appends happened).
@@ -181,6 +192,7 @@ class Database {
 
  private:
   friend class Session;
+  friend class ViewManager;
   friend class Writer;
 
   /// One published version: an immutable, atomically swapped value.
@@ -188,12 +200,26 @@ class Database {
   struct SegmentSet {
     uint64_t epoch = 0;
     std::vector<std::shared_ptr<const BaseStore>> segments;
+    /// Parallel to `segments`: the epoch each segment was published at
+    /// (0 for the Open segment; compaction stamps the merged segment
+    /// with the newest folded stamp). How ViewManager tells the
+    /// delta segments apart from the base a view of epoch e already
+    /// covers: everything stamped > e is new. Over-approximate across
+    /// compaction — a merged segment counts as entirely new for views
+    /// older than its stamp — which is sound (delta evaluation of facts
+    /// already reflected in the view just re-derives known tuples).
+    std::vector<uint64_t> segment_epochs;
     size_t total_facts = 0;
   };
 
   /// Heap-stable shared state: the Database object may move while
   /// sessions and writers hold pointers into this.
   struct DbState {
+    // Out of line: the unique_ptr<ViewManager> member must only require
+    // the complete ViewManager type inside database.cc.
+    DbState();
+    ~DbState();
+
     Universe* universe = nullptr;
     OpenOptions opts;
     /// Guards `current` (pointer swap only — never held during index
@@ -205,6 +231,9 @@ class Database {
     /// Set by Close(): writers fail, readers continue.
     std::atomic<bool> closed{false};
     StatsAccumulator accum;
+    /// The materialized-view subsystem (view/view.h); constructed at
+    /// Open so views() can hand out a stable reference.
+    std::unique_ptr<ViewManager> views;
 
     std::shared_ptr<const SegmentSet> Current() const {
       std::lock_guard<std::mutex> lock(mu);

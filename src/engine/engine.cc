@@ -102,6 +102,112 @@ class Executor {
     return store_.TakeOverlay();
   }
 
+  // Incremental maintenance over the full current segment stack: adopts
+  // the stored view where sound, delta-evaluates the appended facts, and
+  // recomputes exactly the strata whose inputs changed in a way delta
+  // passes cannot express (see PreparedProgram::RunDelta's contract).
+  Result<PreparedProgram::DeltaRun> RunDelta(
+      std::span<const BaseStore* const> segments,
+      std::span<const BaseStore* const> delta_segments, const Instance& view) {
+    store_ = LayeredStore(u_, segments);
+
+    // The changed-fact sets cascading down the strata: the appended EDB
+    // facts to begin with, plus everything each stratum adds (and, for
+    // recomputed strata, retracts).
+    std::map<RelId, TupleSet> changed;
+    for (const BaseStore* seg : delta_segments) {
+      const Instance& inst = seg->instance();
+      for (RelId rel : inst.Relations()) {
+        TupleSet& ts = changed[rel];
+        for (const Tuple& t : inst.Tuples(rel)) ts.insert(t);
+        if (stats_) stats_->delta_seed_facts += inst.Tuples(rel).size();
+      }
+    }
+    // Relations that lost facts. A delta pass can only add, so any
+    // dependent stratum must recompute; only recomputed strata can
+    // retract, so this stays empty on the pure-growth fast path.
+    std::set<RelId> shrunk;
+
+    PreparedProgram::DeltaRun out;
+    const std::vector<Stratum>& strata = prog_.program().strata;
+    for (size_t s = 0; s < strata.size(); ++s) {
+      const CompiledStratum& compiled = StrataOf(prog_)[s];
+      if (stats_) stats_->per_stratum.emplace_back();
+
+      // A stratum is maintainable iff its rules only see *additions*
+      // through positive literals: a changed negated input can invalidate
+      // stored facts, and a shrunk positive input can too — both mean the
+      // stored view facts are not necessarily still derivable.
+      bool recompute = false;
+      for (const Rule& r : strata[s].rules) {
+        for (const Literal& l : r.body) {
+          if (!l.is_predicate()) continue;
+          if (shrunk.count(l.pred.rel) != 0 ||
+              (l.negated && changed.count(l.pred.rel) != 0)) {
+            recompute = true;
+          }
+        }
+      }
+
+      std::set<RelId> heads;
+      for (const Rule& r : strata[s].rules) heads.insert(r.head.rel);
+
+      // Everything this stratum's evaluation accepts into the overlay,
+      // recorded by MergePending for the cascade bookkeeping below.
+      Instance added;
+      stratum_added_ = &added;
+      Status st;
+      if (!recompute) {
+        // Adopt the stored facts wholesale, then delta-evaluate the
+        // changed inputs. The view holds no fact of the segments it was
+        // computed over (a view never contains EDB facts, and a folded
+        // segment keeps its newest publish stamp, so every non-delta
+        // segment predates the view), which lets Adopt dedupe against
+        // the delta segments only — view facts the append promoted to
+        // EDB drop out of the overlay exactly as a cold run would leave
+        // them.
+        for (RelId rel : heads) {
+          store_.Adopt(rel, view.Tuples(rel), delta_segments);
+        }
+        st = EvalStratumDelta(compiled, changed);
+      } else {
+        st = EvalStratum(compiled);
+      }
+      stratum_added_ = nullptr;
+      SEQDL_RETURN_IF_ERROR(st);
+
+      if (!recompute) {
+        if (stats_) ++stats_->strata_delta_maintained;
+        for (RelId rel : added.Relations()) {
+          TupleSet& ts = changed[rel];
+          for (const Tuple& t : added.Tuples(rel)) ts.insert(t);
+        }
+      } else {
+        if (stats_) ++stats_->strata_recomputed;
+        out.recomputed_strata.push_back(s);
+        // Diff the fresh result against the stored facts. Additions and
+        // retractions both join the changed set; retractions also mark
+        // the relation shrunk so dependent strata recompute. A stored
+        // fact the append promoted to EDB is neither: the relation's
+        // contents are unchanged, the fact merely moved layers.
+        for (RelId rel : heads) {
+          const TupleSet& fresh = added.Tuples(rel);
+          const TupleSet& stored = view.Tuples(rel);
+          for (const Tuple& t : stored) {
+            if (fresh.count(t) != 0 || InSegments(rel, t)) continue;
+            changed[rel].insert(t);
+            shrunk.insert(rel);
+          }
+          for (const Tuple& t : fresh) {
+            if (stored.count(t) == 0) changed[rel].insert(t);
+          }
+        }
+      }
+    }
+    out.idb = store_.TakeOverlay();
+    return out;
+  }
+
  private:
   using CompiledStratum = PreparedProgram::CompiledStratum;
 
@@ -143,6 +249,79 @@ class Executor {
       delta = std::move(new_delta);
     }
     return Status::OK();
+  }
+
+  // One maintenance pass for a stratum whose stored facts were adopted:
+  // each rule re-runs once per scan step over a changed relation, with
+  // that step restricted to the changed set (the appended EDB facts plus
+  // everything earlier strata added — the other steps see the full
+  // store, which already includes both the new segments and the adopted
+  // view). The standard recursive delta rounds then close the fixpoint
+  // over whatever the pass derived. Exactly the semi-naive argument:
+  // every new derivation must use at least one changed fact somewhere,
+  // and each such use is enumerated by the application restricting that
+  // occurrence.
+  Status EvalStratumDelta(const CompiledStratum& stratum,
+                          const std::map<RelId, TupleSet>& changed) {
+    std::map<RelId, TupleSet> delta;
+    pending_.clear();
+    SEQDL_RETURN_IF_ERROR(BumpRound());
+    DeltaIndexer changed_idx(u_, changed, opts_.delta_index_threshold);
+    for (size_t r = 0; r < stratum.plans.size(); ++r) {
+      const RulePlan& plan = stratum.plans[r];
+      for (size_t i = 0; i < plan.steps.size(); ++i) {
+        const PlanStep& st = plan.steps[i];
+        if (st.kind != PlanStep::Kind::kScan) continue;
+        if (changed.count(plan.rule->body[st.lit_idx].pred.rel) == 0) continue;
+        SEQDL_RETURN_IF_ERROR(ApplyRestricted(stratum, r, st.lit_idx, i,
+                                              &changed, &changed_idx));
+      }
+    }
+    SEQDL_RETURN_IF_ERROR(MergePending(&delta));
+
+    while (!delta.empty()) {
+      SEQDL_RETURN_IF_ERROR(BumpRound());
+      pending_.clear();
+      DeltaIndexer delta_idx(u_, delta, opts_.delta_index_threshold);
+      for (size_t r = 0; r < stratum.plans.size(); ++r) {
+        const RulePlan& plan = stratum.plans[r];
+        for (size_t step_idx : plan.recursive_scan_steps) {
+          SEQDL_RETURN_IF_ERROR(
+              ApplyRestricted(stratum, r, plan.steps[step_idx].lit_idx,
+                              step_idx, &delta, &delta_idx));
+        }
+      }
+      std::map<RelId, TupleSet> new_delta;
+      SEQDL_RETURN_IF_ERROR(MergePending(&new_delta));
+      delta = std::move(new_delta);
+    }
+    return Status::OK();
+  }
+
+  // Applies rule `r` with the scan of body literal `lit_idx` restricted
+  // to `*delta`, through the delta-first plan variant when the compiler
+  // built one (so the restricted scan is the outermost loop and the
+  // application costs O(|delta|) probes, not an outer full scan).
+  // `fallback_step` is the restricted literal's step in the base plan,
+  // used when no variant exists.
+  Status ApplyRestricted(const CompiledStratum& stratum, size_t r,
+                         size_t lit_idx, size_t fallback_step,
+                         const std::map<RelId, TupleSet>* delta,
+                         DeltaIndexer* delta_idx) {
+    if (r < stratum.delta_plans.size()) {
+      auto it = stratum.delta_plans[r].find(lit_idx);
+      if (it != stratum.delta_plans[r].end()) {
+        return ApplyRule(it->second, 0, delta, delta_idx);
+      }
+    }
+    return ApplyRule(stratum.plans[r], fallback_step, delta, delta_idx);
+  }
+
+  bool InSegments(RelId rel, const Tuple& t) const {
+    for (const BaseStore* seg : store_.segments()) {
+      if (seg->Contains(rel, t)) return true;
+    }
+    return false;
   }
 
   Status EvalStratumNaive(const CompiledStratum& stratum) {
@@ -446,6 +625,9 @@ class Executor {
       t.push_back(p);
     }
     RelId rel = plan.rule->head.rel;
+    // Count the derivation event before deduplication: support counts
+    // every firing that produces the tuple, not just the first.
+    if (opts_.support != nullptr) ++(*opts_.support)[rel][t];
     if (store_.Contains(rel, t)) return true;
     if (pending_[rel].insert(std::move(t)).second) {
       ++derived_;
@@ -470,7 +652,10 @@ class Executor {
     fresh->clear();
     for (auto& [rel, tuples] : pending_) {
       for (const Tuple& t : tuples) {
-        if (store_.Add(rel, t)) (*fresh)[rel].insert(t);
+        if (store_.Add(rel, t)) {
+          (*fresh)[rel].insert(t);
+          if (stratum_added_ != nullptr) stratum_added_->Add(rel, t);
+        }
       }
     }
     pending_.clear();
@@ -482,6 +667,9 @@ class Executor {
   const RunOptions& opts_;
   EvalStats* stats_;
   LayeredStore store_;
+  /// When non-null (RunDelta), MergePending also records every accepted
+  /// fact here — the per-stratum additions the maintenance cascade diffs.
+  Instance* stratum_added_ = nullptr;
   std::map<RelId, TupleSet> pending_;
   Status status_;
   size_t rounds_ = 0;
@@ -530,6 +718,19 @@ Result<PreparedProgram> Engine::CompileShared(
         }
       }
       compiled.plans.push_back(std::move(plan));
+      // Delta-first variants for incremental maintenance: one plan per
+      // positive literal with that scan forced outermost, so a delta
+      // restricted to it never hides behind a full outer scan.
+      std::map<size_t, RulePlan> variants;
+      for (size_t i = 0; i < r.body.size(); ++i) {
+        const Literal& l = r.body[i];
+        if (!l.is_predicate() || l.negated) continue;
+        PlannerOptions vpopts = popts;
+        vpopts.first_lit = static_cast<int>(i);
+        SEQDL_ASSIGN_OR_RETURN(RulePlan variant, PlanRule(u, r, vpopts));
+        variants.emplace(i, std::move(variant));
+      }
+      compiled.delta_plans.push_back(std::move(variants));
     }
     prep.strata_.push_back(std::move(compiled));
   }
@@ -581,6 +782,25 @@ Result<Instance> PreparedProgram::RunOnSegments(
   Result<Instance> out = exec.Run(segments);
   if (stats && opts.collect_derived_stats && out.ok()) {
     stats->derived_stats = ComputeInstanceStats(*universe_, *out);
+  }
+  if (stats) stats->run_seconds = SecondsSince(start);
+  return out;
+}
+
+Result<PreparedProgram::DeltaRun> PreparedProgram::RunDelta(
+    std::span<const BaseStore* const> segments,
+    std::span<const BaseStore* const> delta_segments, const Instance& view,
+    const RunOptions& opts, EvalStats* stats) const {
+  auto start = std::chrono::steady_clock::now();
+  if (stats) {
+    *stats = EvalStats{};
+    stats->compile_seconds = compile_seconds_;
+    stats->plan_decisions = plan_decisions_;
+  }
+  internal::Executor exec(*universe_, *this, opts, stats);
+  Result<DeltaRun> out = exec.RunDelta(segments, delta_segments, view);
+  if (stats && opts.collect_derived_stats && out.ok()) {
+    stats->derived_stats = ComputeInstanceStats(*universe_, out->idb);
   }
   if (stats) stats->run_seconds = SecondsSince(start);
   return out;

@@ -29,8 +29,10 @@
 
 #include <cstddef>
 #include <functional>
+#include <map>
 #include <memory>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "src/base/status.h"
@@ -44,10 +46,25 @@ namespace seqdl {
 
 class BaseStore;
 class Session;
+class ViewManager;
 
 namespace internal {
 class Executor;
 }  // namespace internal
+
+/// Derivation-event counts per derived tuple, keyed by relation: how many
+/// times each tuple was produced by a rule firing (across all rules and
+/// rounds). Collected when RunOptions::support is set; the materialized-
+/// view subsystem (view/view.h) stores them per view snapshot as the
+/// groundwork for counting-based delete/re-derive (DRed) once tombstone
+/// segments land — a tuple whose count drops to zero on a retraction has
+/// no remaining derivation and can be deleted without re-running the
+/// stratum. Under semi-naive evaluation the counts are a lower bound on
+/// the number of derivations (semi-naive skips re-derivations of
+/// already-known facts by construction), which is the sound direction for
+/// DRed: an undercount can only cause an unnecessary re-derivation check,
+/// never a wrong deletion.
+using SupportCounts = std::map<RelId, std::unordered_map<Tuple, uint32_t, TupleHash>>;
 
 /// Options fixed at compilation time.
 struct CompileOptions {
@@ -92,6 +109,13 @@ struct RunOptions {
   /// later Database::Stats()-driven compiles see what runs actually
   /// derived. Off by default to keep the hot path free of the pass.
   bool collect_derived_stats = false;
+  /// When non-null, every rule firing increments (*support)[rel][tuple]
+  /// for the head tuple it produced — the counting-based support the
+  /// materialized-view subsystem records per derived tuple (see
+  /// SupportCounts above). The map is the caller's; the run only ever
+  /// increments, so a caller can seed it with carried-over counts. Null
+  /// (the default) keeps the derivation hot path free of the upkeep.
+  SupportCounts* support = nullptr;
 };
 
 /// Per-stratum execution counters.
@@ -125,6 +149,14 @@ struct EvalStats {
   /// at least RunOptions::delta_index_threshold tuples and the step had a
   /// ground key). Subset of delta_scans.
   size_t delta_index_probes = 0;
+  /// Facts of the appended delta segments that seeded a RunDelta's first
+  /// delta pass (0 on full runs).
+  size_t delta_seed_facts = 0;
+  /// Strata a RunDelta maintained incrementally (delta passes over the
+  /// stored view) vs recomputed wholesale (negation over a changed input,
+  /// or an input relation that shrank). Both 0 on full runs.
+  size_t strata_delta_maintained = 0;
+  size_t strata_recomputed = 0;
   /// Wall time Engine::Compile spent validating + planning the program.
   double compile_seconds = 0;
   /// Wall time of this run.
@@ -169,6 +201,46 @@ class PreparedProgram {
                             const RunOptions& opts = {},
                             EvalStats* stats = nullptr) const;
 
+  /// Result of RunDelta: the complete derived IDB at the post-append
+  /// epoch, plus which strata could not be maintained incrementally.
+  struct DeltaRun {
+    Instance idb;
+    /// Indices (program order) of strata RunDelta recomputed wholesale —
+    /// a negated body relation changed, or a positive body relation lost
+    /// facts (an upstream recompute retracted tuples). Everything else
+    /// was maintained by delta passes over the stored view.
+    std::vector<size_t> recomputed_strata;
+  };
+
+  /// Incremental maintenance: given the stored derived IDB `view` of an
+  /// earlier epoch and the segment stack that grew since, computes the
+  /// derived IDB of the current epoch by semi-naive delta evaluation of
+  /// the appended facts instead of a full fixpoint. `segments` is the
+  /// complete current stack; `delta_segments` are the members of it
+  /// published after `view` was materialized (every pointer must also be
+  /// in `segments`); `view` must be exactly the IDB a full run over
+  /// `segments` minus `delta_segments` derives. The result's `idb` is
+  /// byte-identical to RunOnSegments over the full stack (the
+  /// differential harness enforces this at every epoch, across
+  /// compaction).
+  ///
+  /// Per stratum, in order: when no negated body relation changed and no
+  /// positive body relation shrank, the stratum is *maintained* — its
+  /// stored view facts are adopted wholesale and one delta pass applies
+  /// each rule with one scan step restricted to the changed facts
+  /// (appended EDB plus everything earlier strata added), reusing the
+  /// recursive delta machinery for the fixpoint rounds that follow.
+  /// Otherwise the stratum is *recomputed* from scratch against the
+  /// already-updated lower strata, and the diff against its stored facts
+  /// (additions and retractions) joins the changed set cascading into
+  /// later strata. Appended EDB facts that duplicate stored view facts
+  /// are dropped from the new view (derived overlays never shadow base
+  /// segments), matching what a cold run would produce.
+  Result<DeltaRun> RunDelta(std::span<const BaseStore* const> segments,
+                            std::span<const BaseStore* const> delta_segments,
+                            const Instance& view, const RunOptions& opts = {},
+                            EvalStats* stats = nullptr) const;
+
   const Program& program() const { return *program_; }
   Universe& universe() const { return *universe_; }
   /// Wall time spent in Engine::Compile for this program.
@@ -184,10 +256,18 @@ class PreparedProgram {
  private:
   friend class Engine;
   friend class Session;
+  friend class ViewManager;
   friend class internal::Executor;
 
   struct CompiledStratum {
     std::vector<RulePlan> plans;
+    /// Delta-first variants, parallel to `plans`: per rule, one plan per
+    /// positive body literal with that literal's scan scheduled as step 0
+    /// (PlannerOptions::first_lit), keyed by literal index. RunDelta's
+    /// maintenance passes execute the variant whose forced scan is the
+    /// changed one, so restricting it to the changed set makes the whole
+    /// rule application O(|changed|) probes instead of an outer full scan.
+    std::vector<std::map<size_t, RulePlan>> delta_plans;
   };
 
   /// Evaluates over a stack of base segments (shared, never mutated,

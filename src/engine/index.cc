@@ -78,6 +78,22 @@ bool IndexedInstance::Add(RelId rel, Tuple t) {
   return true;
 }
 
+size_t IndexedInstance::BulkAdd(RelId rel, const TupleSet& tuples) {
+  auto has_index = [&](const auto& m) {
+    auto it = m.lower_bound({rel, 0});
+    return it != m.end() && it->first.first == rel;
+  };
+  if (has_index(indexes_) || has_index(first_indexes_) ||
+      has_index(last_indexes_)) {
+    size_t added = 0;
+    for (const Tuple& t : tuples) {
+      if (Add(rel, t)) ++added;
+    }
+    return added;
+  }
+  return base_.AddAll(rel, tuples);
+}
+
 const std::vector<const Tuple*>& IndexedInstance::Probe(RelId rel,
                                                         uint32_t col,
                                                         PathId key) {

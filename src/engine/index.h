@@ -76,6 +76,14 @@ class IndexedInstance {
   /// if the fact was new.
   bool Add(RelId rel, Tuple t);
 
+  /// Bulk counterpart of Add: inserts all of `tuples` with capacity
+  /// reserved up front. While no index of `rel` has been built yet this
+  /// skips the per-fact index-maintenance searches entirely (indexes
+  /// built later see the facts anyway — they build from the instance);
+  /// once any exists it degrades to per-fact Add. Returns the number of
+  /// new facts.
+  size_t BulkAdd(RelId rel, const TupleSet& tuples);
+
   bool Contains(RelId rel, const Tuple& t) const {
     return base_.Contains(rel, t);
   }
@@ -210,6 +218,38 @@ class LayeredStore {
       if (seg->Contains(rel, t)) return false;
     }
     return overlay_.Add(rel, std::move(t));
+  }
+
+  /// Bulk-adopts `tuples` into the overlay for a relation known disjoint
+  /// from every segment except possibly those in `check` — the delta
+  /// path's shape: a stored view's derived facts never overlap the
+  /// segments the view was computed over, only segments appended since
+  /// can have promoted some of them to EDB. Skips Add's full-stack
+  /// membership probe per fact; when no `check` segment holds the
+  /// relation at all, the whole set installs in one reserved pass.
+  /// Returns the number of facts adopted.
+  size_t Adopt(RelId rel, const TupleSet& tuples,
+               std::span<const BaseStore* const> check) {
+    bool may_overlap = false;
+    for (const BaseStore* seg : check) {
+      if (!seg->Tuples(rel).empty()) {
+        may_overlap = true;
+        break;
+      }
+    }
+    if (!may_overlap) return overlay_.BulkAdd(rel, tuples);
+    size_t added = 0;
+    for (const Tuple& t : tuples) {
+      bool held = false;
+      for (const BaseStore* seg : check) {
+        if (seg->Contains(rel, t)) {
+          held = true;
+          break;
+        }
+      }
+      if (!held && overlay_.Add(rel, t)) ++added;
+    }
+    return added;
   }
 
   bool Contains(RelId rel, const Tuple& t) const {

@@ -22,6 +22,16 @@ std::pair<const Tuple*, bool> Instance::Insert(RelId rel, Tuple t) {
   return {&*it, is_new};
 }
 
+size_t Instance::AddAll(RelId rel, const TupleSet& set) {
+  TupleSet& dst = relations_[rel];
+  dst.reserve(dst.size() + set.size());
+  size_t added = 0;
+  for (const Tuple& t : set) {
+    if (dst.insert(t).second) ++added;
+  }
+  return added;
+}
+
 bool Instance::Contains(RelId rel, const Tuple& t) const {
   auto it = relations_.find(rel);
   return it != relations_.end() && it->second.count(t) > 0;

@@ -43,6 +43,10 @@ class Instance {
   /// Adds a fact; returns the stored tuple (stable address — TupleSet
   /// never invalidates references on insert) and whether it was new.
   std::pair<const Tuple*, bool> Insert(RelId rel, Tuple t);
+  /// Bulk counterpart of Add: inserts every tuple of `set` with capacity
+  /// reserved up front (one hash per tuple, no per-call map lookup).
+  /// Returns the number of new facts.
+  size_t AddAll(RelId rel, const TupleSet& set);
   bool Contains(RelId rel, const Tuple& t) const;
 
   /// The tuples of `rel` (the shared EmptyTupleSet() if absent).

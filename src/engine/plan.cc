@@ -204,13 +204,29 @@ Result<RulePlan> PlanRule(const Universe& u, const Rule& r,
     const Literal& l = r.body[i];
     if (l.is_predicate() && !l.negated) scans.push_back(i);
   }
+  bool forced_pending = opts.first_lit >= 0;
   while (!scans.empty()) {
     size_t pick = 0;
     // Stats-mode ordering evaluates each candidate's access choice
     // anyway; the winner's is kept and reused for its plan step.
     AccessChoice picked;
     bool have_picked = false;
-    if (opts.reorder_scans && scans.size() > 1) {
+    if (forced_pending) {
+      forced_pending = false;
+      bool found = false;
+      for (size_t k = 0; k < scans.size(); ++k) {
+        if (scans[k] == static_cast<size_t>(opts.first_lit)) {
+          pick = k;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return Status::InvalidArgument(
+            "first_lit does not name a positive predicate literal: " +
+            FormatRule(u, r));
+      }
+    } else if (opts.reorder_scans && scans.size() > 1) {
       auto shared_vars = [&](size_t lit) {
         std::vector<VarId> vars;
         CollectVars(r.body[lit], &vars);

@@ -97,6 +97,12 @@ struct PlannerOptions {
   /// fully ground argument wins, longest prefix/suffix run, most shared
   /// bound variables). Only read during the PlanRule call.
   const StoreStats* stats = nullptr;
+  /// When >= 0, the scan of this body literal is scheduled first (the
+  /// remaining scans are ordered as usual). Delta evaluation compiles one
+  /// such variant per positive literal: restricting a scan to a small
+  /// changed set only pays off when that scan is the outermost loop —
+  /// anywhere deeper, the steps before it still enumerate the full store.
+  int first_lit = -1;
 };
 
 /// Plans a single rule. Fails with kInvalidArgument if the rule is unsafe

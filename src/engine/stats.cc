@@ -188,4 +188,21 @@ void StatsAccumulator::Age(double factor) {
   total_.Scale(factor);
 }
 
+void StatsAccumulator::NoteEpoch() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++pending_epochs_;
+}
+
+void StatsAccumulator::AgeOnRecompute(double factor) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (; pending_epochs_ > 0; --pending_epochs_) {
+    total_.Scale(factor);
+  }
+}
+
+size_t StatsAccumulator::PendingEpochs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_epochs_;
+}
+
 }  // namespace seqdl

@@ -136,24 +136,44 @@ StoreStats ComputeInstanceStats(const Universe& u, const Instance& inst);
 /// RunOptions::collect_derived_stats is set), and Database::Stats() merges
 /// a snapshot into the base-EDB measurements. Recording keeps the largest
 /// observed measurement per relation (ObserveMax), so repeating a query
-/// forever cannot inflate its estimates — and Age() decays that maximum
-/// on every epoch bump, so the accumulator also *forgets*: after the
-/// workload drifts (or compaction shrinks the base), a few epochs of
-/// smaller observations win over a stale all-time peak and estimates can
-/// come back down.
+/// forever cannot inflate its estimates — and aging decays that maximum
+/// as epochs bump, so the accumulator also *forgets*: after the workload
+/// drifts (or compaction shrinks the base), a few epochs of smaller
+/// observations win over a stale all-time peak and estimates can come
+/// back down.
+///
+/// Aging is *deferred*: Append notes the epoch bump (NoteEpoch), but the
+/// decay only applies once a run actually recomputes the derived facts
+/// (AgeOnRecompute — called from Session::Run and ViewManager cold
+/// materializations). A maintained view answering queries across many
+/// appends therefore never decays the measurements on its own — there is
+/// no fresh evidence of drift until something re-derives — so cached
+/// plans stop recompiling on StatsDrift that never happened.
 class StatsAccumulator {
  public:
-  /// The decay Database applies per epoch bump.
+  /// The decay applied per noted epoch bump.
   static constexpr double kEpochDecay = 0.5;
 
   void Record(const StoreStats& s);
   StoreStats Snapshot() const;
-  /// Multiplies every recorded counter by `factor` in (0, 1].
+  /// Multiplies every recorded counter by `factor` in (0, 1] immediately.
   void Age(double factor);
+
+  /// Notes one committed epoch bump; the matching decay is deferred until
+  /// the next AgeOnRecompute.
+  void NoteEpoch();
+  /// Applies `factor` once per epoch noted since the last recompute
+  /// (no-op when none are pending). Called by runs that re-derive from
+  /// the current EDB — the moment decayed estimates can actually be
+  /// replaced by fresh observations.
+  void AgeOnRecompute(double factor);
+  /// Epoch bumps noted but not yet aged (tests/diagnostics).
+  size_t PendingEpochs() const;
 
  private:
   mutable std::mutex mu_;
   StoreStats total_;
+  size_t pending_epochs_ = 0;
 };
 
 /// Relative drift between two measurements: the largest per-relation

@@ -279,6 +279,15 @@ std::string EncodeCompactReply(const CompactReply& reply) {
 std::string EncodeStatsReply(const StatsReply& reply) {
   std::string payload = ReplyHead(MsgType::kStats, Status::OK());
   PutString(&payload, reply.rendered);
+  PutU64(&payload, reply.cache_hits);
+  PutU64(&payload, reply.cache_misses);
+  PutU64(&payload, reply.cache_evictions);
+  PutU64(&payload, reply.cache_entries);
+  PutU64(&payload, reply.cache_bytes);
+  PutU64(&payload, reply.view_hits);
+  PutU64(&payload, reply.view_cold_runs);
+  PutU64(&payload, reply.view_delta_refreshes);
+  PutU64(&payload, reply.view_strata_recomputed);
   return Frame(std::move(payload));
 }
 
@@ -372,6 +381,15 @@ Result<Reply> DecodeReply(std::string_view payload) {
       break;
     case MsgType::kStats:
       SEQDL_RETURN_IF_ERROR(r.ReadString(&reply.stats.rendered));
+      SEQDL_RETURN_IF_ERROR(r.ReadU64(&reply.stats.cache_hits));
+      SEQDL_RETURN_IF_ERROR(r.ReadU64(&reply.stats.cache_misses));
+      SEQDL_RETURN_IF_ERROR(r.ReadU64(&reply.stats.cache_evictions));
+      SEQDL_RETURN_IF_ERROR(r.ReadU64(&reply.stats.cache_entries));
+      SEQDL_RETURN_IF_ERROR(r.ReadU64(&reply.stats.cache_bytes));
+      SEQDL_RETURN_IF_ERROR(r.ReadU64(&reply.stats.view_hits));
+      SEQDL_RETURN_IF_ERROR(r.ReadU64(&reply.stats.view_cold_runs));
+      SEQDL_RETURN_IF_ERROR(r.ReadU64(&reply.stats.view_delta_refreshes));
+      SEQDL_RETURN_IF_ERROR(r.ReadU64(&reply.stats.view_strata_recomputed));
       break;
     case MsgType::kShutdown:
       break;

@@ -166,6 +166,17 @@ struct CompactReply {
 struct StatsReply {
   /// StoreStats::ToString of the server database's measured statistics.
   std::string rendered;
+  /// Result/view cache traffic and occupancy (service.h CacheCounters).
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+  uint64_t cache_entries = 0;
+  uint64_t cache_bytes = 0;
+  /// Maintained-view counters (view.h ViewManager::Counters).
+  uint64_t view_hits = 0;
+  uint64_t view_cold_runs = 0;
+  uint64_t view_delta_refreshes = 0;
+  uint64_t view_strata_recomputed = 0;
 };
 
 /// One decoded request frame: the type tag plus the matching body (only

@@ -1,7 +1,9 @@
 #include "src/server/service.h"
 
 #include <cstdio>
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "src/engine/instance.h"
 #include "src/syntax/parser.h"
@@ -46,26 +48,28 @@ Result<protocol::CompileReply> DatabaseService::Compile(
 
 Result<protocol::RunReply> DatabaseService::Run(
     const protocol::RunRequest& req, const std::function<bool()>& cancel) {
-  // Result cache first: a hit answers without compiling, snapshotting,
-  // or running. Valid iff the entry's epoch is still current — Append
-  // bumps the epoch (miss, lazily overwritten), Compact does not (same
-  // facts, hits stay correct).
-  std::string result_key;
+  // Cache first: a hit answers without compiling, refreshing, or
+  // rendering. Valid iff the entry is at the current epoch — Append
+  // refreshes entries (eagerly or at the next miss), Compact keeps the
+  // epoch (same facts, hits stay correct).
   if (opts_.result_cache_entries > 0) {
-    result_key = req.program;
-    result_key.push_back('\0');
-    result_key += req.output_rel;
     std::lock_guard<std::mutex> lock(results_mu_);
-    auto it = results_.find(result_key);
+    auto it = results_.find(req.program);
     if (it != results_.end() && it->second.epoch == db_.epoch()) {
-      protocol::RunReply reply;
-      reply.epoch = it->second.epoch;
-      reply.segments = it->second.segments;
-      reply.rendered = it->second.rendered;
-      reply.stats = it->second.stats;
-      reply.result_cached = true;
-      return reply;
+      auto r = it->second.rendered.find(req.output_rel);
+      if (r != it->second.rendered.end()) {
+        ++counters_.hits;
+        TouchLocked(it);
+        protocol::RunReply reply;
+        reply.epoch = it->second.epoch;
+        reply.segments = it->second.segments;
+        reply.rendered = r->second;
+        reply.stats = it->second.stats;
+        reply.result_cached = true;
+        return reply;
+      }
     }
+    ++counters_.misses;
   }
 
   bool cache_hit = false;
@@ -83,41 +87,135 @@ Result<protocol::RunReply> DatabaseService::Run(
     }
   }
 
-  // Pin the current epoch for exactly this run: appends committed while
-  // the run executes do not affect it.
-  Session session = db_.Snapshot();
-  EvalStats stats;
-  SEQDL_ASSIGN_OR_RETURN(Instance derived, session.Run(*prog, ropts, &stats));
+  if (opts_.result_cache_entries == 0) {
+    return RunUncached(req, *prog, ropts);
+  }
 
   protocol::RunReply reply;
-  reply.epoch = session.epoch();
-  reply.segments = session.NumSegments();
-  if (!req.output_rel.empty()) {
-    SEQDL_ASSIGN_OR_RETURN(RelId rel, u_->FindRel(req.output_rel));
-    reply.rendered = derived.Project({rel}).ToString(*u_);
+  std::shared_ptr<const ViewSnapshot> view;
+  if (opts_.maintain_views) {
+    // The maintained-view path: Refresh returns the stored snapshot when
+    // it is already current (an Append's eager refresh usually got here
+    // first), cold-materializes on the first request, and otherwise
+    // advances the view by delta evaluation of the appended segments.
+    EvalStats stats;
+    SEQDL_ASSIGN_OR_RETURN(
+        view, db_.views().Refresh(req.program, *prog, ropts, &stats));
+    reply.epoch = view->epoch();
+    reply.segments = view->segments();
+    SEQDL_ASSIGN_OR_RETURN(reply.rendered, Render(view->idb(), req.output_rel));
+    reply.stats = ToWire(stats);
   } else {
-    reply.rendered = derived.ToString(*u_);
+    // Views off: epoch-pinned session run, rendered output cached only.
+    Session session = db_.Snapshot();
+    EvalStats stats;
+    SEQDL_ASSIGN_OR_RETURN(Instance derived,
+                           session.Run(*prog, ropts, &stats));
+    reply.epoch = session.epoch();
+    reply.segments = session.NumSegments();
+    SEQDL_ASSIGN_OR_RETURN(reply.rendered, Render(derived, req.output_rel));
+    reply.stats = ToWire(stats);
   }
-  reply.stats = ToWire(stats);
 
-  if (opts_.result_cache_entries > 0) {
-    CachedResult entry;
-    entry.epoch = reply.epoch;
-    entry.segments = reply.segments;
-    entry.rendered = reply.rendered;
-    entry.stats = reply.stats;
-    std::lock_guard<std::mutex> lock(results_mu_);
-    // Crude but bounded eviction: drop everything when full. Stale-epoch
-    // entries die here too, so the map never grows past the cap.
-    if (results_.size() >= opts_.result_cache_entries) results_.clear();
-    results_[result_key] = std::move(entry);
+  std::lock_guard<std::mutex> lock(results_mu_);
+  UpsertLocked(req.program, view, reply, req.output_rel);
+  // A Refresh hit carries no run counters (nothing ran); answer with the
+  // stats of the run that actually produced this epoch's view.
+  auto it = results_.find(req.program);
+  if (it != results_.end() && it->second.epoch == reply.epoch) {
+    reply.stats = it->second.stats;
   }
   return reply;
 }
 
+Result<protocol::RunReply> DatabaseService::RunUncached(
+    const protocol::RunRequest& req, const PreparedProgram& prog,
+    const RunOptions& ropts) {
+  // Pin the current epoch for exactly this run: appends committed while
+  // the run executes do not affect it.
+  Session session = db_.Snapshot();
+  EvalStats stats;
+  SEQDL_ASSIGN_OR_RETURN(Instance derived, session.Run(prog, ropts, &stats));
+  protocol::RunReply reply;
+  reply.epoch = session.epoch();
+  reply.segments = session.NumSegments();
+  SEQDL_ASSIGN_OR_RETURN(reply.rendered, Render(derived, req.output_rel));
+  reply.stats = ToWire(stats);
+  return reply;
+}
+
+Result<std::string> DatabaseService::Render(
+    const Instance& derived, const std::string& output_rel) const {
+  if (output_rel.empty()) return derived.ToString(*u_);
+  SEQDL_ASSIGN_OR_RETURN(RelId rel, u_->FindRel(output_rel));
+  return derived.Project({rel}).ToString(*u_);
+}
+
+void DatabaseService::TouchLocked(
+    std::unordered_map<std::string, CachedView>::iterator it) {
+  lru_.splice(lru_.begin(), lru_, it->second.lru);
+}
+
+void DatabaseService::UpsertLocked(
+    const std::string& key, const std::shared_ptr<const ViewSnapshot>& view,
+    const protocol::RunReply& reply, const std::string& output_rel) {
+  auto [it, inserted] = results_.try_emplace(key);
+  CachedView& e = it->second;
+  if (inserted) {
+    lru_.push_front(key);
+    e.lru = lru_.begin();
+  } else {
+    TouchLocked(it);
+  }
+  if (inserted || e.epoch != reply.epoch || e.view != view) {
+    // New epoch (or first sight): renderings of the old epoch are stale.
+    cache_bytes_used_ -= e.bytes;
+    e.rendered.clear();
+    e.view = view;
+    e.epoch = reply.epoch;
+    e.segments = reply.segments;
+    e.stats = reply.stats;
+    e.bytes = view != nullptr ? view->ApproxBytes() : 0;
+    cache_bytes_used_ += e.bytes;
+  }
+  auto [rit, fresh_render] = e.rendered.emplace(output_rel, reply.rendered);
+  if (fresh_render) {
+    e.bytes += rit->second.size() + output_rel.size();
+    cache_bytes_used_ += rit->second.size() + output_rel.size();
+  }
+  EvictLocked(key);
+}
+
+void DatabaseService::EvictLocked(const std::string& keep) {
+  while (!lru_.empty() &&
+         (results_.size() > opts_.result_cache_entries ||
+          (opts_.cache_bytes > 0 && cache_bytes_used_ > opts_.cache_bytes))) {
+    const std::string& victim = lru_.back();
+    if (victim == keep) break;  // the hottest entry always survives
+    auto it = results_.find(victim);
+    cache_bytes_used_ -= it->second.bytes;
+    // Drop the manager's snapshot too, or the evicted bytes would live
+    // on there (the next request for this program runs cold).
+    db_.views().Invalidate(victim);
+    results_.erase(it);
+    lru_.pop_back();
+    ++counters_.evictions;
+  }
+}
+
 size_t DatabaseService::NumCachedResults() const {
   std::lock_guard<std::mutex> lock(results_mu_);
-  return results_.size();
+  size_t n = 0;
+  for (const auto& [key, e] : results_) n += e.rendered.size();
+  return n;
+}
+
+CacheCounters DatabaseService::CacheStats() const {
+  std::lock_guard<std::mutex> lock(results_mu_);
+  CacheCounters c = counters_;
+  c.entries = results_.size();
+  c.bytes = cache_bytes_used_;
+  return c;
 }
 
 Result<protocol::AppendReply> DatabaseService::Append(
@@ -132,6 +230,45 @@ Result<protocol::AppendReply> DatabaseService::Append(
   size_t appended = 0;
   SEQDL_ASSIGN_OR_RETURN(uint64_t epoch,
                          db_.Append(std::move(*delta), &appended));
+
+  // Eagerly delta-refresh every cached view to the new epoch, so the next
+  // query per program pays only rendering. A refresh failure (e.g. budget
+  // exhausted mid-delta) leaves that entry stale, which the next Run
+  // recovers from — never an error for the append itself.
+  if (appended > 0 && opts_.result_cache_entries > 0 && opts_.maintain_views &&
+      opts_.refresh_on_append) {
+    std::vector<std::string> keys;
+    {
+      std::lock_guard<std::mutex> lock(results_mu_);
+      keys.reserve(results_.size());
+      for (const auto& [key, e] : results_) keys.push_back(key);
+    }
+    for (const std::string& key : keys) {
+      bool cache_hit = false;
+      Result<std::shared_ptr<PreparedProgram>> prog =
+          Prepare(key, /*source_name=*/"", &cache_hit);
+      if (!prog.ok()) continue;
+      EvalStats stats;
+      Result<std::shared_ptr<const ViewSnapshot>> view =
+          db_.views().Refresh(key, **prog, opts_.run_options, &stats);
+      if (!view.ok()) continue;
+      std::lock_guard<std::mutex> lock(results_mu_);
+      auto it = results_.find(key);
+      if (it == results_.end()) continue;  // evicted while we refreshed
+      CachedView& e = it->second;
+      if (e.epoch >= (*view)->epoch()) continue;  // a run got there first
+      cache_bytes_used_ -= e.bytes;
+      e.rendered.clear();  // renderings of the old epoch are stale
+      e.view = *view;
+      e.epoch = (*view)->epoch();
+      e.segments = (*view)->segments();
+      e.stats = ToWire(stats);
+      e.bytes = (*view)->ApproxBytes();
+      cache_bytes_used_ += e.bytes;
+      EvictLocked(key);
+    }
+  }
+
   protocol::AppendReply reply;
   reply.appended = appended;  // exact: counted under the writer lock
   reply.db = Info();
@@ -157,6 +294,17 @@ protocol::CompactReply DatabaseService::Compact() {
 protocol::StatsReply DatabaseService::Stats() const {
   protocol::StatsReply reply;
   reply.rendered = db_.Stats().ToString(*u_);
+  CacheCounters cache = CacheStats();
+  reply.cache_hits = cache.hits;
+  reply.cache_misses = cache.misses;
+  reply.cache_evictions = cache.evictions;
+  reply.cache_entries = cache.entries;
+  reply.cache_bytes = cache.bytes;
+  ViewManager::Counters views = db_.views().counters();
+  reply.view_hits = views.hits;
+  reply.view_cold_runs = views.cold_runs;
+  reply.view_delta_refreshes = views.delta_refreshes;
+  reply.view_strata_recomputed = views.strata_recomputed;
   return reply;
 }
 

@@ -11,16 +11,30 @@
 // tuple-count change, StatsDrift), exactly the PR 4 serve-loop policy —
 // generalized here out of the CLI so every front end gets it.
 //
+// Result serving is a *maintained-view* cache (view/view.h): per program
+// text the service keeps the materialized derived IDB (a ViewSnapshot
+// held current by the database's ViewManager) plus the renderings already
+// produced from it, one per requested output relation. An Append no
+// longer invalidates this state — it *refreshes* it, semi-naive
+// delta-evaluating just the appended facts against each stored view
+// (PreparedProgram::RunDelta) so re-serving after ingest costs O(delta)
+// instead of a full fixpoint. Entries are byte-accounted (rendered output
+// + materialized IDB, ServiceOptions::cache_bytes) and evicted least-
+// recently-used past the budget; hit/miss/evict counters travel in
+// Stats() replies.
+//
 // Thread-safety: all methods may be called concurrently from any number
-// of threads. Run pins an epoch snapshot per call (Database::Snapshot);
-// Append/Compact serialize on the database's writer mutex; the program
-// cache takes its own mutex for lookups/inserts only (parse + compile run
-// outside it, so a slow compile never stalls cached runs).
+// of threads. Run pins an epoch snapshot per call (Database::Snapshot or
+// an immutable ViewSnapshot); Append/Compact serialize on the database's
+// writer mutex; the program and result caches take their own mutexes for
+// lookups/inserts only (parse, compile, and evaluation run outside them,
+// so a slow compile or refresh never stalls cached runs).
 #ifndef SEQDL_SERVER_SERVICE_H_
 #define SEQDL_SERVER_SERVICE_H_
 
 #include <cstdint>
 #include <functional>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -33,6 +47,7 @@
 #include "src/engine/stats.h"
 #include "src/server/protocol.h"
 #include "src/term/universe.h"
+#include "src/view/view.h"
 
 namespace seqdl {
 
@@ -48,16 +63,41 @@ struct ServiceOptions {
   /// Diagnostic sink for recompilation notices ("recompiled <name>
   /// (stats drift 0.31 >= 0.25 since epoch 3)"); null = silent.
   std::function<void(const std::string&)> log;
-  /// Capacity of the epoch-keyed result cache (0 disables it). At a
+  /// Capacity of the result/view cache in *programs* (0 disables caching
+  /// and view maintenance entirely: every Run evaluates from scratch on
+  /// an epoch-pinned session — the differential harness's mode). At a
   /// pinned epoch the EDB is immutable and evaluation is deterministic,
   /// so a run's rendered output is a pure function of (program text,
   /// output relation, epoch): repeated point queries are answered
-  /// straight from the cache until an Append bumps the epoch —
-  /// invalidation is the epoch counter itself, and compaction (same
-  /// facts, same epoch) correctly leaves hits valid. This is what lets a
-  /// loopback server answer >= 100k small queries/s: a hit costs a hash
-  /// lookup instead of a fixpoint.
+  /// straight from the cache — a hit costs a hash lookup instead of a
+  /// fixpoint (>= 100k small queries/s on loopback) — and an Append
+  /// delta-refreshes the entries instead of dropping them. Compaction
+  /// (same facts, same epoch) leaves hits valid.
   size_t result_cache_entries = 4096;
+  /// Byte budget for the cache: rendered output bytes plus materialized-
+  /// IDB bytes (ViewSnapshot::ApproxBytes), summed over entries. When the
+  /// total runs past it, least-recently-used entries are evicted (their
+  /// views too) until it fits — the hottest entry always survives. 0 =
+  /// unbounded.
+  size_t cache_bytes = 64u << 20;
+  /// Keep materialized views and refresh them across appends (the
+  /// default). False reverts to PR 5 behavior: epoch-keyed rendered-
+  /// result caching only, every post-append run a full fixpoint.
+  bool maintain_views = true;
+  /// Delta-refresh every cached view eagerly inside Append (the `seqdl
+  /// serve` append path), so the next query pays only rendering. False
+  /// defers the refresh to the next Run of each program.
+  bool refresh_on_append = true;
+};
+
+/// Occupancy and lifetime traffic counters of the result/view cache,
+/// rendered into Stats() replies.
+struct CacheCounters {
+  uint64_t hits = 0;        ///< runs answered from a cached rendering
+  uint64_t misses = 0;      ///< runs that had to evaluate or render
+  uint64_t evictions = 0;   ///< entries evicted past the byte/entry caps
+  uint64_t entries = 0;     ///< programs currently cached
+  uint64_t bytes = 0;       ///< accounted bytes currently cached
 };
 
 /// The request handlers of a seqdl server, over an owned Database.
@@ -84,7 +124,9 @@ class DatabaseService {
   Result<protocol::RunReply> Run(const protocol::RunRequest& req,
                                  const std::function<bool()>& cancel = {});
 
-  /// Parses the request's facts and publishes them as a new segment.
+  /// Parses the request's facts and publishes them as a new segment,
+  /// then (with maintain_views + refresh_on_append) delta-refreshes every
+  /// cached view to the new epoch so re-serving stays O(delta).
   Result<protocol::AppendReply> Append(const protocol::AppendRequest& req);
 
   /// Current epoch / segment / fact counts.
@@ -93,12 +135,18 @@ class DatabaseService {
   /// Folds the segment stack (Database::Compact).
   protocol::CompactReply Compact();
 
-  /// Rendered measured statistics (Database::Stats).
+  /// Rendered measured statistics (Database::Stats) plus cache and view
+  /// counters.
   protocol::StatsReply Stats() const;
+
+  /// Result/view cache occupancy and traffic.
+  CacheCounters CacheStats() const;
 
   /// Number of distinct program texts currently cached.
   size_t NumCachedPrograms() const;
-  /// Entries currently in the result cache (all epochs, pre-eviction).
+  /// Renderings currently in the result cache, summed over programs (one
+  /// per (program, output relation) pair served at the current entry's
+  /// epoch).
   size_t NumCachedResults() const;
 
   Database& db() { return db_; }
@@ -123,12 +171,43 @@ class DatabaseService {
   Result<std::shared_ptr<PreparedProgram>> CompileFresh(
       const std::string& program_text, const std::string& source_name);
 
-  struct CachedResult {
+  /// One program's cached serving state: the maintained view (null with
+  /// maintain_views off) and every rendering produced from it at `epoch`,
+  /// keyed by output relation ("" = all derived facts). `bytes` accounts
+  /// the view's materialized IDB plus the rendering strings.
+  struct CachedView {
     uint64_t epoch = 0;
     uint64_t segments = 0;
-    std::string rendered;
+    std::shared_ptr<const ViewSnapshot> view;
+    std::map<std::string, std::string> rendered;
+    /// Stats of the run/refresh that brought the entry to `epoch`;
+    /// replayed into replies answered from the cache.
     protocol::WireEvalStats stats;
+    size_t bytes = 0;
+    std::list<std::string>::iterator lru;  ///< position in lru_
   };
+
+  /// The legacy no-cache path: epoch-pinned session run, nothing stored.
+  Result<protocol::RunReply> RunUncached(
+      const protocol::RunRequest& req, const PreparedProgram& prog,
+      const RunOptions& ropts);
+
+  /// Renders `derived` projected onto `output_rel` (all facts when
+  /// empty).
+  Result<std::string> Render(const Instance& derived,
+                             const std::string& output_rel) const;
+
+  /// Moves `it`'s entry to the LRU front. Caller holds results_mu_.
+  void TouchLocked(std::unordered_map<std::string, CachedView>::iterator it);
+  /// Installs/refreshes the entry for `key` from an evaluated reply and
+  /// evicts past the caps. Caller holds results_mu_.
+  void UpsertLocked(const std::string& key,
+                    const std::shared_ptr<const ViewSnapshot>& view,
+                    const protocol::RunReply& reply,
+                    const std::string& output_rel);
+  /// Evicts LRU entries until entry and byte caps hold, never touching
+  /// `keep`. Caller holds results_mu_.
+  void EvictLocked(const std::string& keep);
 
   Universe* u_;
   Database db_;
@@ -137,10 +216,13 @@ class DatabaseService {
   mutable std::mutex programs_mu_;
   std::map<std::string, CachedProgram> programs_;
 
-  /// Rendered results keyed by "program\0output_rel"; an entry is valid
-  /// only at its recorded epoch and is lazily overwritten after appends.
+  /// The maintained-view/result cache, keyed by program text, with an
+  /// LRU list for byte-budget eviction (front = most recently served).
   mutable std::mutex results_mu_;
-  std::unordered_map<std::string, CachedResult> results_;
+  std::unordered_map<std::string, CachedView> results_;
+  std::list<std::string> lru_;
+  size_t cache_bytes_used_ = 0;
+  CacheCounters counters_;
 };
 
 }  // namespace seqdl

@@ -1,0 +1,160 @@
+// Materialized views: derived results as first-class versioned state.
+//
+// A ViewSnapshot is the complete derived IDB of one prepared program at
+// one database epoch — immutable, shared by shared_ptr, and published
+// under the same MVCC discipline as the EDB's segment stack (database.h).
+// The ViewManager (one per Database, reachable via Database::views())
+// keeps at most one current snapshot per view key and keeps it fresh
+// *incrementally*: when Refresh finds the database epoch has moved past a
+// stored snapshot, it partitions the current segment stack by publish
+// stamp (SegmentSet::segment_epochs) into the base the snapshot already
+// covers and the segments appended since, and runs
+// PreparedProgram::RunDelta — semi-naive delta evaluation of just the
+// appended facts against the stored IDB — instead of re-running the full
+// fixpoint. Strata the delta pass cannot maintain soundly (negation over
+// a changed input, or a positive input that lost facts after an upstream
+// recompute) are recomputed wholesale; everything else is adopted and
+// patched. The refreshed snapshot is byte-identical to a cold fixpoint at
+// the new epoch (tests/differential_test.cc enforces this at every epoch,
+// across compaction).
+//
+// Epoch lifecycle of one view key:
+//
+//   epoch   0         1          2          3
+//   EDB     [s0]      [s0 s1]    [s0 s1 s2] [s0 s1 s2 s3]
+//            |          |           |          |
+//   view    cold ----> delta ----> delta ----> delta     (Refresh calls)
+//            v0@0       v1@1        v2@2        v3@3
+//
+// Each vk is immutable once published; a reader holding v1 keeps reading
+// v1 while the manager publishes v3 (exactly like epoch-pinned Sessions).
+// Compaction folds segments under an unchanged epoch: a view at that
+// epoch is still a hit, while an older view sees the merged segment as
+// one over-approximate delta — sound, because delta-evaluating facts the
+// view already reflects only re-derives known tuples.
+//
+// Every snapshot also records counting-based *support*: per derived
+// tuple, how many rule firings produced it (RunOptions::support).
+// Maintained strata carry their counts forward plus fresh events;
+// recomputed strata get fresh counts. This is the groundwork for
+// delete/re-derive (DRed) once tombstone segments land: a retraction
+// decrements support, and only tuples whose count reaches zero need the
+// expensive re-derivation check. Under semi-naive evaluation the counts
+// are a lower bound on the true derivation count, which errs in the safe
+// direction (an undercount triggers a spurious re-derivation check, never
+// a wrong deletion).
+//
+// Thread-safety: all ViewManager methods may be called from any thread.
+// The map mutex guards lookups and publishes only — evaluation runs
+// outside it, so a slow refresh never blocks hits on other keys. Two
+// racing refreshes of one key both evaluate and the newer epoch wins.
+#ifndef SEQDL_VIEW_VIEW_H_
+#define SEQDL_VIEW_VIEW_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "src/base/status.h"
+#include "src/engine/database.h"
+#include "src/engine/engine.h"
+#include "src/engine/instance.h"
+
+namespace seqdl {
+
+/// Per-relation support counts of one view, shared between snapshots:
+/// a delta refresh that neither recomputed a relation nor derived new
+/// facts for it reuses the previous snapshot's map wholesale instead of
+/// rebuilding O(|view|) entries (both snapshots are immutable, so
+/// sharing is safe).
+using SharedSupport =
+    std::map<RelId, std::shared_ptr<const std::unordered_map<
+                        Tuple, uint32_t, TupleHash>>>;
+
+/// One immutable materialized view: the complete derived IDB of a program
+/// at one epoch, plus per-tuple support counts.
+class ViewSnapshot {
+ public:
+  /// The database epoch this view is current at.
+  uint64_t epoch() const { return epoch_; }
+  /// Segments of the stack the view was evaluated over.
+  uint64_t segments() const { return segments_; }
+  /// The derived facts (never contains EDB facts — exactly what a cold
+  /// Session::Run returns).
+  const Instance& idb() const { return idb_; }
+  /// Derivation-event counts per derived tuple (see file comment).
+  /// Covers every tuple of idb() with a count >= 1.
+  const SharedSupport& support() const { return support_; }
+  /// Approximate heap bytes of the materialized IDB — the currency of
+  /// the server cache's byte accounting (service.h).
+  size_t ApproxBytes() const { return bytes_; }
+
+ private:
+  friend class ViewManager;
+  uint64_t epoch_ = 0;
+  uint64_t segments_ = 0;
+  Instance idb_;
+  SharedSupport support_;
+  size_t bytes_ = 0;
+};
+
+/// Keeps materialized views fresh across appends. Owned by Database
+/// (heap-stable in its DbState); obtain via Database::views().
+class ViewManager {
+ public:
+  struct Counters {
+    /// Refresh found the stored snapshot already at the current epoch.
+    uint64_t hits = 0;
+    /// Full materializations (first Refresh of a key, or after
+    /// Invalidate).
+    uint64_t cold_runs = 0;
+    /// Incremental refreshes (RunDelta over the appended segments).
+    uint64_t delta_refreshes = 0;
+    /// Strata recomputed wholesale inside those delta refreshes (0 when
+    /// every stratum was maintainable).
+    uint64_t strata_recomputed = 0;
+  };
+
+  /// The current snapshot for `key`, materializing or delta-refreshing
+  /// as needed: a stored snapshot at the current epoch is returned as
+  /// is; a stale one is advanced by RunDelta over the segments appended
+  /// since; a missing one is cold-materialized (a full fixpoint, which
+  /// also applies the deferred statistics decay — see
+  /// StatsAccumulator::AgeOnRecompute). `key` is the caller's identity
+  /// for the view (the server uses the program text); `prog` must be
+  /// compiled against the database's Universe and must be the same
+  /// program for every call with the same key — the manager stores
+  /// results, not programs. On evaluation failure the stored snapshot
+  /// (still correct at its own epoch) is left in place.
+  Result<std::shared_ptr<const ViewSnapshot>> Refresh(
+      const std::string& key, const PreparedProgram& prog,
+      const RunOptions& opts = {}, EvalStats* stats = nullptr);
+
+  /// The stored snapshot for `key` (possibly stale), or null.
+  std::shared_ptr<const ViewSnapshot> Lookup(const std::string& key) const;
+
+  /// Drops the stored snapshot for `key` (the next Refresh runs cold).
+  void Invalidate(const std::string& key);
+  /// Drops every stored snapshot.
+  void Clear();
+
+  size_t NumViews() const;
+  Counters counters() const;
+
+ private:
+  friend class Database;
+  explicit ViewManager(Database::DbState& state) : state_(&state) {}
+
+  Database::DbState* state_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const ViewSnapshot>> views_;
+  Counters counters_;
+};
+
+}  // namespace seqdl
+
+#endif  // SEQDL_VIEW_VIEW_H_

@@ -311,7 +311,12 @@ TEST(ServerTest, FullRequestFlow) {
   ASSERT_TRUE(run.ok());
   EXPECT_EQ(run->epoch, 1u);
   EXPECT_FALSE(run->result_cached);
-  EXPECT_EQ(run->stats.derived_facts, 6u);
+  EXPECT_EQ(run->rendered,
+            "R(a, b).\nR(a, c).\nR(a, d).\nR(b, c).\nR(b, d).\nR(c, d).\n");
+  // The append delta-refreshed the maintained view instead of re-running
+  // the fixpoint: only the 3 tuples reachable through the new edge were
+  // derived (a cold run would derive all 6).
+  EXPECT_EQ(run->stats.derived_facts, 3u);
 
   // epoch / compact / stats.
   Result<protocol::DbInfo> info = client->Epoch();
@@ -324,11 +329,12 @@ TEST(ServerTest, FullRequestFlow) {
   EXPECT_EQ(compacted->db.segments, 1u);
   EXPECT_EQ(compacted->db.epoch, 1u);
   // Compaction keeps the epoch (same facts), so cached results stay
-  // valid and correct.
+  // valid and correct (stats replay those of the delta refresh that
+  // brought the entry to this epoch).
   run = client->Run(kReachProgram);
   ASSERT_TRUE(run.ok());
   EXPECT_TRUE(run->result_cached);
-  EXPECT_EQ(run->stats.derived_facts, 6u);
+  EXPECT_EQ(run->stats.derived_facts, 3u);
   Result<protocol::StatsReply> stats = client->Stats();
   ASSERT_TRUE(stats.ok());
   EXPECT_NE(stats->rendered.find("E"), std::string::npos);
@@ -615,6 +621,174 @@ TEST(ServerConcurrencyTest, CompileStampedeSharesOneCacheEntry) {
   // Races may compile redundantly, but the cache converges on one entry
   // per distinct program text.
   EXPECT_EQ(t.service->NumCachedPrograms(), 1u);
+}
+
+// --- Maintained-view cache: byte accounting, LRU eviction, counters ----------
+
+constexpr char kProgA[] = "A($x, $y) <- E($x, $y).";
+constexpr char kProgB[] = "B($x, $y) <- E($x, $y).";
+constexpr char kProgC[] = "C($x, $y) <- E($x, $y).";
+
+protocol::RunRequest ReqFor(const char* program) {
+  protocol::RunRequest req;
+  req.program = program;
+  return req;
+}
+
+TEST(ServiceCacheTest, ByteBudgetEvictsLeastRecentlyUsed) {
+  Universe u;
+  Result<Instance> edb = ParseInstance(u, "E(a, b). E(b, c).");
+  ASSERT_TRUE(edb.ok());
+  Result<Database> db = Database::Open(u, std::move(*edb));
+  ASSERT_TRUE(db.ok());
+  ServiceOptions sopts;
+  // Any single entry busts the budget, so only the hottest entry (which
+  // eviction never touches) survives each insert.
+  sopts.cache_bytes = 1;
+  DatabaseService service(u, std::move(*db), sopts);
+
+  ASSERT_TRUE(service.Run(ReqFor(kProgA)).ok());
+  CacheCounters c = service.CacheStats();
+  EXPECT_EQ(c.entries, 1u);
+  EXPECT_EQ(c.evictions, 0u);
+  EXPECT_GT(c.bytes, sopts.cache_bytes);  // the survivor is over budget
+
+  // A second program displaces the first: its bytes, its entry, and its
+  // materialized view all go.
+  ASSERT_TRUE(service.Run(ReqFor(kProgB)).ok());
+  c = service.CacheStats();
+  EXPECT_EQ(c.entries, 1u);
+  EXPECT_EQ(c.evictions, 1u);
+  EXPECT_EQ(service.db().views().NumViews(), 1u);
+
+  // Re-running the evicted program is a cold materialization again.
+  ASSERT_TRUE(service.Run(ReqFor(kProgA)).ok());
+  EXPECT_EQ(service.db().views().counters().cold_runs, 3u);
+}
+
+TEST(ServiceCacheTest, EntryCapEvictsLeastRecentlyUsed) {
+  Universe u;
+  Result<Instance> edb = ParseInstance(u, "E(a, b).");
+  ASSERT_TRUE(edb.ok());
+  Result<Database> db = Database::Open(u, std::move(*edb));
+  ASSERT_TRUE(db.ok());
+  ServiceOptions sopts;
+  sopts.result_cache_entries = 2;
+  sopts.cache_bytes = 0;  // unbounded: only the entry cap evicts
+  DatabaseService service(u, std::move(*db), sopts);
+
+  ASSERT_TRUE(service.Run(ReqFor(kProgA)).ok());
+  ASSERT_TRUE(service.Run(ReqFor(kProgB)).ok());
+  EXPECT_EQ(service.CacheStats().entries, 2u);
+
+  // Touch A so B becomes least recently used, then insert C: B goes.
+  Result<protocol::RunReply> run = service.Run(ReqFor(kProgA));
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run->result_cached);
+  ASSERT_TRUE(service.Run(ReqFor(kProgC)).ok());
+  CacheCounters c = service.CacheStats();
+  EXPECT_EQ(c.entries, 2u);
+  EXPECT_EQ(c.evictions, 1u);
+
+  run = service.Run(ReqFor(kProgA));  // still cached
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run->result_cached);
+  run = service.Run(ReqFor(kProgB));  // was evicted: a fresh evaluation
+  ASSERT_TRUE(run.ok());
+  EXPECT_FALSE(run->result_cached);
+  c = service.CacheStats();
+  EXPECT_EQ(c.hits, 2u);
+  EXPECT_EQ(c.evictions, 2u);  // inserting B displaced another entry
+}
+
+TEST(ServiceCacheTest, AppendRefreshesViewsEagerly) {
+  Universe u;
+  Result<Instance> edb = ParseInstance(u, "E(a, b). E(b, c).");
+  ASSERT_TRUE(edb.ok());
+  Result<Database> db = Database::Open(u, std::move(*edb));
+  ASSERT_TRUE(db.ok());
+  DatabaseService service(u, std::move(*db), ServiceOptions());
+
+  ASSERT_TRUE(service.Run(ReqFor(kProgA)).ok());
+  EXPECT_EQ(service.db().views().counters().cold_runs, 1u);
+
+  // The append itself delta-refreshes the stored view — before any query.
+  protocol::AppendRequest append;
+  append.facts = "E(c, d).";
+  ASSERT_TRUE(service.Append(append).ok());
+  ViewManager::Counters v = service.db().views().counters();
+  EXPECT_EQ(v.cold_runs, 1u);
+  EXPECT_EQ(v.delta_refreshes, 1u);
+
+  // The next run re-renders from the refreshed view (a view-level hit,
+  // no evaluation) and replays the delta refresh's stats.
+  Result<protocol::RunReply> run = service.Run(ReqFor(kProgA));
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->epoch, 1u);
+  EXPECT_EQ(run->stats.derived_facts, 1u);  // only A(c, d) was new
+  EXPECT_GE(service.db().views().counters().hits, 1u);
+
+  // And the rendering is cached from here on.
+  run = service.Run(ReqFor(kProgA));
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run->result_cached);
+}
+
+TEST(ServiceCacheTest, RefreshOnAppendOffDefersToNextRun) {
+  Universe u;
+  Result<Instance> edb = ParseInstance(u, "E(a, b).");
+  ASSERT_TRUE(edb.ok());
+  Result<Database> db = Database::Open(u, std::move(*edb));
+  ASSERT_TRUE(db.ok());
+  ServiceOptions sopts;
+  sopts.refresh_on_append = false;
+  DatabaseService service(u, std::move(*db), sopts);
+
+  ASSERT_TRUE(service.Run(ReqFor(kProgA)).ok());
+  protocol::AppendRequest append;
+  append.facts = "E(b, c).";
+  ASSERT_TRUE(service.Append(append).ok());
+  EXPECT_EQ(service.db().views().counters().delta_refreshes, 0u);
+
+  Result<protocol::RunReply> run = service.Run(ReqFor(kProgA));
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->epoch, 1u);
+  EXPECT_EQ(service.db().views().counters().delta_refreshes, 1u);
+}
+
+TEST(ServiceCacheTest, CountersTravelInStatsReplies) {
+  Universe u;
+  Result<Instance> edb = ParseInstance(u, "E(a, b).");
+  ASSERT_TRUE(edb.ok());
+  Result<Database> db = Database::Open(u, std::move(*edb));
+  ASSERT_TRUE(db.ok());
+  DatabaseService service(u, std::move(*db), ServiceOptions());
+
+  ASSERT_TRUE(service.Run(ReqFor(kProgA)).ok());
+  ASSERT_TRUE(service.Run(ReqFor(kProgA)).ok());  // hit
+  protocol::StatsReply stats = service.Stats();
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.cache_entries, 1u);
+  EXPECT_GT(stats.cache_bytes, 0u);
+  EXPECT_EQ(stats.view_cold_runs, 1u);
+
+  // And they survive the wire: encode → decode is lossless.
+  Result<protocol::Reply> decoded = protocol::DecodeReply(
+      Payload(protocol::EncodeStatsReply(stats)));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->stats.rendered, stats.rendered);
+  EXPECT_EQ(decoded->stats.cache_hits, stats.cache_hits);
+  EXPECT_EQ(decoded->stats.cache_misses, stats.cache_misses);
+  EXPECT_EQ(decoded->stats.cache_evictions, stats.cache_evictions);
+  EXPECT_EQ(decoded->stats.cache_entries, stats.cache_entries);
+  EXPECT_EQ(decoded->stats.cache_bytes, stats.cache_bytes);
+  EXPECT_EQ(decoded->stats.view_hits, stats.view_hits);
+  EXPECT_EQ(decoded->stats.view_cold_runs, stats.view_cold_runs);
+  EXPECT_EQ(decoded->stats.view_delta_refreshes,
+            stats.view_delta_refreshes);
+  EXPECT_EQ(decoded->stats.view_strata_recomputed,
+            stats.view_strata_recomputed);
 }
 
 }  // namespace

@@ -332,10 +332,24 @@ class ServeLoop {
 
   void Stats() {
     // The planner's view: live-segment measurements merged with the
-    // derived-fact statistics reported back by earlier runs.
-    std::string rendered = service_.Stats().rendered;
+    // derived-fact statistics reported back by earlier runs — plus the
+    // maintained-view cache's traffic.
+    seqdl::protocol::StatsReply reply = service_.Stats();
     std::lock_guard<std::mutex> lock(io_mu_);
-    std::printf("%s", rendered.c_str());
+    std::printf("%s", reply.rendered.c_str());
+    std::printf("cache: %llu hits, %llu misses, %llu evictions; "
+                "%llu entries, %llu bytes\n",
+                static_cast<unsigned long long>(reply.cache_hits),
+                static_cast<unsigned long long>(reply.cache_misses),
+                static_cast<unsigned long long>(reply.cache_evictions),
+                static_cast<unsigned long long>(reply.cache_entries),
+                static_cast<unsigned long long>(reply.cache_bytes));
+    std::printf("views: %llu hits, %llu cold runs, %llu delta refreshes "
+                "(%llu strata recomputed)\n",
+                static_cast<unsigned long long>(reply.view_hits),
+                static_cast<unsigned long long>(reply.view_cold_runs),
+                static_cast<unsigned long long>(reply.view_delta_refreshes),
+                static_cast<unsigned long long>(reply.view_strata_recomputed));
     std::fflush(stdout);
   }
 
@@ -433,7 +447,7 @@ int CmdServe(const std::vector<std::string>& args) {
     std::fprintf(stderr,
                  "usage: seqdl serve <instance> [--stats] [--threads=N] "
                  "[--recompile-drift=X] [--auto-compact=N] "
-                 "[--listen=PORT]\n");
+                 "[--cache-bytes=N] [--listen=PORT]\n");
     return 2;
   }
   bool stats_on = HasFlag(args, "--stats");
@@ -470,6 +484,11 @@ int CmdServe(const std::vector<std::string>& args) {
   static std::mutex log_mu;
   seqdl::ServiceOptions sopts;
   sopts.recompile_drift = recompile_drift;
+  // Byte budget for the maintained-view/result cache (rendered output
+  // plus materialized IDBs); LRU entries are evicted past it.
+  if (std::string v = FlagValue(args, "--cache-bytes="); !v.empty()) {
+    sopts.cache_bytes = std::strtoull(v.c_str(), nullptr, 10);
+  }
   sopts.log = [](const std::string& msg) {
     std::lock_guard<std::mutex> lock(log_mu);
     std::fprintf(stderr, "-- %s\n", msg.c_str());
@@ -689,6 +708,20 @@ int CmdQuery(const std::vector<std::string>& args) {
     auto reply = client->Stats();
     if (!reply.ok()) return Fail(reply.status());
     std::printf("%s", reply->rendered.c_str());
+    std::printf("cache: %llu hits, %llu misses, %llu evictions; "
+                "%llu entries, %llu bytes\n",
+                static_cast<unsigned long long>(reply->cache_hits),
+                static_cast<unsigned long long>(reply->cache_misses),
+                static_cast<unsigned long long>(reply->cache_evictions),
+                static_cast<unsigned long long>(reply->cache_entries),
+                static_cast<unsigned long long>(reply->cache_bytes));
+    std::printf("views: %llu hits, %llu cold runs, %llu delta refreshes "
+                "(%llu strata recomputed)\n",
+                static_cast<unsigned long long>(reply->view_hits),
+                static_cast<unsigned long long>(reply->view_cold_runs),
+                static_cast<unsigned long long>(reply->view_delta_refreshes),
+                static_cast<unsigned long long>(
+                    reply->view_strata_recomputed));
     return 0;
   }
   if (cmd == "shutdown") {
