@@ -26,6 +26,16 @@
 //     and the re-serve replays it; with the cache disabled every
 //     re-serve pays the whole fixpoint again. The acceptance bar:
 //     delta >= 5x the full re-run.
+//   * BM_CachedQueryUnderGenerativeLoad — admission control as an
+//     isolation mechanism: one adversarial client hammers a generative
+//     (non-terminating) program at a server running
+//     --admission=budget while the other 7 threads serve cached point
+//     queries. Every adversarial run fails fast at the enforced caps
+//     (kResourceExhausted) instead of monopolizing a worker, so the
+//     cached-query items/s should stay within the same order of
+//     magnitude as BM_SmallQueryRoundTrip/threads:8 — compare the two
+//     counters. With --admission=off the same workload would pin
+//     workers until the 5M-fact global cap.
 //
 // Threaded benches share one server and open one connection per client
 // thread (the client is not thread-safe; connections are cheap). The
@@ -319,6 +329,70 @@ void BM_DeltaAppendQuery(benchmark::State& state) {
   RunDeltaAppendServer(state, /*maintained=*/true);
 }
 BENCHMARK(BM_DeltaAppendQuery);
+
+constexpr char kGenerativeQuery[] =
+    "G($x) <- seed($x).\nG($x ++ $x) <- G($x).\n";
+
+void BM_CachedQueryUnderGenerativeLoad(benchmark::State& state) {
+  // A private server under --admission=budget with tight caps: the
+  // adversary's doubling fixpoint dies at the path-length cap within a
+  // few rounds. Static so every benchmark thread shares it.
+  static TestUncachedServer* gs = [] {
+    auto* s = new TestUncachedServer();
+    s->u = std::make_unique<Universe>();
+    Result<Instance> edb = ParseInstance(*s->u, SmallEdb() + "seed(a).\n");
+    if (!edb.ok()) std::abort();
+    Result<Database> db = Database::Open(*s->u, std::move(*edb));
+    if (!db.ok()) std::abort();
+    ServiceOptions sopts;
+    sopts.admission = AdmissionPolicy::kBudget;
+    sopts.generative_budget.max_facts = 512;
+    sopts.generative_budget.max_iterations = 64;
+    sopts.generative_budget.max_path_length = 256;
+    s->service = std::make_unique<DatabaseService>(*s->u, std::move(*db),
+                                                   std::move(sopts));
+    ServerOptions opts;
+    opts.threads = 16;
+    Result<std::unique_ptr<Server>> server = Server::Start(*s->service, opts);
+    if (!server.ok()) std::abort();
+    s->server = std::move(*server);
+    Result<Client> warm = Client::Connect("127.0.0.1", s->server->port());
+    if (!warm.ok() || !warm->Compile(kPointQuery).ok()) std::abort();
+    return s;
+  }();
+  Result<Client> client = Client::Connect("127.0.0.1", gs->server->port());
+  if (!client.ok()) {
+    state.SkipWithError(client.status().ToString().c_str());
+    return;
+  }
+  const bool adversary = state.threads() > 1 && state.thread_index() == 0;
+  for (auto _ : state) {
+    if (adversary) {
+      // Must come back kResourceExhausted quickly — budget enforcement
+      // is the whole point. A success here means the policy is off.
+      Result<protocol::RunReply> run =
+          client->Run(kGenerativeQuery, "", "", false);
+      if (run.ok()) {
+        state.SkipWithError("generative run unexpectedly succeeded");
+        return;
+      }
+    } else {
+      Result<protocol::RunReply> run =
+          client->Run(kPointQuery, "", "", /*collect_derived_stats=*/false);
+      if (!run.ok()) {
+        state.SkipWithError(run.status().ToString().c_str());
+        return;
+      }
+      benchmark::DoNotOptimize(run->rendered);
+    }
+  }
+  // Only the cached-query threads count: items/s is the throughput the
+  // well-behaved clients kept while the adversary hammered the server.
+  if (!adversary) {
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  }
+}
+BENCHMARK(BM_CachedQueryUnderGenerativeLoad)->Threads(8)->UseRealTime();
 
 void BM_FullAppendQuery(benchmark::State& state) {
   RunDeltaAppendServer(state, /*maintained=*/false);

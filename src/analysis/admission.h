@@ -1,0 +1,98 @@
+// Admission control for untrusted programs, grounded in the paper's
+// fragment lattice (§3-5): Sequence Datalog with packing or with
+// recursion over expanding equations can generate paths of unbounded
+// length, so its fixpoints need not terminate. Before running a program
+// on behalf of a client, AnalyzeAdmission classifies it:
+//
+//   *tame*       — every recursive-step rule is term-preserving (no rule
+//                  participating in an SCC of the dependency graph packs,
+//                  grows its head, or uses an expanding equation). The
+//                  fixpoint only ever re-combines subpaths of the finite
+//                  input, so it terminates on every database; run as-is.
+//   *generative* — some recursive-step rule can produce longer paths each
+//                  round (SD301 head growth, SD302 packing, SD303
+//                  expanding equation). Termination is not guaranteed:
+//                  under AdmissionPolicy::kStrict such programs are
+//                  rejected; under kBudget they run with enforced
+//                  RunOptions limits (derived-fact count, rounds, maximum
+//                  path length) and fail with kResourceExhausted when a
+//                  cap is hit; under kOff everything runs unrestricted.
+//
+// Soundness of the tame check: if no rule of an SCC enlarges terms, every
+// derivable fact over the SCC's relations is built from paths already
+// derivable below it, a finite set; induction over SCCs in reverse
+// topological order bounds the whole fixpoint. Nonrecursive programs are
+// always tame (the engine applies each stratum's rules finitely often).
+// The converse is heuristic — a flagged program may still terminate —
+// which is exactly why kBudget exists as the default-safe middle ground.
+//
+// Admission diagnostics:
+//   SD300  note:    generative program admitted under enforced budgets
+//   SD301  warning: recursive rule grows paths in its head
+//   SD302  warning: packing inside a recursive rule
+//   SD303  warning: expanding equation inside a recursive rule
+// Under kStrict the SD301-SD303 findings are reported as errors.
+#ifndef SEQDL_ANALYSIS_ADMISSION_H_
+#define SEQDL_ANALYSIS_ADMISSION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/analysis/diagnostics.h"
+#include "src/analysis/features.h"
+#include "src/syntax/ast.h"
+#include "src/term/universe.h"
+
+namespace seqdl {
+
+/// How a serving process treats generative programs.
+enum class AdmissionPolicy : uint8_t {
+  kOff = 0,     // run everything unrestricted (trusted clients)
+  kBudget = 1,  // run generative programs under enforced resource caps
+  kStrict = 2,  // reject generative programs outright
+};
+
+/// The verdict AnalyzeAdmission reaches for one program under a policy.
+enum class AdmissionVerdict : uint8_t {
+  kTame = 0,                // provably terminating; admitted as-is
+  kGenerativeBudgeted = 1,  // potentially non-terminating; admitted with caps
+  kRejected = 2,            // potentially non-terminating; refused (strict)
+};
+
+const char* AdmissionPolicyToString(AdmissionPolicy p);
+const char* AdmissionVerdictToString(AdmissionVerdict v);
+
+/// Parses "off" / "budget" / "strict".
+Result<AdmissionPolicy> ParseAdmissionPolicy(const std::string& s);
+
+/// The full classification of one program.
+struct AdmissionReport {
+  /// Features the program uses (paper §3).
+  FeatureSet features;
+  /// Label of the core-fragment equivalence class (Figure 1) the
+  /// program's features fall into, e.g. "{I,N} = {E,I,N}".
+  std::string fragment_class;
+  /// True iff some recursive-step rule is generative (SD301-SD303).
+  bool generative = false;
+  /// SD301-SD303 findings (warnings), one per generative mechanism per
+  /// rule, each with the rule's source span.
+  DiagnosticList diagnostics;
+
+  /// The verdict under `policy` (tame programs are always kTame).
+  AdmissionVerdict Verdict(AdmissionPolicy policy) const;
+};
+
+/// Classifies `p` (which should already be valid per ValidateProgram).
+AdmissionReport AnalyzeAdmission(const Universe& u, const Program& p);
+
+/// The report's diagnostics adjusted for `policy`: under kStrict the
+/// SD301-SD303 warnings become errors (the program will be refused);
+/// under kBudget a generative program additionally gains an SD300 note
+/// recording that it was admitted with enforced caps.
+DiagnosticList PolicyDiagnostics(const AdmissionReport& r,
+                                 AdmissionPolicy policy);
+
+}  // namespace seqdl
+
+#endif  // SEQDL_ANALYSIS_ADMISSION_H_

@@ -74,6 +74,13 @@ struct Tarjan {
 
 }  // namespace
 
+std::vector<std::set<RelId>> StronglyConnectedComponents(
+    const DependencyGraph& g) {
+  Tarjan t(g);
+  t.Run();
+  return std::move(t.sccs);
+}
+
 std::set<RelId> RecursiveRels(const DependencyGraph& g) {
   Tarjan t(g);
   t.Run();

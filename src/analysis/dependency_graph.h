@@ -31,6 +31,13 @@ bool HasCycle(const DependencyGraph& g);
 /// having a self-loop).
 std::set<RelId> RecursiveRels(const DependencyGraph& g);
 
+/// The strongly connected components of the graph (Tarjan; reverse
+/// topological order). Singleton components without a self-loop are
+/// included — callers that care about recursion should check size > 1 or
+/// HasEdge(v, v).
+std::vector<std::set<RelId>> StronglyConnectedComponents(
+    const DependencyGraph& g);
+
 /// True iff the set of rules, taken as one stratum, is recursive (some head
 /// relation of the set reaches itself through bodies of the set).
 bool RulesAreRecursive(const std::vector<Rule>& rules);

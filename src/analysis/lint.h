@@ -1,0 +1,63 @@
+// Lint passes over validated Sequence Datalog programs: structural
+// smells that are legal but usually wrong (duplicate rules, singleton
+// variables), rules that provably contribute nothing (never fire, dead
+// w.r.t. the requested output), and performance hazards (cross-product
+// joins). All findings are warnings — `seqdl check` surfaces them with
+// spans and stable SD1xx codes, and the server includes them in compile
+// replies so clients see them before a run.
+//
+//   SD101  duplicate rule: byte-identical to an earlier rule
+//   SD102  duplicate body literal within one rule
+//   SD103  singleton variable: occurs exactly once in the whole rule
+//   SD104  rule can never fire: a positive body predicate reads a
+//          relation with no derivable facts and no EDB source, or a
+//          ground equation is trivially false
+//   SD105  cross-product join: two positive body predicates share no
+//          variables (the join is a cartesian product; the note carries
+//          measured relation sizes when statistics are available)
+//   SD106  dead rule: not backward-reachable from the requested output
+//          relation (only with LintOptions::output set)
+//   SD107  unused IDB relation: derived but never read by any body and
+//          not the requested output
+#ifndef SEQDL_ANALYSIS_LINT_H_
+#define SEQDL_ANALYSIS_LINT_H_
+
+#include <optional>
+
+#include "src/analysis/diagnostics.h"
+#include "src/engine/stats.h"
+#include "src/syntax/ast.h"
+#include "src/term/universe.h"
+
+namespace seqdl {
+
+struct LintOptions {
+  /// The query's output relation: enables the dead-rule pass (SD106) and
+  /// exempts the output from SD107.
+  std::optional<RelId> output;
+  /// Measured relation sizes; when set, SD105 notes carry the estimated
+  /// cross-product cardinality.
+  const StoreStats* stats = nullptr;
+};
+
+/// Runs every lint pass over `p` and appends the findings to `diags`.
+/// Returns the number of findings. `p` should already be valid
+/// (ValidateProgram) — lints assume safe, stratified rules.
+size_t LintProgram(const Universe& u, const Program& p,
+                   const LintOptions& opts, DiagnosticList* diags);
+
+/// IDB relations (transitively) needed to compute `output`: the backward
+/// closure of `output` over the rule dependency graph, including
+/// `output` itself.
+std::set<RelId> LiveRels(const Program& p, RelId output);
+
+/// Drops every rule whose head is not in LiveRels(p, output) — exactly
+/// the rules SD106 flags — and drops strata left empty. Derivations of
+/// `output` are unaffected: live rules only read live relations, so the
+/// projection of the fixpoint onto `output` is byte-identical (the
+/// differential suite asserts this).
+Program RemoveDeadRules(const Program& p, RelId output);
+
+}  // namespace seqdl
+
+#endif  // SEQDL_ANALYSIS_LINT_H_

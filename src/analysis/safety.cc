@@ -51,10 +51,49 @@ bool IsSafeRule(const Rule& r) {
 }
 
 Status ValidateProgram(const Universe& u, const Program& p) {
+  return ValidateProgram(u, p, nullptr);
+}
+
+namespace {
+
+/// Display form of a variable, with its sigil ("@x" / "$x").
+std::string FormatVar(const Universe& u, VarId v) {
+  return (u.VarKindOf(v) == VarKind::kAtomic ? "@" : "$") + u.VarName(v);
+}
+
+/// Appends to `diags` (when non-null) and returns the error, remembering
+/// the first one in `*first`.
+void Report(DiagnosticList* diags, Status* first, const char* code,
+            SourceSpan span, std::string message,
+            std::vector<std::string> notes = {}) {
+  if (first->ok()) *first = Status::InvalidArgument(message);
+  if (diags != nullptr) {
+    Diagnostic d = Diagnostic::Error(code, span, std::move(message));
+    d.notes = std::move(notes);
+    diags->Add(d);
+  }
+}
+
+}  // namespace
+
+Status ValidateProgram(const Universe& u, const Program& p,
+                       DiagnosticList* diags) {
+  Status first = Status::OK();
   for (const Rule* r : p.AllRules()) {
-    if (!IsSafeRule(*r)) {
-      return Status::InvalidArgument("unsafe rule: " + FormatRule(u, *r));
+    if (IsSafeRule(*r)) continue;
+    std::set<VarId> limited = LimitedVars(*r);
+    std::vector<VarId> all;
+    CollectVars(*r, &all);
+    std::string unlimited;
+    for (VarId v : all) {
+      if (limited.count(v)) continue;
+      if (!unlimited.empty()) unlimited += ", ";
+      unlimited += FormatVar(u, v);
     }
+    Report(diags, &first, "SD010", r->span,
+           "unsafe rule: " + FormatRule(u, *r),
+           {"variables not limited by a positive body literal: " + unlimited});
+    if (diags == nullptr) return first;
   }
   // Heads defined per stratum.
   std::vector<std::set<RelId>> heads_by_stratum(p.strata.size());
@@ -71,10 +110,12 @@ Status ValidateProgram(const Universe& u, const Program& p) {
         if (!l.is_predicate() || !l.negated) continue;
         for (size_t j = i; j < p.strata.size(); ++j) {
           if (heads_by_stratum[j].count(l.pred.rel)) {
-            return Status::InvalidArgument(
-                "negation not stratified: relation " + u.RelName(l.pred.rel) +
-                " is negated in stratum " + std::to_string(i) +
-                " but defined in stratum " + std::to_string(j));
+            Report(diags, &first, "SD011", r.span,
+                   "negation not stratified: relation " +
+                       u.RelName(l.pred.rel) + " is negated in stratum " +
+                       std::to_string(i) + " but defined in stratum " +
+                       std::to_string(j));
+            if (diags == nullptr) return first;
           }
         }
       }
@@ -85,12 +126,19 @@ Status ValidateProgram(const Universe& u, const Program& p) {
   for (size_t i = 0; i < p.strata.size(); ++i) {
     for (size_t j = i + 1; j < p.strata.size(); ++j) {
       for (RelId rel : heads_by_stratum[i]) {
-        if (heads_by_stratum[j].count(rel)) {
-          return Status::InvalidArgument(
-              "relation " + u.RelName(rel) + " is defined in stratum " +
-              std::to_string(i) + " and again in stratum " +
-              std::to_string(j));
+        if (!heads_by_stratum[j].count(rel)) continue;
+        SourceSpan span;
+        for (const Rule& r : p.strata[j].rules) {
+          if (r.head.rel == rel) {
+            span = r.span;
+            break;
+          }
         }
+        Report(diags, &first, "SD012", span,
+               "relation " + u.RelName(rel) + " is defined in stratum " +
+                   std::to_string(i) + " and again in stratum " +
+                   std::to_string(j));
+        if (diags == nullptr) return first;
       }
     }
   }
@@ -102,16 +150,18 @@ Status ValidateProgram(const Universe& u, const Program& p) {
         if (!l.is_predicate()) continue;
         for (size_t j = i + 1; j < p.strata.size(); ++j) {
           if (heads_by_stratum[j].count(l.pred.rel)) {
-            return Status::InvalidArgument(
-                "relation " + u.RelName(l.pred.rel) + " is used in stratum " +
-                std::to_string(i) + " before its definition in stratum " +
-                std::to_string(j));
+            Report(diags, &first, "SD013", r.span,
+                   "relation " + u.RelName(l.pred.rel) +
+                       " is used in stratum " + std::to_string(i) +
+                       " before its definition in stratum " +
+                       std::to_string(j));
+            if (diags == nullptr) return first;
           }
         }
       }
     }
   }
-  return Status::OK();
+  return first;
 }
 
 }  // namespace seqdl

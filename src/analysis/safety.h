@@ -12,6 +12,7 @@
 
 #include <set>
 
+#include "src/analysis/diagnostics.h"
 #include "src/base/status.h"
 #include "src/syntax/ast.h"
 #include "src/term/universe.h"
@@ -29,6 +30,16 @@ bool IsSafeRule(const Rule& r);
 /// stratum i or later), and no IDB relation of a stratum is re-defined in a
 /// later stratum.
 Status ValidateProgram(const Universe& u, const Program& p);
+
+/// As above, but reports *every* violation (not just the first) as a
+/// structured diagnostic with the offending rule's source span:
+///   SD010 unsafe rule (lists the unlimited variables)
+///   SD011 negation not stratified
+///   SD012 relation redefined in a later stratum
+///   SD013 relation used before its definition
+/// Returns the first error as a Status (OK iff the program is valid).
+Status ValidateProgram(const Universe& u, const Program& p,
+                       DiagnosticList* diags);
 
 }  // namespace seqdl
 

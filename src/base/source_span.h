@@ -1,0 +1,34 @@
+// Source locations for diagnostics. Lines and columns are 1-based (the
+// lexer's convention); a span covers [start, end) where `end_col` is the
+// column one past the last covered character. A default-constructed span
+// (line 0) means "no location" — diagnostics render without the
+// line:col prefix then.
+#ifndef SEQDL_BASE_SOURCE_SPAN_H_
+#define SEQDL_BASE_SOURCE_SPAN_H_
+
+namespace seqdl {
+
+struct SourceSpan {
+  int line = 0;
+  int col = 0;
+  int end_line = 0;
+  int end_col = 0;
+
+  static SourceSpan At(int line, int col, int length = 1) {
+    return SourceSpan{line, col, line, col + length};
+  }
+
+  bool valid() const { return line > 0; }
+
+  friend bool operator==(const SourceSpan& a, const SourceSpan& b) {
+    return a.line == b.line && a.col == b.col && a.end_line == b.end_line &&
+           a.end_col == b.end_col;
+  }
+  friend bool operator!=(const SourceSpan& a, const SourceSpan& b) {
+    return !(a == b);
+  }
+};
+
+}  // namespace seqdl
+
+#endif  // SEQDL_BASE_SOURCE_SPAN_H_

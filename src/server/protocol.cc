@@ -181,6 +181,47 @@ Status ReadEvalStats(WireReader* r, WireEvalStats* s) {
   return Status::OK();
 }
 
+void PutDiagnostics(std::string* out,
+                    const std::vector<WireDiagnostic>& diags) {
+  PutU32(out, static_cast<uint32_t>(diags.size()));
+  for (const WireDiagnostic& d : diags) {
+    PutU8(out, d.severity);
+    PutString(out, d.code);
+    PutU32(out, d.line);
+    PutU32(out, d.col);
+    PutU32(out, d.end_line);
+    PutU32(out, d.end_col);
+    PutString(out, d.message);
+    PutU32(out, static_cast<uint32_t>(d.notes.size()));
+    for (const std::string& n : d.notes) PutString(out, n);
+  }
+}
+
+Status ReadDiagnostics(WireReader* r, std::vector<WireDiagnostic>* diags) {
+  uint32_t count = 0;
+  SEQDL_RETURN_IF_ERROR(r->ReadU32(&count));
+  diags->clear();
+  for (uint32_t i = 0; i < count; ++i) {
+    WireDiagnostic d;
+    SEQDL_RETURN_IF_ERROR(r->ReadU8(&d.severity));
+    SEQDL_RETURN_IF_ERROR(r->ReadString(&d.code));
+    SEQDL_RETURN_IF_ERROR(r->ReadU32(&d.line));
+    SEQDL_RETURN_IF_ERROR(r->ReadU32(&d.col));
+    SEQDL_RETURN_IF_ERROR(r->ReadU32(&d.end_line));
+    SEQDL_RETURN_IF_ERROR(r->ReadU32(&d.end_col));
+    SEQDL_RETURN_IF_ERROR(r->ReadString(&d.message));
+    uint32_t notes = 0;
+    SEQDL_RETURN_IF_ERROR(r->ReadU32(&notes));
+    for (uint32_t j = 0; j < notes; ++j) {
+      std::string n;
+      SEQDL_RETURN_IF_ERROR(r->ReadString(&n));
+      d.notes.push_back(std::move(n));
+    }
+    diags->push_back(std::move(d));
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 const char* MsgTypeToString(MsgType type) {
@@ -243,6 +284,10 @@ std::string EncodeCompileReply(const CompileReply& reply) {
   PutU64(&payload, reply.rules);
   PutU64(&payload, reply.strata);
   PutF64(&payload, reply.compile_seconds);
+  PutString(&payload, reply.features);
+  PutString(&payload, reply.fragment_class);
+  PutU8(&payload, reply.admission);
+  PutDiagnostics(&payload, reply.diagnostics);
   return Frame(std::move(payload));
 }
 
@@ -360,6 +405,10 @@ Result<Reply> DecodeReply(std::string_view payload) {
       SEQDL_RETURN_IF_ERROR(r.ReadU64(&reply.compile.rules));
       SEQDL_RETURN_IF_ERROR(r.ReadU64(&reply.compile.strata));
       SEQDL_RETURN_IF_ERROR(r.ReadF64(&reply.compile.compile_seconds));
+      SEQDL_RETURN_IF_ERROR(r.ReadString(&reply.compile.features));
+      SEQDL_RETURN_IF_ERROR(r.ReadString(&reply.compile.fragment_class));
+      SEQDL_RETURN_IF_ERROR(r.ReadU8(&reply.compile.admission));
+      SEQDL_RETURN_IF_ERROR(ReadDiagnostics(&r, &reply.compile.diagnostics));
       break;
     case MsgType::kRun:
       SEQDL_RETURN_IF_ERROR(r.ReadU64(&reply.run.epoch));
@@ -549,10 +598,15 @@ Status AnnotateParseError(std::string_view source_name, Status status) {
   std::string annotated(source_name);
   const std::string& msg = status.message();
   constexpr std::string_view kPrefix = "parse error at ";
+  constexpr std::string_view kLexPrefix = "lex error at ";
   if (msg.rfind(kPrefix.data(), 0) == 0) {
     // "parse error at L:C: msg" -> "<name>:L:C: msg".
     annotated += ":";
     annotated += msg.substr(kPrefix.size());
+  } else if (msg.rfind(kLexPrefix.data(), 0) == 0) {
+    // "lex error at L:C: msg" -> "<name>:L:C: msg".
+    annotated += ":";
+    annotated += msg.substr(kLexPrefix.size());
   } else {
     annotated += ": ";
     annotated += msg;

@@ -48,6 +48,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "src/base/status.h"
 
@@ -129,11 +130,36 @@ struct WireEvalStats {
   double run_seconds = 0;
 };
 
+/// One analyzer finding crossing the wire (analysis/diagnostics.h
+/// Diagnostic, flattened: severity 0=error 1=warning 2=note; a line of 0
+/// means "no source location").
+struct WireDiagnostic {
+  uint8_t severity = 0;
+  std::string code;  ///< stable "SDxxx" code
+  uint32_t line = 0;
+  uint32_t col = 0;
+  uint32_t end_line = 0;
+  uint32_t end_col = 0;
+  std::string message;
+  std::vector<std::string> notes;
+};
+
 struct CompileReply {
   bool cache_hit = false;
   uint64_t rules = 0;
   uint64_t strata = 0;
   double compile_seconds = 0;
+  /// Admission-control payload (service.h): the program's feature set
+  /// ("{E,I,R}"), its core-fragment equivalence class (Figure 1 label),
+  /// the verdict under the server's policy (AdmissionVerdict numeric
+  /// value: 0 tame, 1 generative-budgeted, 2 rejected), and the
+  /// analyzer's warnings/notes (lint SD1xx + admission SD3xx). A
+  /// *rejected* program still compiles — only kRun refuses it — so the
+  /// client sees the full explanation here.
+  std::string features;
+  std::string fragment_class;
+  uint8_t admission = 0;
+  std::vector<WireDiagnostic> diagnostics;
 };
 
 struct RunReply {

@@ -1,10 +1,12 @@
 #include "src/server/service.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "src/analysis/lint.h"
 #include "src/engine/instance.h"
 #include "src/syntax/parser.h"
 
@@ -28,6 +30,19 @@ protocol::WireEvalStats ToWire(const EvalStats& s) {
   return w;
 }
 
+protocol::WireDiagnostic ToWire(const Diagnostic& d) {
+  protocol::WireDiagnostic w;
+  w.severity = static_cast<uint8_t>(d.severity);
+  w.code = d.code;
+  w.line = static_cast<uint32_t>(d.span.line);
+  w.col = static_cast<uint32_t>(d.span.col);
+  w.end_line = static_cast<uint32_t>(d.span.end_line);
+  w.end_col = static_cast<uint32_t>(d.span.end_col);
+  w.message = d.message;
+  w.notes = d.notes;
+  return w;
+}
+
 }  // namespace
 
 DatabaseService::DatabaseService(Universe& u, Database db, ServiceOptions opts)
@@ -36,14 +51,54 @@ DatabaseService::DatabaseService(Universe& u, Database db, ServiceOptions opts)
 Result<protocol::CompileReply> DatabaseService::Compile(
     const std::string& program_text, const std::string& source_name) {
   bool cache_hit = false;
-  SEQDL_ASSIGN_OR_RETURN(std::shared_ptr<PreparedProgram> prog,
-                         Prepare(program_text, source_name, &cache_hit));
+  std::shared_ptr<const AdmissionReport> admission;
+  std::shared_ptr<const DiagnosticList> lints;
+  SEQDL_ASSIGN_OR_RETURN(
+      std::shared_ptr<PreparedProgram> prog,
+      Prepare(program_text, source_name, &cache_hit, &admission, &lints));
   protocol::CompileReply reply;
   reply.cache_hit = cache_hit;
   reply.rules = prog->program().NumRules();
   reply.strata = prog->program().strata.size();
   reply.compile_seconds = prog->compile_seconds();
+  if (admission != nullptr) {
+    reply.features = admission->features.ToString();
+    reply.fragment_class = admission->fragment_class;
+    reply.admission =
+        static_cast<uint8_t>(admission->Verdict(opts_.admission));
+    DiagnosticList policy = PolicyDiagnostics(*admission, opts_.admission);
+    for (const Diagnostic& d : policy.all()) {
+      reply.diagnostics.push_back(ToWire(d));
+    }
+  }
+  if (lints != nullptr) {
+    for (const Diagnostic& d : lints->all()) {
+      reply.diagnostics.push_back(ToWire(d));
+    }
+  }
   return reply;
+}
+
+Status DatabaseService::ApplyAdmission(const AdmissionReport* admission,
+                                       RunOptions* ropts) const {
+  if (opts_.admission == AdmissionPolicy::kOff || admission == nullptr ||
+      !admission->generative) {
+    return Status::OK();
+  }
+  if (opts_.admission == AdmissionPolicy::kStrict) {
+    const Diagnostic& d = admission->diagnostics[0];
+    return Status::FailedPrecondition(
+        "admission denied (policy strict): potentially non-terminating "
+        "program: " +
+        d.message + " [" + d.code + "]");
+  }
+  // kBudget: a budget can only tighten the configured limits.
+  const RunOptions& cap = opts_.generative_budget;
+  ropts->max_facts = std::min(ropts->max_facts, cap.max_facts);
+  ropts->max_iterations = std::min(ropts->max_iterations, cap.max_iterations);
+  ropts->max_path_length =
+      std::min(ropts->max_path_length, cap.max_path_length);
+  return Status::OK();
 }
 
 Result<protocol::RunReply> DatabaseService::Run(
@@ -73,10 +128,13 @@ Result<protocol::RunReply> DatabaseService::Run(
   }
 
   bool cache_hit = false;
-  SEQDL_ASSIGN_OR_RETURN(std::shared_ptr<PreparedProgram> prog,
-                         Prepare(req.program, req.source_name, &cache_hit));
+  std::shared_ptr<const AdmissionReport> admission;
+  SEQDL_ASSIGN_OR_RETURN(
+      std::shared_ptr<PreparedProgram> prog,
+      Prepare(req.program, req.source_name, &cache_hit, &admission));
 
   RunOptions ropts = opts_.run_options;
+  SEQDL_RETURN_IF_ERROR(ApplyAdmission(admission.get(), &ropts));
   ropts.collect_derived_stats = req.collect_derived_stats;
   if (cancel) {
     if (ropts.cancel) {
@@ -245,12 +303,15 @@ Result<protocol::AppendReply> DatabaseService::Append(
     }
     for (const std::string& key : keys) {
       bool cache_hit = false;
+      std::shared_ptr<const AdmissionReport> admission;
       Result<std::shared_ptr<PreparedProgram>> prog =
-          Prepare(key, /*source_name=*/"", &cache_hit);
+          Prepare(key, /*source_name=*/"", &cache_hit, &admission);
       if (!prog.ok()) continue;
+      RunOptions ropts = opts_.run_options;
+      if (!ApplyAdmission(admission.get(), &ropts).ok()) continue;
       EvalStats stats;
       Result<std::shared_ptr<const ViewSnapshot>> view =
-          db_.views().Refresh(key, **prog, opts_.run_options, &stats);
+          db_.views().Refresh(key, **prog, ropts, &stats);
       if (!view.ok()) continue;
       std::lock_guard<std::mutex> lock(results_mu_);
       auto it = results_.find(key);
@@ -315,9 +376,12 @@ size_t DatabaseService::NumCachedPrograms() const {
 
 Result<std::shared_ptr<PreparedProgram>> DatabaseService::Prepare(
     const std::string& program_text, const std::string& source_name,
-    bool* cache_hit) {
+    bool* cache_hit, std::shared_ptr<const AdmissionReport>* admission,
+    std::shared_ptr<const DiagnosticList>* lints) {
   *cache_hit = false;
   std::shared_ptr<PreparedProgram> cached;
+  std::shared_ptr<const AdmissionReport> cached_admission;
+  std::shared_ptr<const DiagnosticList> cached_lints;
   uint64_t stale_epoch = 0;
   double drift = 0.0;
   {
@@ -325,6 +389,10 @@ Result<std::shared_ptr<PreparedProgram>> DatabaseService::Prepare(
     auto it = programs_.find(program_text);
     if (it != programs_.end()) {
       cached = it->second.prog;
+      cached_admission = it->second.admission;
+      cached_lints = it->second.lints;
+      if (admission != nullptr) *admission = cached_admission;
+      if (lints != nullptr) *lints = cached_lints;
       if (db_.epoch() == it->second.epoch) {
         *cache_hit = true;
         return cached;
@@ -338,12 +406,16 @@ Result<std::shared_ptr<PreparedProgram>> DatabaseService::Prepare(
     }
   }
   Result<std::shared_ptr<PreparedProgram>> fresh =
-      CompileFresh(program_text, source_name);
+      CompileFresh(program_text, source_name, admission, lints);
   if (!fresh.ok()) {
     // A program that compiled before the statistics drifted is still
     // valid — keep serving the stale plan rather than failing the
     // request. (Compile errors on a never-cached text do fail.)
-    if (cached != nullptr) return cached;
+    if (cached != nullptr) {
+      if (admission != nullptr) *admission = cached_admission;
+      if (lints != nullptr) *lints = cached_lints;
+      return cached;
+    }
     return fresh.status();
   }
   if (cached != nullptr && opts_.log) {
@@ -359,7 +431,9 @@ Result<std::shared_ptr<PreparedProgram>> DatabaseService::Prepare(
 }
 
 Result<std::shared_ptr<PreparedProgram>> DatabaseService::CompileFresh(
-    const std::string& program_text, const std::string& source_name) {
+    const std::string& program_text, const std::string& source_name,
+    std::shared_ptr<const AdmissionReport>* admission,
+    std::shared_ptr<const DiagnosticList>* lints) {
   Result<Program> program = ParseProgram(*u_, program_text);
   if (!program.ok()) {
     return protocol::AnnotateParseError(source_name, program.status());
@@ -369,6 +443,15 @@ Result<std::shared_ptr<PreparedProgram>> DatabaseService::CompileFresh(
   // next Prepare re-runs the drift check (the safe direction).
   uint64_t epoch = db_.epoch();
   StoreStats stats = db_.Stats();
+  // Classify and lint before the program is consumed by the compiler:
+  // the admission report drives Run's policy enforcement, the lints ride
+  // along in compile replies.
+  auto report =
+      std::make_shared<AdmissionReport>(AnalyzeAdmission(*u_, *program));
+  auto lint_list = std::make_shared<DiagnosticList>();
+  LintOptions lopts;
+  lopts.stats = &stats;
+  LintProgram(*u_, *program, lopts, lint_list.get());
   CompileOptions copts;
   copts.stats = &stats;
   Result<PreparedProgram> prepared =
@@ -380,6 +463,10 @@ Result<std::shared_ptr<PreparedProgram>> DatabaseService::CompileFresh(
   entry.prog = std::make_shared<PreparedProgram>(std::move(*prepared));
   entry.epoch = epoch;
   entry.stats = std::move(stats);
+  entry.admission = report;
+  entry.lints = lint_list;
+  if (admission != nullptr) *admission = report;
+  if (lints != nullptr) *lints = lint_list;
   std::shared_ptr<PreparedProgram> prog = entry.prog;
   std::lock_guard<std::mutex> lock(programs_mu_);
   programs_[program_text] = std::move(entry);

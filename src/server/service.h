@@ -41,6 +41,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "src/analysis/admission.h"
 #include "src/base/status.h"
 #include "src/engine/database.h"
 #include "src/engine/engine.h"
@@ -50,6 +51,18 @@
 #include "src/view/view.h"
 
 namespace seqdl {
+
+/// The default caps clamped onto runs of *generative* programs under
+/// AdmissionPolicy::kBudget: small enough that a non-terminating
+/// fixpoint fails (kResourceExhausted) in milliseconds instead of
+/// starving the server, large enough for legitimate bounded transforms.
+inline RunOptions DefaultGenerativeBudget() {
+  RunOptions r;
+  r.max_facts = 100'000;
+  r.max_iterations = 10'000;
+  r.max_path_length = 4096;
+  return r;
+}
 
 struct ServiceOptions {
   /// Recompile a cached program once the database's measured statistics
@@ -88,6 +101,17 @@ struct ServiceOptions {
   /// serve` append path), so the next query pays only rendering. False
   /// defers the refresh to the next Run of each program.
   bool refresh_on_append = true;
+  /// How programs flagged *generative* by admission analysis
+  /// (analysis/admission.h: SD301-SD303, potentially non-terminating
+  /// fixpoints) are treated. kOff runs everything under `run_options`
+  /// unchanged (trusted clients — the default, and the differential
+  /// harness's mode); kBudget clamps their runs to `generative_budget`;
+  /// kStrict refuses to Run them (kFailedPrecondition naming the SD3xx
+  /// finding). Compile always succeeds and reports the verdict.
+  AdmissionPolicy admission = AdmissionPolicy::kOff;
+  /// Caps enforced on generative programs under kBudget, applied as the
+  /// minimum with `run_options` (a budget can only tighten).
+  RunOptions generative_budget = DefaultGenerativeBudget();
 };
 
 /// Occupancy and lifetime traffic counters of the result/view cache,
@@ -158,18 +182,35 @@ class DatabaseService {
     std::shared_ptr<PreparedProgram> prog;
     uint64_t epoch = 0;       ///< db epoch at compile time
     StoreStats stats;         ///< Stats() snapshot the plan was ranked by
+    /// Admission classification of the program (analysis/admission.h),
+    /// computed once per compile; Run consults it to enforce the policy.
+    std::shared_ptr<const AdmissionReport> admission;
+    /// Lint findings (SD1xx warnings), shipped in compile replies.
+    std::shared_ptr<const DiagnosticList> lints;
   };
 
   /// Cache lookup honoring the drift policy; compiles on miss/drift.
-  /// Never returns null on OK.
+  /// Never returns null on OK. `admission`/`lints` (optional) receive
+  /// the entry's analysis results.
   Result<std::shared_ptr<PreparedProgram>> Prepare(
       const std::string& program_text, const std::string& source_name,
-      bool* cache_hit);
+      bool* cache_hit,
+      std::shared_ptr<const AdmissionReport>* admission = nullptr,
+      std::shared_ptr<const DiagnosticList>* lints = nullptr);
 
   /// Parse + compile against a fresh statistics snapshot; inserts the
   /// cache entry (last writer wins when two threads race on one text).
   Result<std::shared_ptr<PreparedProgram>> CompileFresh(
-      const std::string& program_text, const std::string& source_name);
+      const std::string& program_text, const std::string& source_name,
+      std::shared_ptr<const AdmissionReport>* admission = nullptr,
+      std::shared_ptr<const DiagnosticList>* lints = nullptr);
+
+  /// Enforces the service's admission policy on one prepared run:
+  /// returns kFailedPrecondition for a generative program under kStrict,
+  /// clamps `ropts` to `generative_budget` under kBudget, and passes
+  /// tame programs through untouched.
+  Status ApplyAdmission(const AdmissionReport* admission,
+                        RunOptions* ropts) const;
 
   /// One program's cached serving state: the maintained view (null with
   /// maintain_views off) and every rendering produced from it at `epoch`,

@@ -15,6 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/base/source_span.h"
 #include "src/base/status.h"
 #include "src/term/universe.h"
 #include "src/term/value.h"
@@ -134,6 +135,12 @@ struct Literal {
 struct Rule {
   Predicate head;
   std::vector<Literal> body;
+  /// Where the rule sits in the source text it was parsed from (start of
+  /// the head through the terminating '.'). Invalid (line 0) for rules
+  /// built programmatically — diagnostics then render without a
+  /// location. Ignored by operator-free comparisons elsewhere (rules
+  /// have no operator==).
+  SourceSpan span;
 };
 
 /// A set of rules evaluated jointly to a fixpoint.

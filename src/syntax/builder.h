@@ -45,7 +45,7 @@ class ProgramBuilder {
   }
 
   Rule R(Predicate head, std::vector<Literal> body) const {
-    return Rule{std::move(head), std::move(body)};
+    return Rule{std::move(head), std::move(body), SourceSpan()};
   }
 
   Universe& universe() const { return u_; }

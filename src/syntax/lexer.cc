@@ -40,7 +40,8 @@ bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
 
 class Scanner {
  public:
-  explicit Scanner(std::string_view src) : src_(src) {}
+  Scanner(std::string_view src, DiagnosticList* diags)
+      : src_(src), diags_(diags) {}
 
   Result<std::vector<Token>> Run() {
     std::vector<Token> out;
@@ -95,6 +96,9 @@ class Scanner {
   }
 
   Status Error(const std::string& msg) const {
+    if (diags_ != nullptr) {
+      diags_->Add(Diagnostic::Error("SD001", SourceSpan::At(line_, col_), msg));
+    }
     return Status::InvalidArgument("lex error at " + std::to_string(line_) +
                                    ":" + std::to_string(col_) + ": " + msg);
   }
@@ -184,6 +188,7 @@ class Scanner {
   }
 
   std::string_view src_;
+  DiagnosticList* diags_;
   size_t pos_ = 0;
   int line_ = 1;
   int col_ = 1;
@@ -191,8 +196,9 @@ class Scanner {
 
 }  // namespace
 
-Result<std::vector<Token>> Tokenize(std::string_view source) {
-  return Scanner(source).Run();
+Result<std::vector<Token>> Tokenize(std::string_view source,
+                                    DiagnosticList* diags) {
+  return Scanner(source, diags).Run();
 }
 
 }  // namespace seqdl

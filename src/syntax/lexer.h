@@ -18,6 +18,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/analysis/diagnostics.h"
 #include "src/base/status.h"
 
 namespace seqdl {
@@ -53,7 +54,11 @@ struct Token {
 };
 
 /// Tokenizes `source`; on success the result ends with a kEnd token.
-Result<std::vector<Token>> Tokenize(std::string_view source);
+/// When `diags` is non-null, a lex error is also appended to it as a
+/// structured SD001 diagnostic with the precise source span (the
+/// returned Status carries the same message either way).
+Result<std::vector<Token>> Tokenize(std::string_view source,
+                                    DiagnosticList* diags = nullptr);
 
 }  // namespace seqdl
 

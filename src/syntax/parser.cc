@@ -10,8 +10,9 @@ namespace {
 
 class Parser {
  public:
-  Parser(Universe& u, std::vector<Token> tokens)
-      : u_(u), tokens_(std::move(tokens)) {}
+  Parser(Universe& u, std::vector<Token> tokens,
+         DiagnosticList* diags = nullptr)
+      : u_(u), tokens_(std::move(tokens)), diags_(diags) {}
 
   Result<Program> ParseProgram() {
     Program p;
@@ -36,6 +37,9 @@ class Parser {
 
   Result<Rule> ParseRule() {
     Rule r;
+    const Token& start = Peek();
+    r.span.line = start.line;
+    r.span.col = start.col;
     SEQDL_ASSIGN_OR_RETURN(r.head, ParsePredicate());
     if (Match(TokenKind::kArrow)) {
       // An empty body before '.' is allowed (e.g. "A <- ." from Lemma 7.2
@@ -48,7 +52,10 @@ class Parser {
         }
       }
     }
+    const Token& period = Peek();
     SEQDL_RETURN_IF_ERROR(Expect(TokenKind::kPeriod));
+    r.span.end_line = period.line;
+    r.span.end_col = period.col + 1;
     return r;
   }
 
@@ -83,6 +90,11 @@ class Parser {
 
   Status ErrorHere(const std::string& msg) const {
     const Token& t = Peek();
+    if (diags_ != nullptr) {
+      int length = t.text.empty() ? 1 : static_cast<int>(t.text.size());
+      diags_->Add(Diagnostic::Error(
+          "SD002", SourceSpan::At(t.line, t.col, length), msg));
+    }
     return Status::InvalidArgument("parse error at " + std::to_string(t.line) +
                                    ":" + std::to_string(t.col) + ": " + msg);
   }
@@ -195,6 +207,7 @@ class Parser {
 
   Universe& u_;
   std::vector<Token> tokens_;
+  DiagnosticList* diags_;
   size_t pos_ = 0;
 };
 
@@ -203,6 +216,12 @@ class Parser {
 Result<Program> ParseProgram(Universe& u, std::string_view source) {
   SEQDL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
   return Parser(u, std::move(tokens)).ParseProgram();
+}
+
+Result<Program> ParseProgram(Universe& u, std::string_view source,
+                             DiagnosticList* diags) {
+  SEQDL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source, diags));
+  return Parser(u, std::move(tokens), diags).ParseProgram();
 }
 
 Result<Rule> ParseRule(Universe& u, std::string_view source) {

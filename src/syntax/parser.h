@@ -5,6 +5,7 @@
 
 #include <string_view>
 
+#include "src/analysis/diagnostics.h"
 #include "src/base/status.h"
 #include "src/syntax/ast.h"
 #include "src/term/universe.h"
@@ -13,6 +14,12 @@ namespace seqdl {
 
 /// Parses a full program (one or more strata separated by '---').
 Result<Program> ParseProgram(Universe& u, std::string_view source);
+
+/// As above, but additionally records lex/parse errors as structured
+/// SD001/SD002 diagnostics with precise source spans, and stamps each
+/// parsed rule's Rule::span. The returned Status is unchanged.
+Result<Program> ParseProgram(Universe& u, std::string_view source,
+                             DiagnosticList* diags);
 
 /// Parses a single rule (must consume the entire input).
 Result<Rule> ParseRule(Universe& u, std::string_view source);

@@ -2,10 +2,12 @@
 
 #include "src/analysis/dependency_graph.h"
 #include "src/analysis/features.h"
+#include "src/analysis/lint.h"
 #include "src/analysis/packing_structure.h"
 #include "src/analysis/purity.h"
 #include "src/analysis/safety.h"
 #include "src/analysis/stratify.h"
+#include "src/engine/engine.h"
 #include "src/syntax/parser.h"
 #include "src/syntax/printer.h"
 #include "src/term/universe.h"
@@ -387,6 +389,186 @@ TEST(PackingStructureTest, FromComponentsRejectsWrongCount) {
   std::vector<PathExpr> comps = Components(*e);
   comps.pop_back();
   EXPECT_FALSE(FromComponents(Delta(*e), comps).ok());
+}
+
+// --- Lint passes (SD101-SD107) ------------------------------------------------
+
+DiagnosticList Lint(Universe& u, const std::string& text,
+                    const LintOptions& opts = {}) {
+  Program p = MustParse(u, text);
+  DiagnosticList diags;
+  LintProgram(u, p, opts, &diags);
+  return diags;
+}
+
+std::vector<std::string> Codes(const DiagnosticList& diags) {
+  std::vector<std::string> out;
+  for (const Diagnostic& d : diags.all()) out.push_back(d.code);
+  return out;
+}
+
+TEST(LintTest, CleanProgramHasNoFindings) {
+  Universe u;
+  DiagnosticList diags =
+      Lint(u, "R($x, $y) <- E($x, $y).\nR($x, $z) <- R($x, $y), E($y, $z).\n");
+  EXPECT_TRUE(diags.empty()) << diags.RenderText();
+}
+
+TEST(LintTest, SD101DuplicateRule) {
+  Universe u;
+  DiagnosticList diags = Lint(u, "S($x) <- R($x).\nS($x) <- R($x).\n");
+  ASSERT_EQ(Codes(diags), std::vector<std::string>{"SD101"});
+  const Diagnostic& d = diags[0];
+  EXPECT_EQ(d.severity, Severity::kWarning);
+  // The *second* occurrence is flagged, with a note pointing back at the
+  // first.
+  EXPECT_EQ(d.span.line, 2u);
+  EXPECT_EQ(d.message, "duplicate rule: identical to an earlier rule");
+  ASSERT_GE(d.notes.size(), 1u);
+  EXPECT_EQ(d.notes[0], "first occurrence at line 1");
+}
+
+TEST(LintTest, SD102DuplicateBodyLiteral) {
+  Universe u;
+  DiagnosticList diags = Lint(u, "S($x) <- R($x), R($x).\n");
+  ASSERT_EQ(Codes(diags), std::vector<std::string>{"SD102"});
+  EXPECT_EQ(diags[0].span.line, 1u);
+  EXPECT_EQ(diags[0].message, "duplicate body literal: R($x)");
+}
+
+TEST(LintTest, SD103SingletonVariable) {
+  Universe u;
+  DiagnosticList diags = Lint(u, "S($x) <- R($x, $y).\n");
+  ASSERT_EQ(Codes(diags), std::vector<std::string>{"SD103"});
+  EXPECT_EQ(diags[0].message,
+            "singleton variable $y: occurs exactly once in the rule");
+}
+
+TEST(LintTest, SD104NeverFiresOnEmptyRelation) {
+  Universe u;
+  // T only derives from itself, so it can never contain facts; both rules
+  // are unfireable.
+  DiagnosticList diags = Lint(u, "T($x) <- T($x).\nS($x) <- T($x).\n");
+  ASSERT_EQ(Codes(diags), (std::vector<std::string>{"SD104", "SD104"}));
+  EXPECT_EQ(diags[0].message, "rule can never fire");
+  ASSERT_GE(diags[1].notes.size(), 1u);
+  EXPECT_EQ(diags[1].notes[0], "relation T can never contain facts");
+}
+
+TEST(LintTest, SD104NeverFiresOnFalseEquation) {
+  Universe u;
+  DiagnosticList diags = Lint(u, "S($x) <- R($x), a = b.\n");
+  ASSERT_EQ(Codes(diags), std::vector<std::string>{"SD104"});
+  ASSERT_GE(diags[0].notes.size(), 1u);
+  EXPECT_EQ(diags[0].notes[0], "equation a = b can never hold");
+}
+
+TEST(LintTest, SD104NeverFiresOnNegatedIdenticalSides) {
+  Universe u;
+  DiagnosticList diags = Lint(u, "S($x) <- R($x), $x != $x.\n");
+  EXPECT_EQ(Codes(diags), std::vector<std::string>{"SD104"});
+}
+
+TEST(LintTest, SD105CrossProductJoin) {
+  Universe u;
+  DiagnosticList diags = Lint(u, "S($x, $y) <- R($x), Q($y).\n");
+  ASSERT_EQ(Codes(diags), std::vector<std::string>{"SD105"});
+  EXPECT_EQ(diags[0].message,
+            "cross-product join: body predicates form 2 groups sharing no "
+            "variables: R($x) | Q($y)");
+}
+
+TEST(LintTest, SD105EquationConnectsTheJoin) {
+  Universe u;
+  // The equation links $x and $y, so the join is not a cross product.
+  DiagnosticList diags = Lint(u, "S($x, $y) <- R($x), Q($y), $x = $y.\n");
+  EXPECT_TRUE(diags.empty()) << diags.RenderText();
+}
+
+TEST(LintTest, SD105NoteCarriesMeasuredSizes) {
+  Universe u;
+  Program p = MustParse(u, "S($x, $y) <- R($x), Q($y).\n");
+  StoreStats stats;
+  stats.relations[*u.FindRel("R")].tuples = 10;
+  stats.relations[*u.FindRel("Q")].tuples = 3;
+  LintOptions opts;
+  opts.stats = &stats;
+  DiagnosticList diags;
+  LintProgram(u, p, opts, &diags);
+  ASSERT_EQ(Codes(diags), std::vector<std::string>{"SD105"});
+  ASSERT_GE(diags[0].notes.size(), 1u);
+  EXPECT_EQ(diags[0].notes[0], "measured relation sizes: R=10, Q=3");
+}
+
+TEST(LintTest, SD106SD107DeadRuleAndUnusedRelation) {
+  Universe u;
+  Program p = MustParse(u,
+                        "T($x) <- E($x).\n"
+                        "U($x) <- E($x).\n"
+                        "S($x) <- T($x).\n");
+  LintOptions opts;
+  opts.output = *u.FindRel("S");
+  DiagnosticList diags;
+  LintProgram(u, p, opts, &diags);
+  ASSERT_EQ(Codes(diags), (std::vector<std::string>{"SD106", "SD107"}));
+  EXPECT_EQ(diags[0].span.line, 2u);
+  EXPECT_EQ(diags[0].message,
+            "dead rule: U is never used to compute the output S");
+  EXPECT_EQ(diags[1].message,
+            "relation U is derived but never read and is not the output");
+}
+
+TEST(LintTest, SD106RequiresAnOutput) {
+  Universe u;
+  // Without LintOptions::output the dead-rule/unused passes are skipped.
+  DiagnosticList diags = Lint(u, "T($x) <- E($x).\nS($x) <- E($x).\n");
+  EXPECT_TRUE(diags.empty()) << diags.RenderText();
+}
+
+// --- Dead-rule elimination (RemoveDeadRules) ----------------------------------
+
+TEST(DeadRuleElimTest, KeepsOnlyLiveRules) {
+  Universe u;
+  Program p = MustParse(u,
+                        "T($x) <- E($x).\n"
+                        "U($x) <- T($x).\n"
+                        "S($x) <- T($x).\n");
+  Program pruned = RemoveDeadRules(p, *u.FindRel("S"));
+  EXPECT_EQ(p.AllRules().size(), 3u);
+  EXPECT_EQ(pruned.AllRules().size(), 2u);
+  std::set<RelId> live = LiveRels(p, *u.FindRel("S"));
+  EXPECT_TRUE(live.count(*u.FindRel("S")));
+  EXPECT_TRUE(live.count(*u.FindRel("T")));
+  EXPECT_FALSE(live.count(*u.FindRel("U")));
+}
+
+TEST(DeadRuleElimTest, ProjectionIsByteIdentical) {
+  Universe u;
+  const char* text =
+      "T($x) <- E($x).\n"
+      "T(a ++ $x) <- T($x), G($x).\n"
+      "U($x, $x) <- E($x).\n"
+      "V($x) <- U($x, $x), G($x).\n"
+      "S($x) <- T($x).\n";
+  Program full = MustParse(u, text);
+  RelId output = *u.FindRel("S");
+  Program pruned = RemoveDeadRules(full, output);
+  ASSERT_LT(pruned.AllRules().size(), full.AllRules().size());
+
+  Result<Instance> edb = ParseInstance(u, "E(a). E(b). G(b). G(a ++ b).");
+  ASSERT_TRUE(edb.ok()) << edb.status().ToString();
+  Result<PreparedProgram> pf = Engine::Compile(u, std::move(full));
+  ASSERT_TRUE(pf.ok()) << pf.status().ToString();
+  Result<PreparedProgram> pp = Engine::Compile(u, std::move(pruned));
+  ASSERT_TRUE(pp.ok()) << pp.status().ToString();
+
+  Result<Instance> of = pf->RunQuery(*edb, output);
+  ASSERT_TRUE(of.ok()) << of.status().ToString();
+  Result<Instance> op = pp->RunQuery(*edb, output);
+  ASSERT_TRUE(op.ok()) << op.status().ToString();
+  // Dropping SD106-dead rules cannot change the output's projection.
+  EXPECT_EQ(of->ToString(u), op->ToString(u));
+  EXPECT_FALSE(of->ToString(u).empty());
 }
 
 }  // namespace

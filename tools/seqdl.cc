@@ -13,6 +13,7 @@
 //
 //   seqdl serve <instance.sdl> [--stats] [--threads=N]
 //               [--recompile-drift=X] [--auto-compact=N] [--listen=PORT]
+//               [--admission=off|budget|strict]
 //       Load the instance into a versioned Database once, then serve it.
 //       With --listen=PORT the database is served over TCP (the framed
 //       wire protocol of src/server/protocol.h; PORT 0 picks a free
@@ -49,6 +50,10 @@
 //       folds the segment stack whenever it grows past N segments
 //       (default 8, 0 = manual `compact` only). Malformed `append` files
 //       are reported as structured "<file>:line:col: ..." errors.
+//       --admission=off|budget|strict (default off) screens every
+//       program through admission analysis before running it:
+//       potentially non-terminating programs (SD301-SD303) are capped
+//       (budget) or refused (strict) — see docs/analysis.md.
 //
 //   seqdl query --connect=HOST:PORT <command> [args]
 //       Blocking client for a `seqdl serve --listen` server. Commands:
@@ -60,9 +65,19 @@
 //           shutdown                    drain and stop the server
 //       [--stats] prints the run's engine counters to stderr.
 //
-//   seqdl check <program.sdl>
-//       Validate safety/stratification, report the features used and the
-//       Figure 1 expressiveness class of the program's fragment.
+//   seqdl check <program.sdl> [--json] [--output=REL]
+//               [--admission=off|budget|strict] [--werror]
+//       The full program analyzer: parse and validation errors (SD0xx),
+//       the lint suite (SD1xx: duplicate rules/literals, singleton
+//       variables, never-fires, cross-product joins; --output=REL adds
+//       dead-rule and unused-relation analysis), and admission
+//       classification (SD3xx: is the program potentially
+//       non-terminating, and what happens to it under the given
+//       policy). Reports the features used and the Figure 1
+//       expressiveness class; --json emits one machine-readable
+//       document; --werror upgrades warnings to errors. Exit code 0 =
+//       clean, 1 = errors, 2 = usage/IO, 4 = warnings only. See
+//       docs/analysis.md for the diagnostic catalog.
 //
 //   seqdl transform <program.sdl> --eliminate=packing|equations|arity|all
 //       Apply the paper's redundancy transformations and print the result.
@@ -100,7 +115,10 @@
 
 #include "src/algebra/algebra.h"
 #include "src/algebra/from_datalog.h"
+#include "src/analysis/admission.h"
+#include "src/analysis/diagnostics.h"
 #include "src/analysis/features.h"
+#include "src/analysis/lint.h"
 #include "src/analysis/safety.h"
 #include "src/engine/database.h"
 #include "src/engine/engine.h"
@@ -124,6 +142,32 @@ namespace {
 
 int Fail(const seqdl::Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+// Reports a failure through the structured diagnostics renderer when the
+// status carries a source location ("parse error at L:C: ...", or a
+// service error already annotated "<name>:L:C: ..."), so every front end
+// prints the same "name:L:C: error: msg [SDxxx]" line as `seqdl check`.
+// Falls back to the plain "error:" line for statuses without a location.
+int FailDiag(const std::string& source_name, const seqdl::Status& status) {
+  const std::string& msg = status.message();
+  seqdl::SourceSpan span = seqdl::SpanFromStatusMessage(msg);
+  if (status.code() != seqdl::StatusCode::kInvalidArgument || !span.valid()) {
+    return Fail(status);
+  }
+  // Strip everything through the "L:C: " location to recover the bare
+  // message the diagnostic re-renders with its own span prefix.
+  std::string needle =
+      std::to_string(span.line) + ":" + std::to_string(span.col) + ":";
+  size_t pos = msg.find(needle);
+  std::string bare =
+      pos == std::string::npos ? msg : msg.substr(pos + needle.size());
+  while (!bare.empty() && bare.front() == ' ') bare.erase(bare.begin());
+  const char* code =
+      msg.rfind("lex error at ", 0) == 0 ? "SD001" : "SD002";
+  seqdl::Diagnostic d = seqdl::Diagnostic::Error(code, span, bare);
+  std::fprintf(stderr, "%s\n", d.ToString(source_name).c_str());
   return 1;
 }
 
@@ -184,10 +228,16 @@ int CmdRun(const std::vector<std::string>& args) {
   if (!program_text.ok()) return Fail(program_text.status());
   auto instance_text = ReadFile(args[1]);
   if (!instance_text.ok()) return Fail(instance_text.status());
-  auto program = seqdl::ParseProgram(u, *program_text);
-  if (!program.ok()) return Fail(program.status());
+  seqdl::DiagnosticList parse_diags;
+  auto program = seqdl::ParseProgram(u, *program_text, &parse_diags);
+  if (!program.ok()) {
+    // The same structured rendering as `seqdl check`: file:line:col,
+    // severity, stable SD code.
+    std::fprintf(stderr, "%s", parse_diags.RenderText(args[0]).c_str());
+    return 1;
+  }
   auto instance = seqdl::ParseInstance(u, *instance_text);
-  if (!instance.ok()) return Fail(instance.status());
+  if (!instance.ok()) return FailDiag(args[1], instance.status());
 
   // Measure the instance so the planner can rank access paths by
   // selectivity; --legacy-planner keeps the first-ground-argument
@@ -296,7 +346,7 @@ class ServeLoop {
     auto reply = service_.Append(req);
     if (!reply.ok()) {
       std::lock_guard<std::mutex> lock(io_mu_);
-      Fail(reply.status());
+      FailDiag(path, reply.status());
       return;
     }
     std::lock_guard<std::mutex> lock(io_mu_);
@@ -403,7 +453,7 @@ class ServeLoop {
     auto reply = service_.Run(req);
     std::lock_guard<std::mutex> lock(io_mu_);
     if (!reply.ok()) {
-      Fail(reply.status());
+      FailDiag(path, reply.status());
       return;
     }
     std::printf("%s", reply->rendered.c_str());
@@ -447,7 +497,8 @@ int CmdServe(const std::vector<std::string>& args) {
     std::fprintf(stderr,
                  "usage: seqdl serve <instance> [--stats] [--threads=N] "
                  "[--recompile-drift=X] [--auto-compact=N] "
-                 "[--cache-bytes=N] [--listen=PORT]\n");
+                 "[--cache-bytes=N] [--listen=PORT] "
+                 "[--admission=off|budget|strict]\n");
     return 2;
   }
   bool stats_on = HasFlag(args, "--stats");
@@ -488,6 +539,17 @@ int CmdServe(const std::vector<std::string>& args) {
   // plus materialized IDBs); LRU entries are evicted past it.
   if (std::string v = FlagValue(args, "--cache-bytes="); !v.empty()) {
     sopts.cache_bytes = std::strtoull(v.c_str(), nullptr, 10);
+  }
+  // Admission control for untrusted programs (docs/analysis.md): off
+  // runs everything (trusted clients, the default), budget caps runs of
+  // potentially non-terminating programs, strict refuses them.
+  if (std::string v = FlagValue(args, "--admission="); !v.empty()) {
+    auto policy = seqdl::ParseAdmissionPolicy(v);
+    if (!policy.ok()) {
+      Fail(policy.status());
+      return 2;
+    }
+    sopts.admission = *policy;
   }
   sopts.log = [](const std::string& msg) {
     std::lock_guard<std::mutex> lock(log_mu);
@@ -665,6 +727,26 @@ int CmdQuery(const std::vector<std::string>& args) {
                 static_cast<unsigned long long>(reply->strata),
                 reply->cache_hit ? "cache hit" : "compiled",
                 reply->compile_seconds * 1e3);
+    if (!reply->features.empty()) {
+      std::printf("features %s, class %s, admission: %s\n",
+                  reply->features.c_str(), reply->fragment_class.c_str(),
+                  seqdl::AdmissionVerdictToString(
+                      static_cast<seqdl::AdmissionVerdict>(reply->admission)));
+    }
+    // The server's analyzer findings (lint SD1xx, admission SD3xx),
+    // rendered like `seqdl check` renders its local ones.
+    for (const seqdl::protocol::WireDiagnostic& w : reply->diagnostics) {
+      seqdl::Diagnostic d;
+      d.severity = static_cast<seqdl::Severity>(w.severity);
+      d.code = w.code;
+      d.span.line = static_cast<int>(w.line);
+      d.span.col = static_cast<int>(w.col);
+      d.span.end_line = static_cast<int>(w.end_line);
+      d.span.end_col = static_cast<int>(w.end_col);
+      d.message = w.message;
+      d.notes = w.notes;
+      std::fprintf(stderr, "%s\n", d.ToString(words[1]).c_str());
+    }
     return 0;
   }
   if (cmd == "append") {
@@ -735,29 +817,111 @@ int CmdQuery(const std::vector<std::string>& args) {
   return 2;
 }
 
+// The full program analyzer: parse, validation (SD0xx), lints (SD1xx),
+// and admission classification (SD3xx) in one pass, rendered as
+// compiler-style diagnostics or one JSON document (--json). Exit codes:
+// 0 clean, 1 errors (including strict-admission rejection), 2 usage/IO,
+// 4 warnings only.
 int CmdCheck(const std::vector<std::string>& args) {
-  if (args.empty()) {
-    std::fprintf(stderr, "usage: seqdl check <program>\n");
+  if (args.empty() || args[0].rfind("--", 0) == 0) {
+    std::fprintf(stderr,
+                 "usage: seqdl check <program> [--json] [--output=REL] "
+                 "[--admission=off|budget|strict] [--werror]\n");
     return 2;
   }
-  seqdl::Universe u;
-  auto text = ReadFile(args[0]);
-  if (!text.ok()) return Fail(text.status());
-  auto program = seqdl::ParseProgram(u, *text);
-  if (!program.ok()) return Fail(program.status());
-  seqdl::Status valid = seqdl::ValidateProgram(u, *program);
-  std::printf("rules:      %zu in %zu strata\n", program->NumRules(),
-              program->strata.size());
-  std::printf("validation: %s\n", valid.ToString().c_str());
-  seqdl::FeatureSet f = seqdl::DetectFeatures(*program);
-  std::printf("features:   %s\n", f.ToString().c_str());
-  for (const seqdl::FragmentClass& cls : seqdl::CoreEquivalenceClasses()) {
-    if (seqdl::Equivalent(f, cls.Rep())) {
-      std::printf("class:      %s (Figure 1)\n", cls.Label().c_str());
-      break;
+  const std::string& source = args[0];
+  bool json = HasFlag(args, "--json");
+  seqdl::AdmissionPolicy policy = seqdl::AdmissionPolicy::kBudget;
+  if (std::string v = FlagValue(args, "--admission="); !v.empty()) {
+    auto parsed = seqdl::ParseAdmissionPolicy(v);
+    if (!parsed.ok()) {
+      Fail(parsed.status());
+      return 2;
     }
+    policy = *parsed;
   }
-  return valid.ok() ? 0 : 1;
+
+  seqdl::Universe u;
+  auto text = ReadFile(source);
+  if (!text.ok()) {
+    Fail(text.status());
+    return 2;
+  }
+  seqdl::DiagnosticList diags;
+  auto program = seqdl::ParseProgram(u, *text, &diags);
+  bool parsed = program.ok();
+
+  seqdl::AdmissionReport report;
+  if (parsed) {
+    seqdl::ValidateProgram(u, *program, &diags);
+    seqdl::LintOptions lopts;
+    if (std::string v = FlagValue(args, "--output="); !v.empty()) {
+      auto rel = u.FindRel(v);
+      if (!rel.ok()) {
+        Fail(seqdl::Status::NotFound("--output=" + v +
+                                     ": relation not used by the program"));
+        return 2;
+      }
+      lopts.output = *rel;
+    }
+    seqdl::LintProgram(u, *program, lopts, &diags);
+    report = seqdl::AnalyzeAdmission(u, *program);
+    seqdl::DiagnosticList admission =
+        seqdl::PolicyDiagnostics(report, policy);
+    for (const seqdl::Diagnostic& d : admission.all()) diags.Add(d);
+  }
+
+  if (HasFlag(args, "--werror")) {
+    seqdl::DiagnosticList hard;
+    for (const seqdl::Diagnostic& d : diags.all()) {
+      seqdl::Diagnostic c = d;
+      if (c.severity == seqdl::Severity::kWarning) {
+        c.severity = seqdl::Severity::kError;
+      }
+      hard.Add(std::move(c));
+    }
+    diags = std::move(hard);
+  }
+
+  const char* verdict =
+      seqdl::AdmissionVerdictToString(report.Verdict(policy));
+  if (json) {
+    std::string out = "{\n  \"source\": ";
+    seqdl::AppendJsonString(&out, source);
+    out += ",\n  \"valid\": ";
+    out += diags.HasErrors() ? "false" : "true";
+    if (parsed) {
+      out += ",\n  \"rules\": " + std::to_string(program->NumRules());
+      out += ",\n  \"strata\": " + std::to_string(program->strata.size());
+      out += ",\n  \"features\": ";
+      seqdl::AppendJsonString(&out, report.features.ToString());
+      out += ",\n  \"class\": ";
+      seqdl::AppendJsonString(&out, report.fragment_class);
+      out += ",\n  \"admission\": ";
+      seqdl::AppendJsonString(&out, verdict);
+    }
+    out += ",\n  \"errors\": " + std::to_string(diags.NumErrors());
+    out += ",\n  \"warnings\": " + std::to_string(diags.NumWarnings());
+    out += ",\n  \"diagnostics\": " + diags.RenderJson();
+    out += "\n}\n";
+    std::printf("%s", out.c_str());
+  } else {
+    std::fprintf(stderr, "%s", diags.RenderText(source).c_str());
+    if (parsed) {
+      std::printf("rules:      %zu in %zu strata\n", program->NumRules(),
+                  program->strata.size());
+      std::printf("features:   %s\n", report.features.ToString().c_str());
+      std::printf("class:      %s (Figure 1)\n",
+                  report.fragment_class.c_str());
+      std::printf("admission:  %s (policy %s)\n", verdict,
+                  seqdl::AdmissionPolicyToString(policy));
+    }
+    std::printf("diagnostics: %zu errors, %zu warnings\n",
+                diags.NumErrors(), diags.NumWarnings());
+  }
+  if (diags.HasErrors()) return 1;
+  if (diags.NumWarnings() > 0) return 4;
+  return 0;
 }
 
 int CmdTransform(const std::vector<std::string>& args) {
