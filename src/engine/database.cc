@@ -15,13 +15,39 @@ Database::DbState::~DbState() = default;
 
 namespace {
 
-/// True iff some segment of `set` already holds (rel, t).
-bool StackContains(const std::vector<std::shared_ptr<const BaseStore>>& segs,
-                   RelId rel, const Tuple& t) {
-  for (const auto& seg : segs) {
-    if (seg->Contains(rel, t)) return true;
+/// True iff (rel, t) is *visible* in the stack: the newest segment
+/// holding it decides — a fact segment means present, a tombstone means
+/// retracted (the per-fact flip invariant, see the header comment).
+bool StackVisible(const std::vector<std::shared_ptr<const BaseStore>>& segs,
+                  const std::vector<SegmentKind>& kinds, RelId rel,
+                  const Tuple& t) {
+  for (size_t i = segs.size(); i-- > 0;) {
+    if (segs[i]->Contains(rel, t)) {
+      return kinds[i] == SegmentKind::kFacts;
+    }
   }
   return false;
+}
+
+/// Materializes the visible facts of a stack: fact segments union in,
+/// tombstone segments remove (forward walk — a later fact re-appends).
+Instance MaterializeVisible(
+    const std::vector<std::shared_ptr<const BaseStore>>& segs,
+    const std::vector<SegmentKind>& kinds) {
+  Instance out;
+  for (size_t i = 0; i < segs.size(); ++i) {
+    const Instance& inst = segs[i]->instance();
+    if (kinds[i] == SegmentKind::kFacts) {
+      out.UnionWith(inst);
+      continue;
+    }
+    for (RelId rel : inst.Relations()) {
+      for (const Tuple& t : inst.Tuples(rel)) {
+        out.Remove(rel, t);
+      }
+    }
+  }
+  return out;
 }
 
 }  // namespace
@@ -38,6 +64,7 @@ Result<Database> Database::Open(Universe& u, Instance edb,
   set->total_facts = segment->instance().NumFacts();
   set->segments.push_back(std::move(segment));
   set->segment_epochs.push_back(0);
+  set->segment_kinds.push_back(SegmentKind::kFacts);
   state->current = std::move(set);
   state->views.reset(new ViewManager(*state));
   return Database(std::move(state));
@@ -65,12 +92,18 @@ Result<uint64_t> Database::AppendTo(DbState& state, Instance delta,
   }
   std::shared_ptr<const SegmentSet> cur = state.Current();
 
-  // Dedupe against the current stack so segments stay pairwise disjoint
-  // (multi-segment scans then enumerate each base fact exactly once).
+  // Dedupe against what is currently *visible*, which keeps the per-fact
+  // flip invariant: a fact's occurrences in stack order alternate
+  // fact/tombstone/…, so visibility is decided by the newest occurrence
+  // and visible enumeration across segments yields each fact exactly
+  // once. (Re-appending a retracted fact is legal and publishes a fresh
+  // occurrence above its tombstone.)
   Instance fresh;
   for (RelId rel : delta.Relations()) {
     for (const Tuple& t : delta.Tuples(rel)) {
-      if (!StackContains(cur->segments, rel, t)) fresh.Add(rel, t);
+      if (!StackVisible(cur->segments, cur->segment_kinds, rel, t)) {
+        fresh.Add(rel, t);
+      }
     }
   }
   if (fresh.Empty()) return cur->epoch;  // nothing new: the epoch holds
@@ -87,6 +120,9 @@ Result<uint64_t> Database::AppendTo(DbState& state, Instance delta,
   next->segments.push_back(std::move(segment));
   next->segment_epochs = cur->segment_epochs;
   next->segment_epochs.push_back(next->epoch);
+  next->segment_kinds = cur->segment_kinds;
+  next->segment_kinds.push_back(SegmentKind::kFacts);
+  next->shrink_floor = cur->shrink_floor;
   next->total_facts = cur->total_facts + fresh_facts;
   uint64_t epoch = next->epoch;
   state.Publish(std::move(next));
@@ -103,6 +139,63 @@ Result<uint64_t> Database::AppendTo(DbState& state, Instance delta,
 
 Result<uint64_t> Database::Append(Instance delta, size_t* appended) {
   return AppendTo(*state_, std::move(delta), appended);
+}
+
+Result<uint64_t> Database::RetractFrom(DbState& state, Instance victims,
+                                       size_t* retracted) {
+  if (retracted != nullptr) *retracted = 0;
+  std::lock_guard<std::mutex> writer(state.writer_mu);
+  if (state.closed.load(std::memory_order_relaxed)) {
+    return Status::FailedPrecondition(
+        "database is closed: no further retractions");
+  }
+  std::shared_ptr<const SegmentSet> cur = state.Current();
+
+  // Restrict to facts currently visible — the flip invariant's other
+  // half: a tombstone is only ever published above a visible fact, so
+  // occurrences keep alternating and tombstone segments stay pairwise
+  // disjoint from each other at equal visibility depth.
+  Instance hits;
+  for (RelId rel : victims.Relations()) {
+    for (const Tuple& t : victims.Tuples(rel)) {
+      if (StackVisible(cur->segments, cur->segment_kinds, rel, t)) {
+        hits.Add(rel, t);
+      }
+    }
+  }
+  if (hits.Empty()) return cur->epoch;  // nothing visible: epoch holds
+
+  size_t hit_facts = hits.NumFacts();
+  if (retracted != nullptr) *retracted = hit_facts;
+  auto segment =
+      std::make_shared<BaseStore>(*state.universe, std::move(hits));
+  if (state.opts.eager_indexes) segment->BuildAllIndexes();
+
+  auto next = std::make_shared<SegmentSet>();
+  next->epoch = cur->epoch + 1;
+  next->segments = cur->segments;
+  next->segments.push_back(std::move(segment));
+  next->segment_epochs = cur->segment_epochs;
+  next->segment_epochs.push_back(next->epoch);
+  next->segment_kinds = cur->segment_kinds;
+  next->segment_kinds.push_back(SegmentKind::kTombstones);
+  next->shrink_floor = cur->shrink_floor;
+  next->total_facts = cur->total_facts - hit_facts;
+  uint64_t epoch = next->epoch;
+  state.Publish(std::move(next));
+
+  // A shrink is drift evidence exactly like an append: note the epoch so
+  // cached plans recompile off smaller estimates once something
+  // re-derives (satellite of the shrink-blindness fix — Stats() also
+  // discounts tombstones directly).
+  state.accum.NoteEpoch();
+
+  if (PolicyWantsCompaction(state, *state.Current())) CompactLocked(state);
+  return epoch;
+}
+
+Result<uint64_t> Database::Retract(Instance victims, size_t* retracted) {
+  return RetractFrom(*state_, std::move(victims), retracted);
 }
 
 bool Database::PolicyWantsCompaction(const DbState& state,
@@ -127,11 +220,11 @@ bool Database::CompactLocked(DbState& state) {
   std::shared_ptr<const SegmentSet> cur = state.Current();
   if (cur->segments.size() <= 1) return false;
 
-  // Copy (not move) the segment instances: open sessions still pin them.
-  Instance merged;
-  for (const auto& seg : cur->segments) {
-    merged.UnionWith(seg->instance());
-  }
+  // Apply the stack in order, copying (not moving) the segment instances:
+  // open sessions still pin them. Tombstones apply and vanish — the
+  // merged segment holds exactly the visible facts.
+  Instance merged =
+      MaterializeVisible(cur->segments, cur->segment_kinds);
   auto segment =
       std::make_shared<BaseStore>(*state.universe, std::move(merged));
   if (state.opts.eager_indexes) segment->BuildAllIndexes();
@@ -145,6 +238,18 @@ bool Database::CompactLocked(DbState& state) {
   // (over-approximate but sound) delta segment.
   next->segment_epochs.push_back(*std::max_element(
       cur->segment_epochs.begin(), cur->segment_epochs.end()));
+  next->segment_kinds.push_back(SegmentKind::kFacts);
+  // Folding a tombstone destroys the evidence a stale view would need
+  // for delta maintenance (a "new" merged fact segment can only grow a
+  // view, never shrink it): raise the shrink floor so Refresh falls back
+  // to a cold run for views older than the newest folded tombstone.
+  next->shrink_floor = cur->shrink_floor;
+  for (size_t i = 0; i < cur->segments.size(); ++i) {
+    if (cur->segment_kinds[i] == SegmentKind::kTombstones) {
+      next->shrink_floor =
+          std::max(next->shrink_floor, cur->segment_epochs[i]);
+    }
+  }
   state.Publish(std::move(next));
   return true;
 }
@@ -181,15 +286,34 @@ size_t Database::NumSegments() const {
 
 size_t Database::NumFacts() const { return state_->Current()->total_facts; }
 
+size_t Database::NumTombstones() const {
+  std::shared_ptr<const SegmentSet> cur = state_->Current();
+  size_t n = 0;
+  for (SegmentKind k : cur->segment_kinds) {
+    if (k == SegmentKind::kTombstones) ++n;
+  }
+  return n;
+}
+
 StoreStats Database::Stats() const {
   std::shared_ptr<const SegmentSet> cur = state_->Current();
   StoreStats stats;
-  // Per-segment measurements are call_once-cached inside each BaseStore;
-  // segments are disjoint, so summing them is the exact merged shape
-  // modulo the documented shared-key bucket overcount.
-  for (const auto& seg : cur->segments) {
-    stats.MergeFrom(seg->Stats());
+  // Per-segment measurements are call_once-cached inside each BaseStore.
+  // Fact segments sum (visible enumeration yields each fact once modulo
+  // the documented shared-key bucket overcount); tombstone segments
+  // *discount* — each tombstoned fact was measured exactly once in an
+  // older fact segment, so subtracting makes a shrink visible to
+  // StatsDrift instead of leaving cached plans ranked off stale, larger
+  // relations.
+  StoreStats discount;
+  for (size_t i = 0; i < cur->segments.size(); ++i) {
+    if (cur->segment_kinds[i] == SegmentKind::kFacts) {
+      stats.MergeFrom(cur->segments[i]->Stats());
+    } else {
+      discount.MergeFrom(cur->segments[i]->Stats());
+    }
   }
+  stats.DiscountFrom(discount);
   stats.MergeFrom(state_->accum.Snapshot());
   return stats;
 }
@@ -210,11 +334,7 @@ ViewManager& Database::views() const { return *state_->views; }
 
 Instance Database::edb() const {
   std::shared_ptr<const SegmentSet> cur = state_->Current();
-  Instance out;
-  for (const auto& seg : cur->segments) {
-    out.UnionWith(seg->instance());
-  }
-  return out;
+  return MaterializeVisible(cur->segments, cur->segment_kinds);
 }
 
 const BaseStore& Database::base() const {
@@ -241,14 +361,15 @@ Result<Instance> Session::Run(const PreparedProgram& prog,
   std::vector<const BaseStore*> segments;
   segments.reserve(pinned_->segments.size());
   for (const auto& seg : pinned_->segments) segments.push_back(seg.get());
-  // RunOnSegments fills EvalStats::derived_stats when asked; route it
+  // RunOnStack fills EvalStats::derived_stats when asked; route it
   // through a local EvalStats if the caller did not pass one, so the
   // measurement still reaches the database's accumulator.
   EvalStats local;
   EvalStats* sink =
       stats != nullptr ? stats
                        : (opts.collect_derived_stats ? &local : nullptr);
-  Result<Instance> out = prog.RunOnSegments(segments, opts, sink);
+  Result<Instance> out =
+      prog.RunOnStack(segments, pinned_->segment_kinds, opts, sink);
   if (out.ok() && accum_ != nullptr) {
     // A full recomputation happened: apply any epoch decays deferred by
     // appends, then record what this run actually derived.
@@ -268,17 +389,19 @@ Result<Instance> Session::RunQuery(const PreparedProgram& prog, RelId output,
 }
 
 Instance Session::edb() const {
-  Instance out;
-  for (const auto& seg : pinned_->segments) {
-    out.UnionWith(seg->instance());
-  }
-  return out;
+  return MaterializeVisible(pinned_->segments, pinned_->segment_kinds);
 }
 
 Result<uint64_t> Writer::Commit() {
   Instance batch = std::move(staged_);
   staged_ = Instance{};
-  return Database::AppendTo(*state_, std::move(batch), nullptr);
+  Instance victims = std::move(retract_staged_);
+  retract_staged_ = Instance{};
+  SEQDL_ASSIGN_OR_RETURN(uint64_t epoch,
+                         Database::AppendTo(*state_, std::move(batch),
+                                            nullptr));
+  if (victims.Empty()) return epoch;
+  return Database::RetractFrom(*state_, std::move(victims), nullptr);
 }
 
 }  // namespace seqdl

@@ -30,6 +30,19 @@
 // OpenOptions::auto_compact_segments makes Append fold the stack
 // automatically once it grows past a threshold, LSM-style.
 //
+// Retract() publishes the inverse of Append as the same kind of immutable
+// segment: a *tombstone* segment whose tuples shadow matching facts in
+// every older segment — a fact is visible iff the newest segment holding
+// it is a fact segment (SegmentKind, index.h). Commits maintain a *flip
+// invariant*: Append only publishes facts not currently visible, Retract
+// only tombstones facts that are, so each fact's occurrences in stack
+// order alternate fact/tombstone/fact/… and visibility is decided by the
+// newest occurrence. Sessions pinned before a retraction keep seeing the
+// fact (MVCC as usual); Compact() applies and folds tombstones away — the
+// merged stack holds exactly the visible facts and zero tombstone
+// segments, and SegmentSet::shrink_floor records that views older than
+// the folded tombstones can no longer be delta-maintained.
+//
 // Thread-safety contract: one writer at a time (Append/Commit/Compact
 // serialize on an internal writer mutex), any number of concurrent
 // readers; the published segment list is swapped under a mutex and pinned
@@ -120,16 +133,28 @@ class Database {
   /// Serializes with other writers; never blocks readers.
   Result<uint64_t> Append(Instance delta, size_t* appended = nullptr);
 
-  /// A batching ingest handle: stage facts with Add/Stage, publish them
-  /// as one segment (one epoch bump) with Commit.
+  /// Publishes a *tombstone* segment retracting `victims` and bumps the
+  /// epoch. Facts not currently visible are dropped (retracting an absent
+  /// or already-retracted fact is a no-op); if nothing remains, no
+  /// segment is published and the epoch does not move. Returns the epoch
+  /// the retraction is visible at, and (optionally) how many facts were
+  /// actually retracted. Serializes with other writers; never blocks
+  /// readers — sessions pinned at older epochs keep seeing the facts.
+  Result<uint64_t> Retract(Instance victims, size_t* retracted = nullptr);
+
+  /// A batching ingest handle: stage facts with Add/Stage (and
+  /// retractions with Retract), publish them with Commit.
   Writer MakeWriter();
 
-  /// Folds all current segments into one merged segment. The fact set and
-  /// the epoch are unchanged — compaction is invisible to semantics; it
-  /// trades one rebuild for O(1) segment probes afterwards. Open sessions
-  /// keep their pinned pre-compaction segments (freed when the last such
-  /// session closes). Returns false if there was nothing to fold (one
-  /// segment or none). Serializes with other writers.
+  /// Folds all current segments into one merged *fact* segment, applying
+  /// tombstones as it goes: the merged stack holds exactly the visible
+  /// facts and no tombstone segments, so post-compaction queries pay no
+  /// shadow probes at all. The visible fact set and the epoch are
+  /// unchanged — compaction is invisible to semantics; it trades one
+  /// rebuild for O(1) segment probes afterwards. Open sessions keep their
+  /// pinned pre-compaction segments (freed when the last such session
+  /// closes). Returns false if there was nothing to fold (one segment or
+  /// none). Serializes with other writers.
   bool Compact();
 
   /// Runs Compact() iff the OpenOptions policy says the stack is too
@@ -150,8 +175,12 @@ class Database {
   uint64_t epoch() const;
   /// Number of segments in the current stack (1 after Open or Compact).
   size_t NumSegments() const;
-  /// Total facts across the current stack.
+  /// Total *visible* facts across the current stack (appended minus
+  /// retracted).
   size_t NumFacts() const;
+  /// Number of tombstone segments in the current stack (0 right after
+  /// Open or Compact — compaction folds every tombstone away).
+  size_t NumTombstones() const;
 
   /// Measured per-(relation, column, index-family) statistics of the
   /// current epoch: every live segment's call_once-cached measurement
@@ -209,6 +238,19 @@ class Database {
     /// older than its stamp — which is sound (delta evaluation of facts
     /// already reflected in the view just re-derives known tuples).
     std::vector<uint64_t> segment_epochs;
+    /// Parallel to `segments`: what each segment's tuples mean — facts
+    /// add, tombstones retract (shadowing all older segments). Filled by
+    /// every constructor of a SegmentSet; append-only stacks are all
+    /// kFacts.
+    std::vector<SegmentKind> segment_kinds;
+    /// Delta-maintenance horizon for retractions: a view pinned at an
+    /// epoch < shrink_floor cannot be delta-maintained, because Compact()
+    /// folded away tombstone evidence the view has not seen — Refresh
+    /// must fall back to a cold run. Raised by compaction to the newest
+    /// folded tombstone's publish stamp; 0 while no retraction was ever
+    /// compacted away.
+    uint64_t shrink_floor = 0;
+    /// Visible facts (appended minus retracted).
     size_t total_facts = 0;
   };
 
@@ -252,6 +294,11 @@ class Database {
   /// `appended` (may be null) receives the post-dedupe fact count.
   static Result<uint64_t> AppendTo(DbState& state, Instance delta,
                                    size_t* appended);
+  /// The retract path shared by Database::Retract and Writer::Commit.
+  /// `retracted` (may be null) receives the number of visible facts
+  /// actually tombstoned.
+  static Result<uint64_t> RetractFrom(DbState& state, Instance victims,
+                                      size_t* retracted);
   /// Compact step with writer_mu already held.
   static bool CompactLocked(DbState& state);
   static bool PolicyWantsCompaction(const DbState& state,
@@ -287,9 +334,11 @@ class Session {
   /// Segments backing this snapshot (compaction after the pin does not
   /// change this — the pre-compaction stack stays pinned).
   size_t NumSegments() const { return pinned_->segments.size(); }
-  /// Total EDB facts visible to this session.
+  /// Total EDB facts visible to this session (appended minus retracted
+  /// as of the pinned epoch).
   size_t NumFacts() const { return pinned_->total_facts; }
-  /// Materializes the union of the pinned segments' facts (a copy).
+  /// Materializes the visible facts of the pinned stack (a copy):
+  /// fact segments union in, tombstone segments remove.
   Instance edb() const;
 
  private:
@@ -304,11 +353,12 @@ class Session {
   StatsAccumulator* accum_;
 };
 
-/// A batching ingest handle: stage any number of facts, then publish them
-/// all as one immutable segment — one epoch bump — with Commit(). One
-/// writer per thread; Commit serializes against other writers and against
-/// Append/Compact on the Database. The Writer must not outlive its
-/// Database.
+/// A batching ingest handle: stage any number of facts (and
+/// retractions), then publish them with Commit() — staged appends as one
+/// fact segment, staged retractions as one tombstone segment right after
+/// (up to two epoch bumps). One writer per thread; Commit serializes
+/// against other writers and against Append/Retract/Compact on the
+/// Database. The Writer must not outlive its Database.
 class Writer {
  public:
   /// Stages one fact. Returns true if it was new among the staged facts
@@ -318,12 +368,20 @@ class Writer {
   void Stage(const Instance& facts) { staged_.UnionWith(facts); }
   void Stage(Instance&& facts) { staged_.UnionWith(std::move(facts)); }
 
-  size_t NumStaged() const { return staged_.NumFacts(); }
+  /// Stages one retraction. Returns true if it was new among the staged
+  /// retractions. Retractions publish *after* the staged appends, so a
+  /// fact both staged and retracted in the same batch ends up retracted.
+  bool Retract(RelId rel, Tuple t) {
+    return retract_staged_.Add(rel, std::move(t));
+  }
 
-  /// Publishes the staged facts as one new segment and clears the
-  /// staging area. Returns the epoch the facts are visible at (the
-  /// current epoch unchanged when every staged fact was already
-  /// present).
+  size_t NumStaged() const { return staged_.NumFacts(); }
+  size_t NumStagedRetractions() const { return retract_staged_.NumFacts(); }
+
+  /// Publishes the staged facts as one new segment, then the staged
+  /// retractions as one tombstone segment, and clears both staging
+  /// areas. Returns the epoch everything is visible at (the current
+  /// epoch unchanged when nothing staged had any effect).
   Result<uint64_t> Commit();
 
  private:
@@ -332,6 +390,7 @@ class Writer {
 
   Database::DbState* state_;
   Instance staged_;
+  Instance retract_staged_;
 };
 
 }  // namespace seqdl

@@ -28,6 +28,7 @@
 #define SEQDL_ENGINE_ENGINE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
@@ -45,6 +46,7 @@
 namespace seqdl {
 
 class BaseStore;
+enum class SegmentKind : uint8_t;
 class Session;
 class ViewManager;
 
@@ -54,17 +56,28 @@ class Executor;
 
 /// Derivation-event counts per derived tuple, keyed by relation: how many
 /// times each tuple was produced by a rule firing (across all rules and
-/// rounds). Collected when RunOptions::support is set; the materialized-
-/// view subsystem (view/view.h) stores them per view snapshot as the
-/// groundwork for counting-based delete/re-derive (DRed) once tombstone
-/// segments land — a tuple whose count drops to zero on a retraction has
-/// no remaining derivation and can be deleted without re-running the
-/// stratum. Under semi-naive evaluation the counts are a lower bound on
-/// the number of derivations (semi-naive skips re-derivations of
-/// already-known facts by construction), which is the sound direction for
-/// DRed: an undercount can only cause an unnecessary re-derivation check,
-/// never a wrong deletion.
+/// rounds). Collected when RunOptions::support is set under semi-naive
+/// evaluation (naive runs skip counting — their re-evaluation rounds
+/// re-enumerate every firing and would inflate counts without bound); the
+/// materialized-view subsystem (view/view.h) stores them per view
+/// snapshot to drive counting-based delete/re-derive (DRed) on
+/// retraction: a tuple whose count drops to zero has no surviving counted
+/// derivation and is over-deleted, then rescued iff a re-derivation check
+/// finds another proof. Counting is *canonical* — each firing is counted
+/// exactly once even when several of its body atoms sit in the same delta
+/// round (the firing is attributed to its smallest delta-matched body
+/// literal) — so stored counts never exceed the number of enumerable
+/// firings. The deletion phase decrements each dead firing at least once,
+/// which makes the pair sound: counts can only reach zero at or before
+/// the true support does, and an early zero merely costs a re-derivation
+/// check, never a wrong deletion.
 using SupportCounts = std::map<RelId, std::unordered_map<Tuple, uint32_t, TupleHash>>;
+
+/// Stored-support lookup for RunDelta's deletion phase: returns the
+/// support count the view recorded for (rel, tuple), or 0 when unknown —
+/// the executor treats unknown as 1 (delete on first decrement and let
+/// re-derivation decide), the classic DRed behaviour.
+using SupportLookup = std::function<uint32_t(RelId, const Tuple&)>;
 
 /// Options fixed at compilation time.
 struct CompileOptions {
@@ -112,9 +125,12 @@ struct RunOptions {
   /// When non-null, every rule firing increments (*support)[rel][tuple]
   /// for the head tuple it produced — the counting-based support the
   /// materialized-view subsystem records per derived tuple (see
-  /// SupportCounts above). The map is the caller's; the run only ever
-  /// increments, so a caller can seed it with carried-over counts. Null
-  /// (the default) keeps the derivation hot path free of the upkeep.
+  /// SupportCounts above; counting is canonical, once per firing, and
+  /// only happens under seminaive — naive re-evaluation rounds would
+  /// re-count every firing per round). The map is the caller's; the run
+  /// only ever increments, so a caller can seed it with carried-over
+  /// counts. Null (the default) keeps the derivation hot path free of
+  /// the upkeep.
   SupportCounts* support = nullptr;
 };
 
@@ -149,14 +165,21 @@ struct EvalStats {
   /// at least RunOptions::delta_index_threshold tuples and the step had a
   /// ground key). Subset of delta_scans.
   size_t delta_index_probes = 0;
-  /// Facts of the appended delta segments that seeded a RunDelta's first
-  /// delta pass (0 on full runs).
+  /// Net changed facts of the delta segments (additions plus retractions)
+  /// that seeded a RunDelta's first delta pass (0 on full runs).
   size_t delta_seed_facts = 0;
   /// Strata a RunDelta maintained incrementally (delta passes over the
-  /// stored view) vs recomputed wholesale (negation over a changed input,
-  /// or an input relation that shrank). Both 0 on full runs.
+  /// stored view, plus DRed deletion on shrink epochs) vs recomputed
+  /// wholesale (negation over a changed input). Both 0 on full runs.
   size_t strata_delta_maintained = 0;
   size_t strata_recomputed = 0;
+  /// DRed deletion-phase counters (0 on full runs and growth-only
+  /// deltas): support decrements applied, stored tuples whose support hit
+  /// zero and were provisionally deleted, and how many of those the
+  /// re-derivation pass rescued.
+  size_t dred_decrements = 0;
+  size_t dred_over_deleted = 0;
+  size_t dred_re_derived = 0;
   /// Wall time Engine::Compile spent validating + planning the program.
   double compile_seconds = 0;
   /// Wall time of this run.
@@ -201,44 +224,61 @@ class PreparedProgram {
                             const RunOptions& opts = {},
                             EvalStats* stats = nullptr) const;
 
-  /// Result of RunDelta: the complete derived IDB at the post-append
-  /// epoch, plus which strata could not be maintained incrementally.
+  /// Result of RunDelta: the complete derived IDB at the post-update
+  /// epoch, which strata could not be maintained incrementally, and the
+  /// DRed deletion bookkeeping the view subsystem folds into its stored
+  /// support counts.
   struct DeltaRun {
     Instance idb;
     /// Indices (program order) of strata RunDelta recomputed wholesale —
-    /// a negated body relation changed, or a positive body relation lost
-    /// facts (an upstream recompute retracted tuples). Everything else
-    /// was maintained by delta passes over the stored view.
+    /// a negated body relation changed (gained or lost facts). Everything
+    /// else was maintained by delta passes over the stored view; positive
+    /// shrinks are handled in place by DRed deletion, not by recompute.
     std::vector<size_t> recomputed_strata;
+    /// Support decrements the deletion phase applied, per stored tuple
+    /// (empty on growth-only deltas). The view subsystem combines these
+    /// with the carried-over counts: new = old + fresh - decrements,
+    /// saturating, floored at 1 for tuples present in `idb`.
+    SupportCounts decrements;
   };
 
   /// Incremental maintenance: given the stored derived IDB `view` of an
-  /// earlier epoch and the segment stack that grew since, computes the
+  /// earlier epoch and the segment stack that changed since, computes the
   /// derived IDB of the current epoch by semi-naive delta evaluation of
-  /// the appended facts instead of a full fixpoint. `segments` is the
-  /// complete current stack; `delta_segments` are the members of it
-  /// published after `view` was materialized (every pointer must also be
-  /// in `segments`); `view` must be exactly the IDB a full run over
-  /// `segments` minus `delta_segments` derives. The result's `idb` is
-  /// byte-identical to RunOnSegments over the full stack (the
-  /// differential harness enforces this at every epoch, across
-  /// compaction).
+  /// the net changes instead of a full fixpoint. `segments` (with
+  /// `kinds`, parallel; empty = all fact segments) is the complete
+  /// current stack; the first `base_prefix` members are the ones `view`
+  /// was computed over (segments publish in stamp order, so a view's
+  /// covered base is always a prefix); `view` must be exactly the IDB a
+  /// full run over that prefix derives, and `stored_support` (may be
+  /// null) its recorded support counts. The result's `idb` is
+  /// byte-identical to RunOnStack over the full stack (the differential
+  /// harness enforces this at every epoch, across compaction).
   ///
-  /// Per stratum, in order: when no negated body relation changed and no
-  /// positive body relation shrank, the stratum is *maintained* — its
-  /// stored view facts are adopted wholesale and one delta pass applies
-  /// each rule with one scan step restricted to the changed facts
-  /// (appended EDB plus everything earlier strata added), reusing the
-  /// recursive delta machinery for the fixpoint rounds that follow.
-  /// Otherwise the stratum is *recomputed* from scratch against the
-  /// already-updated lower strata, and the diff against its stored facts
-  /// (additions and retractions) joins the changed set cascading into
-  /// later strata. Appended EDB facts that duplicate stored view facts
-  /// are dropped from the new view (derived overlays never shadow base
-  /// segments), matching what a cold run would produce.
+  /// The suffix's net effect is computed fact by fact (a fact appended
+  /// then retracted inside the window nets out): additions seed delta
+  /// passes, retractions seed DRed deletion. Per stratum, in order: when
+  /// no negated body relation changed, the stratum is *maintained* — its
+  /// stored view facts are adopted wholesale, then three phases run. The
+  /// deletion phase decrements the stored support of every derivation
+  /// consuming a retracted fact (retracted facts stay enumerable as
+  /// ghosts so joins between dead facts are still counted), provisionally
+  /// deletes tuples whose support reaches zero, and cascades until no
+  /// deletion set remains. The re-derivation phase then rescues deleted
+  /// tuples (and retracted EDB facts of this stratum's head relations)
+  /// that still have a proof, to a fixpoint. The insertion phase is the
+  /// classic delta pass over the additions. A stratum reading a changed
+  /// relation through negation is instead *recomputed* from scratch
+  /// against the already-updated lower strata, and its diff against the
+  /// stored facts joins the change sets cascading into later strata.
+  /// Appended EDB facts that duplicate stored view facts are dropped from
+  /// the new view (derived overlays never shadow visible base facts),
+  /// matching what a cold run would produce.
   Result<DeltaRun> RunDelta(std::span<const BaseStore* const> segments,
-                            std::span<const BaseStore* const> delta_segments,
-                            const Instance& view, const RunOptions& opts = {},
+                            std::span<const SegmentKind> kinds,
+                            size_t base_prefix, const Instance& view,
+                            const SupportLookup& stored_support,
+                            const RunOptions& opts = {},
                             EvalStats* stats = nullptr) const;
 
   const Program& program() const { return *program_; }
@@ -268,13 +308,27 @@ class PreparedProgram {
     /// changed one, so restricting it to the changed set makes the whole
     /// rule application O(|changed|) probes instead of an outer full scan.
     std::vector<std::map<size_t, RulePlan>> delta_plans;
+    /// Head-bound variants, parallel to `plans`: each rule planned as if
+    /// its head variables were already bound (PlannerOptions::head_bound).
+    /// DRed's re-derivation check matches the candidate tuple against the
+    /// head and then runs the body under that valuation — these plans key
+    /// the body scans on the head's bindings, so a check costs a handful
+    /// of index probes instead of opening with a full relation scan.
+    std::vector<RulePlan> check_plans;
   };
 
-  /// Evaluates over a stack of base segments (shared, never mutated,
-  /// pairwise disjoint — the epoch-pinned EDB of a Session) and returns
-  /// only the derived IDB overlay. The engine of Session::Run and of Run
+  /// Evaluates over a stack of base segments (shared, never mutated —
+  /// the epoch-pinned EDB of a Session) and returns only the derived IDB
+  /// overlay. `kinds` marks each segment as facts or tombstones (parallel
+  /// to `segments`; empty = all facts): tombstoned facts are invisible —
+  /// enumeration and membership respect the newest-occurrence rule (see
+  /// LayeredStore in index.h). The engine of Session::Run and of Run
   /// above (which wraps `input` in a throwaway single-segment base and
   /// unions the result back).
+  Result<Instance> RunOnStack(std::span<const BaseStore* const> segments,
+                              std::span<const SegmentKind> kinds,
+                              const RunOptions& opts, EvalStats* stats) const;
+  /// All-fact-segments convenience.
   Result<Instance> RunOnSegments(std::span<const BaseStore* const> segments,
                                  const RunOptions& opts,
                                  EvalStats* stats) const;

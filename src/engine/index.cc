@@ -94,6 +94,50 @@ size_t IndexedInstance::BulkAdd(RelId rel, const TupleSet& tuples) {
   return base_.AddAll(rel, tuples);
 }
 
+bool IndexedInstance::Remove(RelId rel, const Tuple& t) {
+  const TupleSet& tuples = base_.Tuples(rel);
+  auto stored_it = tuples.find(t);
+  if (stored_it == tuples.end()) return false;
+  // Bucket entries are pointers to the stored tuple; resolve the address
+  // before the instance erases it.
+  const Tuple* stored = &*stored_it;
+  auto erase_from = [](std::vector<const Tuple*>& bucket, const Tuple* p) {
+    for (size_t i = 0; i < bucket.size(); ++i) {
+      if (bucket[i] == p) {
+        bucket[i] = bucket.back();
+        bucket.pop_back();
+        return;
+      }
+    }
+  };
+  for (auto it = indexes_.lower_bound({rel, 0});
+       it != indexes_.end() && it->first.first == rel; ++it) {
+    uint32_t col = it->first.second;
+    if (col >= stored->size()) continue;
+    auto b = it->second.buckets.find((*stored)[col]);
+    if (b != it->second.buckets.end()) erase_from(b->second, stored);
+  }
+  for (auto it = first_indexes_.lower_bound({rel, 0});
+       it != first_indexes_.end() && it->first.first == rel; ++it) {
+    uint32_t col = it->first.second;
+    if (col >= stored->size()) continue;
+    std::span<const Value> path = universe_->GetPath((*stored)[col]);
+    if (path.empty()) continue;
+    auto b = it->second.buckets.find(path.front());
+    if (b != it->second.buckets.end()) erase_from(b->second, stored);
+  }
+  for (auto it = last_indexes_.lower_bound({rel, 0});
+       it != last_indexes_.end() && it->first.first == rel; ++it) {
+    uint32_t col = it->first.second;
+    if (col >= stored->size()) continue;
+    std::span<const Value> path = universe_->GetPath((*stored)[col]);
+    if (path.empty()) continue;
+    auto b = it->second.buckets.find(path.back());
+    if (b != it->second.buckets.end()) erase_from(b->second, stored);
+  }
+  return base_.Remove(rel, t);
+}
+
 const std::vector<const Tuple*>& IndexedInstance::Probe(RelId rel,
                                                         uint32_t col,
                                                         PathId key) {
@@ -216,6 +260,70 @@ size_t BaseStore::NumIndexedColumns() const {
     }
   }
   return n;
+}
+
+// --- LayeredStore ------------------------------------------------------------
+
+LayeredStore::LayeredStore(const Universe& u,
+                           std::span<const BaseStore* const> segments,
+                           std::span<const SegmentKind> kinds)
+    : segments_(segments.begin(), segments.end()),
+      kinds_(kinds.begin(), kinds.end()),
+      overlay_(u, Instance{}) {
+  assert(kinds_.empty() || kinds_.size() == segments_.size());
+  if (kinds_.empty()) kinds_.assign(segments_.size(), SegmentKind::kFacts);
+  size_t num_tombs = 0;
+  for (SegmentKind k : kinds_) {
+    if (k == SegmentKind::kTombstones) ++num_tombs;
+  }
+  tombs_.reserve(num_tombs);
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    if (kinds_[i] == SegmentKind::kTombstones) tombs_.push_back(segments_[i]);
+  }
+  // A fact layer's shadows are the tombstone segments *after* it in stack
+  // order: the suffix of tombs_ past the tombstones already seen. tombs_
+  // is fully built above, so these spans never dangle.
+  layers_.reserve(segments_.size() - num_tombs);
+  size_t tombs_seen = 0;
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    if (kinds_[i] == SegmentKind::kTombstones) {
+      ++tombs_seen;
+      continue;
+    }
+    layers_.push_back(SegmentLayer{
+        segments_[i],
+        std::span<const BaseStore* const>(tombs_.data() + tombs_seen,
+                                          tombs_.size() - tombs_seen)});
+  }
+}
+
+size_t LayeredStore::Adopt(RelId rel, const TupleSet& tuples,
+                           std::span<const BaseStore* const> check,
+                           std::span<const SegmentKind> check_kinds) {
+  assert(check_kinds.empty() || check_kinds.size() == check.size());
+  bool may_overlap = false;
+  for (const BaseStore* seg : check) {
+    if (!seg->Tuples(rel).empty()) {
+      may_overlap = true;
+      break;
+    }
+  }
+  if (!may_overlap) return overlay_.BulkAdd(rel, tuples);
+  // Visible membership restricted to the check span: the newest check
+  // segment holding the fact decides, exactly like ContainsBase.
+  auto visible_in_check = [&](const Tuple& t) {
+    for (size_t i = check.size(); i-- > 0;) {
+      if (check[i]->Contains(rel, t)) {
+        return check_kinds.empty() || check_kinds[i] == SegmentKind::kFacts;
+      }
+    }
+    return false;
+  };
+  size_t added = 0;
+  for (const Tuple& t : tuples) {
+    if (!visible_in_check(t) && overlay_.Add(rel, t)) ++added;
+  }
+  return added;
 }
 
 // --- DeltaIndexer ------------------------------------------------------------

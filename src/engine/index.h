@@ -105,6 +105,11 @@ class IndexedInstance {
   const std::vector<const Tuple*>& ProbeLast(RelId rel, uint32_t col,
                                              Value last);
 
+  /// Removes a fact, dropping it from every built index of its relation.
+  /// Returns true if it was present. The DRed deletion path's overlay
+  /// surgery; O(bucket) per built index family.
+  bool Remove(RelId rel, const Tuple& t);
+
   /// Number of distinct (relation, column) indexes built so far.
   size_t NumIndexes() const {
     return indexes_.size() + first_indexes_.size() + last_indexes_.size();
@@ -191,32 +196,81 @@ class BaseStore {
   mutable StoreStats stats_;
 };
 
+/// What a published segment's contents mean: facts add to the EDB;
+/// tombstones *retract* — a tombstone segment's tuples shadow matching
+/// facts in every older segment (see database.h's append-log).
+enum class SegmentKind : uint8_t { kFacts, kTombstones };
+
+/// One enumerable layer of a LayeredStore: a fact segment plus its
+/// *shadows* — the tombstone segments published after it, whose contents
+/// retract matching facts of this segment. A tuple enumerated from the
+/// layer is visible iff no shadow holds it. Append-only stacks have no
+/// shadows, so the visibility filter is a no-op there.
+struct SegmentLayer {
+  const BaseStore* store = nullptr;
+  std::span<const BaseStore* const> shadows;
+
+  bool Shadowed(RelId rel, const Tuple& t) const {
+    for (const BaseStore* s : shadows) {
+      if (s->Contains(rel, t)) return true;
+    }
+    return false;
+  }
+};
+
 /// The executor's copy-on-read view: a stack of shared immutable BaseStore
-/// *segments* (the epoch-pinned EDB — one segment per committed Append,
-/// see database.h) layered under a private mutable IDB overlay. Lookups
-/// consult every layer; derivation writes only the overlay, so any number
-/// of LayeredStores can share the same segments concurrently. Segments
-/// hold pairwise-disjoint fact sets (Database::Append dedupes on commit),
-/// so stacking them enumerates each base fact exactly once.
+/// *segments* (the epoch-pinned EDB — one segment per committed Append or
+/// Retract, see database.h) layered under a private mutable IDB overlay.
+/// Lookups consult every layer; derivation writes only the overlay, so any
+/// number of LayeredStores can share the same segments concurrently.
+/// Append/Retract dedupe on commit, so in stack order each fact's
+/// occurrences alternate fact/tombstone/fact/... — enumerating the fact
+/// layers and skipping shadowed tuples yields each *visible* fact exactly
+/// once, and visibility of a single fact is decided by the newest segment
+/// holding it (ContainsBase's reverse walk).
 class LayeredStore {
  public:
   /// Usable only after move-assignment from a real one.
   LayeredStore() = default;
+  LayeredStore(LayeredStore&&) = default;
+  LayeredStore& operator=(LayeredStore&&) = default;
+  // Non-copyable: overlay index buckets point into the overlay instance.
+  LayeredStore(const LayeredStore&) = delete;
+  LayeredStore& operator=(const LayeredStore&) = delete;
+
+  /// `kinds` marks each segment (parallel to `segments`); empty = all
+  /// fact segments (the append-only callers).
+  LayeredStore(const Universe& u, std::span<const BaseStore* const> segments,
+               std::span<const SegmentKind> kinds);
   LayeredStore(const Universe& u, std::span<const BaseStore* const> segments)
-      : segments_(segments.begin(), segments.end()),
-        overlay_(u, Instance{}) {}
+      : LayeredStore(u, segments, {}) {}
   /// Single-segment convenience (the one-shot Run path).
   LayeredStore(const Universe& u, const BaseStore& base)
-      : segments_(1, &base), overlay_(u, Instance{}) {}
+      : segments_(1, &base),
+        kinds_(1, SegmentKind::kFacts),
+        layers_(1, SegmentLayer{&base, {}}),
+        overlay_(u, Instance{}) {}
 
-  std::span<const BaseStore* const> segments() const { return segments_; }
+  /// The enumerable fact layers in stack order, each with its shadows.
+  /// Tombstone segments never appear here — their contents are not facts.
+  std::span<const SegmentLayer> layers() const { return layers_; }
   IndexedInstance& overlay() { return overlay_; }
 
-  /// Adds a fact to the overlay unless some layer already holds it.
-  bool Add(RelId rel, Tuple t) {
-    for (const BaseStore* seg : segments_) {
-      if (seg->Contains(rel, t)) return false;
+  /// Visible membership in the base segments only (not the overlay): the
+  /// newest segment holding the fact decides — a fact segment means
+  /// present, a tombstone means retracted.
+  bool ContainsBase(RelId rel, const Tuple& t) const {
+    for (size_t i = segments_.size(); i-- > 0;) {
+      if (segments_[i]->Contains(rel, t)) {
+        return kinds_[i] == SegmentKind::kFacts;
+      }
     }
+    return false;
+  }
+
+  /// Adds a fact to the overlay unless some layer visibly holds it.
+  bool Add(RelId rel, Tuple t) {
+    if (ContainsBase(rel, t)) return false;
     return overlay_.Add(rel, std::move(t));
   }
 
@@ -224,39 +278,25 @@ class LayeredStore {
   /// from every segment except possibly those in `check` — the delta
   /// path's shape: a stored view's derived facts never overlap the
   /// segments the view was computed over, only segments appended since
-  /// can have promoted some of them to EDB. Skips Add's full-stack
-  /// membership probe per fact; when no `check` segment holds the
+  /// can have promoted some of them to EDB. A fact counts as held only
+  /// when *visible* there (`check_kinds` parallel to `check`, empty = all
+  /// facts): a promoted-then-retracted view fact stays view state, exactly
+  /// as a cold run would derive it. When no `check` segment mentions the
   /// relation at all, the whole set installs in one reserved pass.
   /// Returns the number of facts adopted.
   size_t Adopt(RelId rel, const TupleSet& tuples,
-               std::span<const BaseStore* const> check) {
-    bool may_overlap = false;
-    for (const BaseStore* seg : check) {
-      if (!seg->Tuples(rel).empty()) {
-        may_overlap = true;
-        break;
-      }
-    }
-    if (!may_overlap) return overlay_.BulkAdd(rel, tuples);
-    size_t added = 0;
-    for (const Tuple& t : tuples) {
-      bool held = false;
-      for (const BaseStore* seg : check) {
-        if (seg->Contains(rel, t)) {
-          held = true;
-          break;
-        }
-      }
-      if (!held && overlay_.Add(rel, t)) ++added;
-    }
-    return added;
-  }
+               std::span<const BaseStore* const> check,
+               std::span<const SegmentKind> check_kinds = {});
 
   bool Contains(RelId rel, const Tuple& t) const {
-    for (const BaseStore* seg : segments_) {
-      if (seg->Contains(rel, t)) return true;
-    }
+    if (ContainsBase(rel, t)) return true;
     return overlay_.Contains(rel, t);
+  }
+
+  /// Removes a fact from the overlay (DRed over-deletion). Base segments
+  /// are immutable — only overlay facts can be removed.
+  bool RemoveOverlay(RelId rel, const Tuple& t) {
+    return overlay_.Remove(rel, t);
   }
 
   /// Releases the overlay (the derived facts only).
@@ -264,6 +304,11 @@ class LayeredStore {
 
  private:
   std::vector<const BaseStore*> segments_;
+  std::vector<SegmentKind> kinds_;
+  /// Tombstone segments in stack order; layers_ shadows are suffixes of
+  /// this vector (sized once in the constructor, never reallocated).
+  std::vector<const BaseStore*> tombs_;
+  std::vector<SegmentLayer> layers_;
   IndexedInstance overlay_;
 };
 

@@ -23,7 +23,16 @@ std::pair<const Tuple*, bool> Instance::Insert(RelId rel, Tuple t) {
 }
 
 size_t Instance::AddAll(RelId rel, const TupleSet& set) {
+  if (set.empty()) return 0;
   TupleSet& dst = relations_[rel];
+  if (dst.empty()) {
+    // Bulk-install into an empty relation: copy the whole set (bucket
+    // structure and cached hashes included) instead of rehashing and
+    // re-probing tuple by tuple — the adopt path of delta refreshes
+    // installs entire stored views this way.
+    dst = set;
+    return set.size();
+  }
   dst.reserve(dst.size() + set.size());
   size_t added = 0;
   for (const Tuple& t : set) {
@@ -35,6 +44,14 @@ size_t Instance::AddAll(RelId rel, const TupleSet& set) {
 bool Instance::Contains(RelId rel, const Tuple& t) const {
   auto it = relations_.find(rel);
   return it != relations_.end() && it->second.count(t) > 0;
+}
+
+bool Instance::Remove(RelId rel, const Tuple& t) {
+  auto it = relations_.find(rel);
+  if (it == relations_.end()) return false;
+  if (it->second.erase(t) == 0) return false;
+  if (it->second.empty()) relations_.erase(it);
+  return true;
 }
 
 const TupleSet& Instance::Tuples(RelId rel) const {

@@ -49,6 +49,11 @@ class Instance {
   size_t AddAll(RelId rel, const TupleSet& set);
   bool Contains(RelId rel, const Tuple& t) const;
 
+  /// Removes a fact; returns true if it was present. A relation whose
+  /// last tuple is removed disappears entirely (so operator== keeps
+  /// treating "no tuples" and "no relation" as the same instance).
+  bool Remove(RelId rel, const Tuple& t);
+
   /// The tuples of `rel` (the shared EmptyTupleSet() if absent).
   const TupleSet& Tuples(RelId rel) const;
   /// All relations with at least one fact.

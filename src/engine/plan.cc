@@ -192,6 +192,11 @@ Result<RulePlan> PlanRule(const Universe& u, const Rule& r,
   RulePlan plan;
   plan.rule = &r;
   std::set<VarId> bound;
+  if (opts.head_bound) {
+    std::vector<VarId> head_vars;
+    for (const PathExpr& e : r.head.args) CollectVars(e, &head_vars);
+    bound.insert(head_vars.begin(), head_vars.end());
+  }
 
   // Positive predicate scans. With reordering, greedily pick the cheapest
   // next scan: by measured expected bucket size of its best access path

@@ -103,6 +103,12 @@ struct PlannerOptions {
   /// changed set only pays off when that scan is the outermost loop —
   /// anywhere deeper, the steps before it still enumerate the full store.
   int first_lit = -1;
+  /// Plan as if the head's variables were already bound when the body
+  /// starts. Re-derivation checks (DRed) match a candidate tuple against
+  /// the head first and then run the body under that valuation — with
+  /// the head variables seeded, the planner keys the body scans on them
+  /// (index/prefix probes) instead of opening with a full relation scan.
+  bool head_bound = false;
 };
 
 /// Plans a single rule. Fails with kInvalidArgument if the rule is unsafe

@@ -77,6 +77,32 @@ void StoreStats::MergeFrom(const StoreStats& other) {
   }
 }
 
+void StoreStats::DiscountFrom(const StoreStats& other) {
+  auto floor_sub = [](size_t a, size_t b) { return a > b ? a - b : 0; };
+  for (const auto& [rel, theirs] : other.relations) {
+    auto it = relations.find(rel);
+    if (it == relations.end()) continue;
+    RelationStats& mine = it->second;
+    mine.tuples = floor_sub(mine.tuples, theirs.tuples);
+    if (mine.tuples == 0) {
+      relations.erase(it);
+      continue;
+    }
+    size_t cols = std::min(mine.columns.size(), theirs.columns.size());
+    for (size_t col = 0; col < cols; ++col) {
+      const ColumnStats& t = theirs.columns[col];
+      ColumnStats& m = mine.columns[col];
+      // Entries subtract exactly (each tombstoned fact was indexed once);
+      // bucket counts only shrink when a whole key disappears, which we
+      // cannot see from the aggregate — keeping them is the conservative
+      // estimate (mean bucket sizes shrink, never inflate).
+      m.whole.entries = floor_sub(m.whole.entries, t.whole.entries);
+      m.first.entries = floor_sub(m.first.entries, t.first.entries);
+      m.last.entries = floor_sub(m.last.entries, t.last.entries);
+    }
+  }
+}
+
 std::string StoreStats::ToString(const Universe& u) const {
   std::string out;
   for (const auto& [rel, rs] : relations) {

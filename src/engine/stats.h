@@ -106,6 +106,15 @@ struct StoreStats {
   /// — disjoint fact sets, so summing is the right estimate.
   void MergeFrom(const StoreStats& other);
 
+  /// Subtracts `other`'s counters from this, flooring at zero (relations
+  /// that discount to zero tuples are dropped). Used by Database::Stats()
+  /// to discount tombstone segments: each tombstoned fact was measured
+  /// exactly once in an older fact segment, so tuple counts come out
+  /// exact and the bucket shapes stay sane estimates. Without this a
+  /// retraction epoch would be invisible to StatsDrift and cached plans
+  /// would keep ranking access paths off stale, larger buckets.
+  void DiscountFrom(const StoreStats& other);
+
   /// Folds `other` into this by keeping, per relation, whichever
   /// measurement saw more tuples. Used by StatsAccumulator: repeated runs
   /// of the same program re-derive the same facts, so summing them would

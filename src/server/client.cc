@@ -122,6 +122,17 @@ Result<protocol::AppendReply> Client::Append(const std::string& facts,
   return reply.append;
 }
 
+Result<protocol::RetractReply> Client::Retract(
+    const std::string& facts, const std::string& source_name) {
+  protocol::RetractRequest req;
+  req.facts = facts;
+  req.source_name = source_name;
+  SEQDL_ASSIGN_OR_RETURN(
+      protocol::Reply reply,
+      RoundTrip(protocol::EncodeRetractRequest(req), MsgType::kRetract));
+  return reply.retract;
+}
+
 Result<protocol::DbInfo> Client::Epoch() {
   SEQDL_ASSIGN_OR_RETURN(
       protocol::Reply reply,

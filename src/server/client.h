@@ -59,6 +59,12 @@ class Client {
   Result<protocol::AppendReply> Append(const std::string& facts,
                                        const std::string& source_name = "");
 
+  /// Retract `facts` (instance syntax): visible matches are shadowed by
+  /// a tombstone segment at a new epoch. The reply counts the facts that
+  /// were actually visible (retracting an absent fact is a no-op).
+  Result<protocol::RetractReply> Retract(const std::string& facts,
+                                         const std::string& source_name = "");
+
   Result<protocol::DbInfo> Epoch();
   Result<protocol::CompactReply> Compact();
   Result<protocol::StatsReply> Stats();

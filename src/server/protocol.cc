@@ -229,6 +229,7 @@ const char* MsgTypeToString(MsgType type) {
     case MsgType::kCompile:  return "compile";
     case MsgType::kRun:      return "run";
     case MsgType::kAppend:   return "append";
+    case MsgType::kRetract:  return "retract";
     case MsgType::kEpoch:    return "epoch";
     case MsgType::kCompact:  return "compact";
     case MsgType::kStats:    return "stats";
@@ -261,6 +262,14 @@ std::string EncodeRunRequest(const RunRequest& req) {
 std::string EncodeAppendRequest(const AppendRequest& req) {
   std::string payload;
   PutU8(&payload, static_cast<uint8_t>(MsgType::kAppend));
+  PutString(&payload, req.facts);
+  PutString(&payload, req.source_name);
+  return Frame(std::move(payload));
+}
+
+std::string EncodeRetractRequest(const RetractRequest& req) {
+  std::string payload;
+  PutU8(&payload, static_cast<uint8_t>(MsgType::kRetract));
   PutString(&payload, req.facts);
   PutString(&payload, req.source_name);
   return Frame(std::move(payload));
@@ -308,6 +317,13 @@ std::string EncodeAppendReply(const AppendReply& reply) {
   return Frame(std::move(payload));
 }
 
+std::string EncodeRetractReply(const RetractReply& reply) {
+  std::string payload = ReplyHead(MsgType::kRetract, Status::OK());
+  PutU64(&payload, reply.retracted);
+  PutDbInfo(&payload, reply.db);
+  return Frame(std::move(payload));
+}
+
 std::string EncodeEpochReply(const DbInfo& info) {
   std::string payload = ReplyHead(MsgType::kEpoch, Status::OK());
   PutDbInfo(&payload, info);
@@ -332,6 +348,7 @@ std::string EncodeStatsReply(const StatsReply& reply) {
   PutU64(&payload, reply.view_hits);
   PutU64(&payload, reply.view_cold_runs);
   PutU64(&payload, reply.view_delta_refreshes);
+  PutU64(&payload, reply.view_dred_refreshes);
   PutU64(&payload, reply.view_strata_recomputed);
   return Frame(std::move(payload));
 }
@@ -362,6 +379,10 @@ Result<Request> DecodeRequest(std::string_view payload) {
     case MsgType::kAppend:
       SEQDL_RETURN_IF_ERROR(r.ReadString(&req.append.facts));
       SEQDL_RETURN_IF_ERROR(r.ReadString(&req.append.source_name));
+      break;
+    case MsgType::kRetract:
+      SEQDL_RETURN_IF_ERROR(r.ReadString(&req.retract.facts));
+      SEQDL_RETURN_IF_ERROR(r.ReadString(&req.retract.source_name));
       break;
     case MsgType::kEpoch:
     case MsgType::kCompact:
@@ -421,6 +442,10 @@ Result<Reply> DecodeReply(std::string_view payload) {
       SEQDL_RETURN_IF_ERROR(r.ReadU64(&reply.append.appended));
       SEQDL_RETURN_IF_ERROR(ReadDbInfo(&r, &reply.append.db));
       break;
+    case MsgType::kRetract:
+      SEQDL_RETURN_IF_ERROR(r.ReadU64(&reply.retract.retracted));
+      SEQDL_RETURN_IF_ERROR(ReadDbInfo(&r, &reply.retract.db));
+      break;
     case MsgType::kEpoch:
       SEQDL_RETURN_IF_ERROR(ReadDbInfo(&r, &reply.info));
       break;
@@ -438,6 +463,7 @@ Result<Reply> DecodeReply(std::string_view payload) {
       SEQDL_RETURN_IF_ERROR(r.ReadU64(&reply.stats.view_hits));
       SEQDL_RETURN_IF_ERROR(r.ReadU64(&reply.stats.view_cold_runs));
       SEQDL_RETURN_IF_ERROR(r.ReadU64(&reply.stats.view_delta_refreshes));
+      SEQDL_RETURN_IF_ERROR(r.ReadU64(&reply.stats.view_dred_refreshes));
       SEQDL_RETURN_IF_ERROR(r.ReadU64(&reply.stats.view_strata_recomputed));
       break;
     case MsgType::kShutdown:

@@ -28,6 +28,7 @@
 //   kRun        program:string  source_name:string  output_rel:string
 //               flags:u8 (bit 0: collect derived stats server-side)
 //   kAppend     facts:string  source_name:string
+//   kRetract    facts:string  source_name:string
 //   kEpoch      (empty)
 //   kCompact    (empty)
 //   kStats      (empty)
@@ -70,6 +71,7 @@ enum class MsgType : uint8_t {
   kCompact = 5,
   kStats = 6,
   kShutdown = 7,
+  kRetract = 8,
   kReply = 128,
 };
 
@@ -100,6 +102,15 @@ struct RunRequest {
 /// Ingest `facts` (instance syntax): publishes a new immutable segment
 /// and bumps the epoch; in-flight runs keep their pinned snapshots.
 struct AppendRequest {
+  std::string facts;
+  std::string source_name;
+};
+
+/// Retract `facts` (instance syntax): publishes an immutable *tombstone*
+/// segment shadowing matching facts in all older segments and bumps the
+/// epoch; in-flight runs keep their pinned snapshots. Facts not visible
+/// at the retraction epoch are ignored (reported via `retracted`).
+struct RetractRequest {
   std::string facts;
   std::string source_name;
 };
@@ -184,6 +195,12 @@ struct AppendReply {
   DbInfo db;
 };
 
+struct RetractReply {
+  /// Facts actually retracted (requests for invisible facts are dropped).
+  uint64_t retracted = 0;
+  DbInfo db;
+};
+
 struct CompactReply {
   bool folded = false;
   DbInfo db;
@@ -202,6 +219,7 @@ struct StatsReply {
   uint64_t view_hits = 0;
   uint64_t view_cold_runs = 0;
   uint64_t view_delta_refreshes = 0;
+  uint64_t view_dred_refreshes = 0;
   uint64_t view_strata_recomputed = 0;
 };
 
@@ -212,6 +230,7 @@ struct Request {
   CompileRequest compile;
   RunRequest run;
   AppendRequest append;
+  RetractRequest retract;
 };
 
 /// One decoded reply frame: which request it answers, its Status, and the
@@ -222,6 +241,7 @@ struct Reply {
   CompileReply compile;
   RunReply run;
   AppendReply append;
+  RetractReply retract;
   DbInfo info;          ///< kEpoch
   CompactReply compact;
   StatsReply stats;
@@ -234,6 +254,7 @@ struct Reply {
 std::string EncodeCompileRequest(const CompileRequest& req);
 std::string EncodeRunRequest(const RunRequest& req);
 std::string EncodeAppendRequest(const AppendRequest& req);
+std::string EncodeRetractRequest(const RetractRequest& req);
 /// kEpoch / kCompact / kStats / kShutdown (no body).
 std::string EncodeBareRequest(MsgType type);
 
@@ -242,6 +263,7 @@ std::string EncodeErrorReply(MsgType orig_type, const Status& status);
 std::string EncodeCompileReply(const CompileReply& reply);
 std::string EncodeRunReply(const RunReply& reply);
 std::string EncodeAppendReply(const AppendReply& reply);
+std::string EncodeRetractReply(const RetractReply& reply);
 std::string EncodeEpochReply(const DbInfo& info);
 std::string EncodeCompactReply(const CompactReply& reply);
 std::string EncodeStatsReply(const StatsReply& reply);

@@ -245,6 +245,11 @@ std::string Server::HandleRequest(const std::string& payload, bool* shutdown) {
       if (!r.ok()) return protocol::EncodeErrorReply(req->type, r.status());
       return protocol::EncodeAppendReply(*r);
     }
+    case MsgType::kRetract: {
+      Result<protocol::RetractReply> r = service_.Retract(req->retract);
+      if (!r.ok()) return protocol::EncodeErrorReply(req->type, r.status());
+      return protocol::EncodeRetractReply(*r);
+    }
     case MsgType::kEpoch:
       return protocol::EncodeEpochReply(service_.Info());
     case MsgType::kCompact:

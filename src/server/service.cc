@@ -290,44 +290,10 @@ Result<protocol::AppendReply> DatabaseService::Append(
                          db_.Append(std::move(*delta), &appended));
 
   // Eagerly delta-refresh every cached view to the new epoch, so the next
-  // query per program pays only rendering. A refresh failure (e.g. budget
-  // exhausted mid-delta) leaves that entry stale, which the next Run
-  // recovers from — never an error for the append itself.
+  // query per program pays only rendering.
   if (appended > 0 && opts_.result_cache_entries > 0 && opts_.maintain_views &&
       opts_.refresh_on_append) {
-    std::vector<std::string> keys;
-    {
-      std::lock_guard<std::mutex> lock(results_mu_);
-      keys.reserve(results_.size());
-      for (const auto& [key, e] : results_) keys.push_back(key);
-    }
-    for (const std::string& key : keys) {
-      bool cache_hit = false;
-      std::shared_ptr<const AdmissionReport> admission;
-      Result<std::shared_ptr<PreparedProgram>> prog =
-          Prepare(key, /*source_name=*/"", &cache_hit, &admission);
-      if (!prog.ok()) continue;
-      RunOptions ropts = opts_.run_options;
-      if (!ApplyAdmission(admission.get(), &ropts).ok()) continue;
-      EvalStats stats;
-      Result<std::shared_ptr<const ViewSnapshot>> view =
-          db_.views().Refresh(key, **prog, ropts, &stats);
-      if (!view.ok()) continue;
-      std::lock_guard<std::mutex> lock(results_mu_);
-      auto it = results_.find(key);
-      if (it == results_.end()) continue;  // evicted while we refreshed
-      CachedView& e = it->second;
-      if (e.epoch >= (*view)->epoch()) continue;  // a run got there first
-      cache_bytes_used_ -= e.bytes;
-      e.rendered.clear();  // renderings of the old epoch are stale
-      e.view = *view;
-      e.epoch = (*view)->epoch();
-      e.segments = (*view)->segments();
-      e.stats = ToWire(stats);
-      e.bytes = (*view)->ApproxBytes();
-      cache_bytes_used_ += e.bytes;
-      EvictLocked(key);
-    }
+    RefreshCachedViews();
   }
 
   protocol::AppendReply reply;
@@ -335,6 +301,72 @@ Result<protocol::AppendReply> DatabaseService::Append(
   reply.db = Info();
   reply.db.epoch = epoch;
   return reply;
+}
+
+Result<protocol::RetractReply> DatabaseService::Retract(
+    const protocol::RetractRequest& req) {
+  Result<Instance> victims = ParseInstance(*u_, req.facts);
+  if (!victims.ok()) {
+    return protocol::AnnotateParseError(req.source_name, victims.status());
+  }
+  size_t retracted = 0;
+  SEQDL_ASSIGN_OR_RETURN(uint64_t epoch,
+                         db_.Retract(std::move(*victims), &retracted));
+
+  // Same eager refresh as Append: the ViewManager sees the tombstone in
+  // the delta window and runs DRed / stratum recompute — a shrink epoch
+  // is never "maintained" by the append-only delta path, and the cache
+  // epoch gate means any entry we fail to refresh here simply misses on
+  // the next Run (kBudget-clamped programs included).
+  if (retracted > 0 && opts_.result_cache_entries > 0 &&
+      opts_.maintain_views && opts_.refresh_on_append) {
+    RefreshCachedViews();
+  }
+
+  protocol::RetractReply reply;
+  reply.retracted = retracted;  // exact: counted under the writer lock
+  reply.db = Info();
+  reply.db.epoch = epoch;
+  return reply;
+}
+
+void DatabaseService::RefreshCachedViews() {
+  // A refresh failure (e.g. budget exhausted mid-delta) leaves that entry
+  // stale, which the next Run recovers from — never an error for the
+  // write that triggered the refresh.
+  std::vector<std::string> keys;
+  {
+    std::lock_guard<std::mutex> lock(results_mu_);
+    keys.reserve(results_.size());
+    for (const auto& [key, e] : results_) keys.push_back(key);
+  }
+  for (const std::string& key : keys) {
+    bool cache_hit = false;
+    std::shared_ptr<const AdmissionReport> admission;
+    Result<std::shared_ptr<PreparedProgram>> prog =
+        Prepare(key, /*source_name=*/"", &cache_hit, &admission);
+    if (!prog.ok()) continue;
+    RunOptions ropts = opts_.run_options;
+    if (!ApplyAdmission(admission.get(), &ropts).ok()) continue;
+    EvalStats stats;
+    Result<std::shared_ptr<const ViewSnapshot>> view =
+        db_.views().Refresh(key, **prog, ropts, &stats);
+    if (!view.ok()) continue;
+    std::lock_guard<std::mutex> lock(results_mu_);
+    auto it = results_.find(key);
+    if (it == results_.end()) continue;  // evicted while we refreshed
+    CachedView& e = it->second;
+    if (e.epoch >= (*view)->epoch()) continue;  // a run got there first
+    cache_bytes_used_ -= e.bytes;
+    e.rendered.clear();  // renderings of the old epoch are stale
+    e.view = *view;
+    e.epoch = (*view)->epoch();
+    e.segments = (*view)->segments();
+    e.stats = ToWire(stats);
+    e.bytes = (*view)->ApproxBytes();
+    cache_bytes_used_ += e.bytes;
+    EvictLocked(key);
+  }
 }
 
 protocol::DbInfo DatabaseService::Info() const {
@@ -365,6 +397,7 @@ protocol::StatsReply DatabaseService::Stats() const {
   reply.view_hits = views.hits;
   reply.view_cold_runs = views.cold_runs;
   reply.view_delta_refreshes = views.delta_refreshes;
+  reply.view_dred_refreshes = views.dred_refreshes;
   reply.view_strata_recomputed = views.strata_recomputed;
   return reply;
 }

@@ -18,7 +18,10 @@
 // longer invalidates this state — it *refreshes* it, semi-naive
 // delta-evaluating just the appended facts against each stored view
 // (PreparedProgram::RunDelta) so re-serving after ingest costs O(delta)
-// instead of a full fixpoint. Entries are byte-accounted (rendered output
+// instead of a full fixpoint. A Retract refreshes the same way, except
+// the ViewManager routes the tombstone epoch through counting DRed
+// (delete/re-derive) or a stratum recompute — the cache never assumes
+// epochs only grow. Entries are byte-accounted (rendered output
 // + materialized IDB, ServiceOptions::cache_bytes) and evicted least-
 // recently-used past the budget; hit/miss/evict counters travel in
 // Stats() replies.
@@ -153,6 +156,14 @@ class DatabaseService {
   /// cached view to the new epoch so re-serving stays O(delta).
   Result<protocol::AppendReply> Append(const protocol::AppendRequest& req);
 
+  /// Parses the request's facts and retracts the visible matches by
+  /// publishing a tombstone segment (Database::Retract). Cached views go
+  /// through the same eager refresh as Append — the ViewManager sees the
+  /// tombstone epoch and takes the DRed delete/re-derive path (or a
+  /// wholesale stratum recompute), never the append-only delta path, so
+  /// a shrink epoch can never be served from a monotone-refresh result.
+  Result<protocol::RetractReply> Retract(const protocol::RetractRequest& req);
+
   /// Current epoch / segment / fact counts.
   protocol::DbInfo Info() const;
 
@@ -237,6 +248,13 @@ class DatabaseService {
   /// empty).
   Result<std::string> Render(const Instance& derived,
                              const std::string& output_rel) const;
+
+  /// Eagerly advances every cached view to the current epoch after a
+  /// write (Append or Retract), honoring the admission policy per
+  /// program. Refresh itself picks delta vs DRed vs recompute from the
+  /// segment kinds, so the same helper is correct for growth and shrink
+  /// epochs. Failures leave the entry stale — the next Run recovers.
+  void RefreshCachedViews();
 
   /// Moves `it`'s entry to the LRU front. Caller holds results_mu_.
   void TouchLocked(std::unordered_map<std::string, CachedView>::iterator it);

@@ -48,13 +48,15 @@ SharedSupport PruneSupport(SupportCounts&& counts, const Instance& idb) {
 }
 
 /// Merges carried-over and fresh counts for a delta refresh: maintained
-/// strata keep their stored counts plus any new derivation events;
-/// recomputed strata start over from the fresh events alone. Restricted
-/// to the new view's tuples either way. A maintained relation the delta
-/// pass never fired into shares the previous snapshot's map outright —
-/// no new tuples means no new counts, and an unchanged tuple count rules
-/// out retractions, so the carried map is exactly right as is.
+/// strata keep their stored counts plus any new derivation events minus
+/// the DRed deletion phase's decrements; recomputed strata start over
+/// from the fresh events alone. Restricted to the new view's tuples
+/// either way. A maintained relation the delta pass neither fired into
+/// nor decremented shares the previous snapshot's map outright — no new
+/// tuples means no new counts, and an unchanged tuple count rules out
+/// EDB promotion, so the carried map is exactly right as is.
 SharedSupport CombineSupport(const Instance& idb, const SupportCounts& fresh,
+                             const SupportCounts& decrements,
                              const SharedSupport& old,
                              const std::set<RelId>& recomputed_rels) {
   SharedSupport out;
@@ -63,6 +65,8 @@ SharedSupport CombineSupport(const Instance& idb, const SupportCounts& fresh,
     if (have.empty()) continue;
     const auto fit = fresh.find(rel);
     const bool has_fresh = fit != fresh.end() && !fit->second.empty();
+    const auto dit = decrements.find(rel);
+    const bool has_dec = dit != decrements.end() && !dit->second.empty();
     const auto oit = old.find(rel);
     const bool carry = recomputed_rels.count(rel) == 0;
     const auto* old_map =
@@ -70,7 +74,8 @@ SharedSupport CombineSupport(const Instance& idb, const SupportCounts& fresh,
     // Every new tuple comes from a rule firing the delta pass counted, so
     // no fresh events = no additions; equal sizes then rule out the only
     // other change (adopted facts dropped by EDB promotion). Share.
-    if (!has_fresh && old_map != nullptr && old_map->size() == have.size()) {
+    if (!has_fresh && !has_dec && old_map != nullptr &&
+        old_map->size() == have.size()) {
       out.emplace(rel, oit->second);
       continue;
     }
@@ -80,8 +85,8 @@ SharedSupport CombineSupport(const Instance& idb, const SupportCounts& fresh,
       // tuple. Merging the fresh events (restricted to view tuples —
       // DeriveHead also counts firings onto EDB facts) covers every
       // addition, so afterwards the copy's keys are a superset of the
-      // view's; a size mismatch means EDB promotion dropped adopted
-      // facts, and exactly the stale keys are erased.
+      // view's; a size mismatch means EDB promotion or DRed deletion
+      // dropped tuples, and exactly the stale keys are erased.
       auto dst = std::make_shared<
           std::unordered_map<Tuple, uint32_t, TupleHash>>(*old_map);
       if (has_fresh) {
@@ -90,6 +95,19 @@ SharedSupport CombineSupport(const Instance& idb, const SupportCounts& fresh,
           uint64_t m = static_cast<uint64_t>((*dst)[t]) + n;
           (*dst)[t] =
               m > UINT32_MAX ? UINT32_MAX : static_cast<uint32_t>(m);
+        }
+      }
+      if (has_dec) {
+        // Checked, saturating decrement floored at one: a surviving view
+        // tuple always keeps a positive count, no matter how far the
+        // deletion phase over-decremented it (the floor only ever
+        // *undercounts*, whose worst case is a spurious re-derivation
+        // check on a later retraction — never a wrong deletion). Tuples
+        // the deletion actually removed are erased below, not here.
+        for (const auto& [t, n] : dit->second) {
+          auto i = dst->find(t);
+          if (i == dst->end()) continue;
+          i->second = i->second > n ? i->second - n : 1;
         }
       }
       if (dst->size() != have.size()) {
@@ -145,16 +163,27 @@ Result<std::shared_ptr<const ViewSnapshot>> ViewManager::Refresh(
     }
   }
 
-  // Partition the stack by publish stamp: segments newer than the stored
-  // view are the delta; the rest it already covers. With no stored view
-  // everything is base and a cold run materializes.
+  // A view pinned below the compaction shrink floor cannot be
+  // delta-advanced: compaction folded tombstones it has never observed
+  // into the base, so the stack no longer says which of its facts died.
+  // Fall back to a cold materialization.
+  if (old != nullptr && old->epoch_ < cur->shrink_floor) old = nullptr;
+
+  // Partition the stack by publish stamp: the first `base_prefix`
+  // segments are the ones the stored view already covers (stamps are
+  // non-decreasing, so the covered base is always a prefix); the suffix
+  // is the delta. With no stored view everything is base and a cold run
+  // materializes.
   std::vector<const BaseStore*> all;
-  std::vector<const BaseStore*> delta;
   all.reserve(cur->segments.size());
+  size_t base_prefix = 0;
+  bool shrink_delta = false;
   for (size_t i = 0; i < cur->segments.size(); ++i) {
     all.push_back(cur->segments[i].get());
-    if (old != nullptr && cur->segment_epochs[i] > old->epoch_) {
-      delta.push_back(cur->segments[i].get());
+    if (old != nullptr && cur->segment_epochs[i] <= old->epoch_) {
+      base_prefix = i + 1;
+    } else if (cur->segment_kinds[i] == SegmentKind::kTombstones) {
+      shrink_delta = true;
     }
   }
 
@@ -184,8 +213,20 @@ Result<std::shared_ptr<const ViewSnapshot>> ViewManager::Refresh(
     SupportCounts fresh;
     RunOptions o = opts;
     o.support = &fresh;
-    SEQDL_ASSIGN_OR_RETURN(PreparedProgram::DeltaRun run,
-                           prog.RunDelta(all, delta, old->idb_, o, sink));
+    // The deletion phase reads the stored counts through this lookup; 0
+    // (unknown) makes the executor fall back to delete-on-first-decrement.
+    const SharedSupport& old_support = old->support_;
+    SupportLookup lookup = [&old_support](RelId rel,
+                                          const Tuple& t) -> uint32_t {
+      auto it = old_support.find(rel);
+      if (it == old_support.end()) return 0;
+      auto jt = it->second->find(t);
+      return jt == it->second->end() ? 0 : jt->second;
+    };
+    SEQDL_ASSIGN_OR_RETURN(
+        PreparedProgram::DeltaRun run,
+        prog.RunDelta(all, cur->segment_kinds, base_prefix, old->idb_, lookup,
+                      o, sink));
     std::set<RelId> recomputed_rels;
     for (size_t s : run.recomputed_strata) {
       for (const Rule& r : prog.program().strata[s].rules) {
@@ -194,8 +235,8 @@ Result<std::shared_ptr<const ViewSnapshot>> ViewManager::Refresh(
     }
     recomputed_strata = run.recomputed_strata.size();
     snap->idb_ = std::move(run.idb);
-    snap->support_ =
-        CombineSupport(snap->idb_, fresh, old->support_, recomputed_rels);
+    snap->support_ = CombineSupport(snap->idb_, fresh, run.decrements,
+                                    old->support_, recomputed_rels);
   }
   snap->bytes_ = ApproxInstanceBytes(snap->idb_);
 
@@ -211,6 +252,7 @@ Result<std::shared_ptr<const ViewSnapshot>> ViewManager::Refresh(
     ++counters_.cold_runs;
   } else {
     ++counters_.delta_refreshes;
+    if (shrink_delta) ++counters_.dred_refreshes;
     counters_.strata_recomputed += recomputed_strata;
   }
   // Publish unless a racing refresh already installed a newer epoch.

@@ -7,16 +7,19 @@
 // keeps at most one current snapshot per view key and keeps it fresh
 // *incrementally*: when Refresh finds the database epoch has moved past a
 // stored snapshot, it partitions the current segment stack by publish
-// stamp (SegmentSet::segment_epochs) into the base the snapshot already
-// covers and the segments appended since, and runs
-// PreparedProgram::RunDelta — semi-naive delta evaluation of just the
-// appended facts against the stored IDB — instead of re-running the full
+// stamp (SegmentSet::segment_epochs) into the base prefix the snapshot
+// already covers and the segments published since, and runs
+// PreparedProgram::RunDelta — semi-naive delta evaluation of the net
+// additions plus counting DRed (delete/re-derive) for the net
+// retractions, against the stored IDB — instead of re-running the full
 // fixpoint. Strata the delta pass cannot maintain soundly (negation over
-// a changed input, or a positive input that lost facts after an upstream
-// recompute) are recomputed wholesale; everything else is adopted and
-// patched. The refreshed snapshot is byte-identical to a cold fixpoint at
-// the new epoch (tests/differential_test.cc enforces this at every epoch,
-// across compaction).
+// a changed input) are recomputed wholesale; everything else is adopted
+// and patched in place, shrink epochs included. A snapshot pinned below
+// SegmentSet::shrink_floor (compaction folded tombstones it never saw)
+// falls back to a cold materialization. The refreshed snapshot is
+// byte-identical to a cold fixpoint at the new epoch
+// (tests/differential_test.cc enforces this at every epoch, across
+// retraction and compaction).
 //
 // Epoch lifecycle of one view key:
 //
@@ -34,15 +37,23 @@
 // view already reflects only re-derives known tuples.
 //
 // Every snapshot also records counting-based *support*: per derived
-// tuple, how many rule firings produced it (RunOptions::support).
-// Maintained strata carry their counts forward plus fresh events;
-// recomputed strata get fresh counts. This is the groundwork for
-// delete/re-derive (DRed) once tombstone segments land: a retraction
-// decrements support, and only tuples whose count reaches zero need the
-// expensive re-derivation check. Under semi-naive evaluation the counts
-// are a lower bound on the true derivation count, which errs in the safe
-// direction (an undercount triggers a spurious re-derivation check, never
-// a wrong deletion).
+// tuple, how many rule firings produced it (RunOptions::support). The
+// stored counts drive DRed on retraction epochs: the deletion phase
+// decrements the support of every derivation consuming a retracted fact,
+// only tuples whose count reaches zero are provisionally deleted, and
+// only those need the expensive re-derivation check. Count-gating is
+// exact only for relations whose support is acyclic — a relation that
+// reaches itself through its stratum's other heads can be propped up by
+// firings that die with the tuple itself, so the executor deletes those
+// on the first decrement (classic over-deleting DRed, see
+// CyclicHeads in engine.cc) and lets re-derivation rescue survivors.
+// Maintained strata carry their counts forward plus fresh events minus
+// the deletion phase's decrements (saturating, floored at one for
+// surviving tuples — a high-fan-in tuple can never wrap past zero and
+// be wrongly dropped); recomputed strata get fresh counts. The counts
+// are a lower bound on the true derivation count, which errs in the
+// safe direction (an undercount triggers a spurious re-derivation
+// check, never a wrong deletion).
 //
 // Thread-safety: all ViewManager methods may be called from any thread.
 // The map mutex guards lookups and publishes only — evaluation runs
@@ -112,8 +123,12 @@ class ViewManager {
     /// Full materializations (first Refresh of a key, or after
     /// Invalidate).
     uint64_t cold_runs = 0;
-    /// Incremental refreshes (RunDelta over the appended segments).
+    /// Incremental refreshes (RunDelta over the segments published
+    /// since).
     uint64_t delta_refreshes = 0;
+    /// The subset of delta_refreshes whose window contained a tombstone
+    /// segment — the DRed deletion/re-derivation machinery ran.
+    uint64_t dred_refreshes = 0;
     /// Strata recomputed wholesale inside those delta refreshes (0 when
     /// every stratum was maintainable).
     uint64_t strata_recomputed = 0;

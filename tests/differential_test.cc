@@ -635,6 +635,123 @@ TEST(DifferentialTest, MaintainedViewMatchesColdFixpointPerEpoch) {
   EXPECT_GT(strata_recomputed, 0u);
 }
 
+/// Draws a random ~third of `from`'s facts with a schedule RNG that is
+/// deliberately separate from the case generator's — victim choice must
+/// not perturb which program/EDB a seed denotes.
+Instance SelectVictims(std::mt19937& sched, const Instance& from) {
+  Instance victims;
+  for (RelId rel : from.Relations()) {
+    for (const Tuple& t : from.Tuples(rel)) {
+      if (sched() % 3 == 0) victims.Add(rel, t);
+    }
+  }
+  return victims;
+}
+
+// The retraction differential: a materialized view maintained across a
+// random schedule of retractions interleaved with appends — tombstone
+// epochs driving counting DRed (delete/re-derive) or wholesale stratum
+// recomputation — must stay byte-identical to a cold fixpoint over
+// exactly the visible facts at every epoch. The schedule also re-appends
+// some retracted facts (the visibility flip in both directions) and
+// compacts mid-sequence, after which the stack must hold no tombstones
+// at all.
+TEST(DifferentialTest, RetractionMaintainedViewMatchesColdFixpointPerEpoch) {
+  size_t iterations = Iterations();
+  size_t compared = 0, skipped = 0;
+  uint64_t dred_refreshes = 0, strata_recomputed = 0;
+  for (uint64_t seed = 1; seed <= iterations; ++seed) {
+    Universe u;
+    RandomCase c = CaseGenerator(u, seed).Generate();
+    SCOPED_TRACE("seed " + std::to_string(seed) + "\n" +
+                 FormatProgram(u, c.program) + c.input.ToString(u));
+    std::mt19937 sched(seed * 7919 + 13);
+
+    Result<PreparedProgram> prog = Engine::CompileBorrowed(u, c.program);
+    ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+    RunOptions ropts;
+    ropts.max_facts = kMaxFacts;
+    ropts.max_iterations = kMaxIterations;
+
+    Result<Database> live = Database::Open(u, c.input);
+    ASSERT_TRUE(live.ok()) << live.status().ToString();
+    bool budget_hit = false;
+
+    // One epoch's comparison: the maintained view against a cold fixpoint
+    // on the currently *visible* facts (live->edb() materializes the
+    // stack with tombstone shadowing applied).
+    auto check = [&](const char* phase) {
+      Result<Database> cold = Database::Open(u, live->edb());
+      ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+      Result<Instance> want = cold->Snapshot().Run(*prog, ropts);
+      if (!want.ok()) {
+        ASSERT_EQ(want.status().code(), StatusCode::kResourceExhausted)
+            << want.status().ToString();
+        budget_hit = true;
+        return;
+      }
+      auto view = live->views().Refresh("view", *prog, ropts);
+      if (!view.ok()) {
+        ASSERT_EQ(view.status().code(), StatusCode::kResourceExhausted)
+            << phase << ": " << view.status().ToString();
+        budget_hit = true;
+        return;
+      }
+      EXPECT_EQ((*view)->epoch(), live->epoch()) << phase;
+      EXPECT_EQ(want->ToString(u), (*view)->idb().ToString(u)) << phase;
+    };
+
+    check("epoch 0 (cold)");
+    if (budget_hit) {
+      ++skipped;
+      continue;
+    }
+
+    // Retract a random third of the visible EDB, re-append a random
+    // third of the victims (flip back), retract again, compact (folding
+    // every tombstone away), then retract once more on the folded stack.
+    Instance victims = SelectVictims(sched, live->edb());
+    size_t retracted = 0;
+    ASSERT_TRUE(live->Retract(victims, &retracted).ok());
+    EXPECT_EQ(retracted, victims.NumFacts());
+    check("shrink epoch (DRed)");
+    if (!budget_hit) {
+      ASSERT_TRUE(live->Append(SelectVictims(sched, victims)).ok());
+      check("re-append epoch (flip back)");
+    }
+    if (!budget_hit) {
+      ASSERT_TRUE(live->Retract(SelectVictims(sched, live->edb())).ok());
+      check("second shrink epoch");
+    }
+    if (!budget_hit) {
+      live->Compact();
+      EXPECT_EQ(live->NumTombstones(), 0u) << "tombstones survived Compact";
+      check("post-compaction");
+    }
+    if (!budget_hit) {
+      ASSERT_TRUE(live->Retract(SelectVictims(sched, live->edb())).ok());
+      check("shrink epoch on folded stack");
+    }
+    if (budget_hit) {
+      ++skipped;
+      continue;
+    }
+
+    ViewManager::Counters counters = live->views().counters();
+    dred_refreshes += counters.dred_refreshes;
+    strata_recomputed += counters.strata_recomputed;
+    ++compared;
+  }
+  EXPECT_GE(compared * 5, iterations * 4)
+      << compared << " of " << iterations << " seeds compared (" << skipped
+      << " skipped)";
+  // The suite must actually exercise both shrink paths: DRed
+  // delete/re-derive on maintained strata, and wholesale recomputation
+  // of strata reading a changed negated input.
+  EXPECT_GT(dred_refreshes, 0u);
+  EXPECT_GT(strata_recomputed, 0u);
+}
+
 // The server differential: running a random program through a loopback
 // TCP server (text in, rendered text out — a *separate Universe*, so
 // every symbol is re-interned from the shipped source) must produce
@@ -734,6 +851,101 @@ TEST(DifferentialTest, LoopbackServerMatchesInProcess) {
   EXPECT_GE(compared * 5, iterations * 4)
       << compared << " of " << iterations << " seeds compared (" << skipped
       << " skipped)";
+}
+
+// The retraction loopback differential: the `retract` wire verb must be
+// indistinguishable from Database::Retract in process. Victims are drawn
+// on the generating Universe and shipped as instance text (the server
+// re-interns every symbol); renders are compared at the shrink epoch and
+// again after a server-side Compact folds the tombstones away.
+TEST(DifferentialTest, RetractionLoopbackServerMatchesInProcess) {
+  size_t iterations = Iterations();
+  size_t compared = 0, skipped = 0;
+  uint64_t total_retracted = 0;
+  for (uint64_t seed = 1; seed <= iterations; ++seed) {
+    Universe u;
+    RandomCase c = CaseGenerator(u, seed).Generate();
+    std::string program_text = FormatProgram(u, c.program);
+    SCOPED_TRACE("seed " + std::to_string(seed) + "\n" + program_text +
+                 c.input.ToString(u));
+    std::mt19937 sched(seed * 7919 + 13);
+    Instance victims = SelectVictims(sched, c.input);
+
+    RunOptions ropts;
+    ropts.max_facts = kMaxFacts;
+    ropts.max_iterations = kMaxIterations;
+
+    // In-process expectations: derived-overlay renderings before and
+    // after the retraction.
+    Result<PreparedProgram> prog = Engine::CompileBorrowed(u, c.program);
+    ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+    Result<Database> db = Database::Open(u, c.input);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    Result<Instance> derived0 = db->Snapshot().Run(*prog, ropts);
+    size_t retracted = 0;
+    ASSERT_TRUE(db->Retract(victims, &retracted).ok());
+    EXPECT_EQ(retracted, victims.NumFacts());
+    Result<Instance> derived1 = db->Snapshot().Run(*prog, ropts);
+    if (!derived0.ok() || !derived1.ok()) {
+      const Status& st =
+          derived0.ok() ? derived1.status() : derived0.status();
+      ASSERT_EQ(st.code(), StatusCode::kResourceExhausted) << st.ToString();
+      ++skipped;
+      continue;
+    }
+    std::string expected0 = derived0->ToString(u);
+    std::string expected1 = derived1->ToString(u);
+
+    // Server side: a fresh Universe fed only by wire text. Cache off so
+    // the post-retraction and post-compaction runs re-evaluate against
+    // the tombstoned / folded stack instead of hitting a cached render.
+    Universe server_u;
+    Result<Instance> server_edb = ParseInstance(server_u, c.input.ToString(u));
+    ASSERT_TRUE(server_edb.ok()) << server_edb.status().ToString();
+    Result<Database> server_db =
+        Database::Open(server_u, std::move(*server_edb));
+    ASSERT_TRUE(server_db.ok()) << server_db.status().ToString();
+    ServiceOptions sopts;
+    sopts.run_options = ropts;
+    sopts.result_cache_entries = 0;
+    DatabaseService service(server_u, std::move(*server_db), sopts);
+    ServerOptions server_opts;
+    server_opts.threads = 2;
+    Result<std::unique_ptr<Server>> server =
+        Server::Start(service, server_opts);
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    Result<Client> client = Client::Connect("127.0.0.1", (*server)->port());
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+    Result<protocol::RunReply> at0 = client->Run(program_text);
+    ASSERT_TRUE(at0.ok()) << at0.status().ToString();
+    EXPECT_EQ(expected0, at0->rendered) << "server @ epoch 0";
+
+    Result<protocol::RetractReply> rr = client->Retract(victims.ToString(u));
+    ASSERT_TRUE(rr.ok()) << rr.status().ToString();
+    EXPECT_EQ(rr->retracted, retracted) << "wire retraction count";
+    total_retracted += rr->retracted;
+    Result<protocol::RunReply> at1 = client->Run(program_text);
+    ASSERT_TRUE(at1.ok()) << at1.status().ToString();
+    EXPECT_EQ(at1->epoch, rr->db.epoch);
+    EXPECT_EQ(expected1, at1->rendered) << "server @ shrink epoch";
+
+    // Compaction folds the tombstones out of the server's stack; results
+    // must not move.
+    Result<protocol::CompactReply> compacted = client->Compact();
+    ASSERT_TRUE(compacted.ok()) << compacted.status().ToString();
+    Result<protocol::RunReply> after = client->Run(program_text);
+    ASSERT_TRUE(after.ok()) << after.status().ToString();
+    EXPECT_EQ(expected1, after->rendered) << "server post-compaction";
+
+    client->Close();
+    (*server)->Shutdown();
+    ++compared;
+  }
+  EXPECT_GE(compared * 5, iterations * 4)
+      << compared << " of " << iterations << " seeds compared (" << skipped
+      << " skipped)";
+  EXPECT_GT(total_retracted, 0u);
 }
 
 }  // namespace

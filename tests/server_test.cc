@@ -78,6 +78,16 @@ TEST(ProtocolTest, RequestRoundTrips) {
   EXPECT_EQ(decoded->append.facts, append.facts);
   EXPECT_EQ(decoded->append.source_name, append.source_name);
 
+  protocol::RetractRequest retract;
+  retract.facts = "R(b). R(c).";
+  retract.source_name = "victims.sdl";
+  decoded = protocol::DecodeRequest(
+      Payload(protocol::EncodeRetractRequest(retract)));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->type, MsgType::kRetract);
+  EXPECT_EQ(decoded->retract.facts, retract.facts);
+  EXPECT_EQ(decoded->retract.source_name, retract.source_name);
+
   for (MsgType t : {MsgType::kEpoch, MsgType::kCompact, MsgType::kStats,
                     MsgType::kShutdown}) {
     decoded = protocol::DecodeRequest(Payload(protocol::EncodeBareRequest(t)));
@@ -130,6 +140,18 @@ TEST(ProtocolTest, ReplyRoundTrips) {
   EXPECT_EQ(decoded->append.db.epoch, 4u);
   EXPECT_EQ(decoded->append.db.segments, 3u);
   EXPECT_EQ(decoded->append.db.facts, 100u);
+
+  protocol::RetractReply retract;
+  retract.retracted = 6;
+  retract.db = {5, 4, 94};
+  decoded = protocol::DecodeReply(
+      Payload(protocol::EncodeRetractReply(retract)));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->orig_type, MsgType::kRetract);
+  EXPECT_EQ(decoded->retract.retracted, 6u);
+  EXPECT_EQ(decoded->retract.db.epoch, 5u);
+  EXPECT_EQ(decoded->retract.db.segments, 4u);
+  EXPECT_EQ(decoded->retract.db.facts, 94u);
 
   decoded = protocol::DecodeReply(
       Payload(protocol::EncodeEpochReply({7, 2, 42})));
@@ -787,8 +809,60 @@ TEST(ServiceCacheTest, CountersTravelInStatsReplies) {
   EXPECT_EQ(decoded->stats.view_cold_runs, stats.view_cold_runs);
   EXPECT_EQ(decoded->stats.view_delta_refreshes,
             stats.view_delta_refreshes);
+  EXPECT_EQ(decoded->stats.view_dred_refreshes,
+            stats.view_dred_refreshes);
   EXPECT_EQ(decoded->stats.view_strata_recomputed,
             stats.view_strata_recomputed);
+}
+
+TEST(ServiceCacheTest, RetractRefreshesViewsThroughDRed) {
+  Universe u;
+  Result<Instance> edb = ParseInstance(u, "E(a, b). E(b, c).");
+  ASSERT_TRUE(edb.ok());
+  Result<Database> db = Database::Open(u, std::move(*edb));
+  ASSERT_TRUE(db.ok());
+  ServiceOptions sopts;
+  // Admission analysis runs on the eager-refresh path too; kProgA is
+  // non-generative, so the budget must not clamp its DRed refresh.
+  sopts.admission = AdmissionPolicy::kBudget;
+  DatabaseService service(u, std::move(*db), sopts);
+
+  ASSERT_TRUE(service.Run(ReqFor(kProgA)).ok());
+  EXPECT_EQ(service.db().views().counters().cold_runs, 1u);
+
+  // The retract eagerly advances the stored view like an append — but
+  // through the DRed path, never the append-only delta path: the cached
+  // rendering at the shrink epoch must not contain the dead tuple.
+  protocol::RetractRequest retract;
+  retract.facts = "E(b, c).";
+  Result<protocol::RetractReply> rr = service.Retract(retract);
+  ASSERT_TRUE(rr.ok()) << rr.status().ToString();
+  EXPECT_EQ(rr->retracted, 1u);
+  EXPECT_EQ(rr->db.epoch, 1u);
+  ViewManager::Counters v = service.db().views().counters();
+  EXPECT_EQ(v.cold_runs, 1u);
+  EXPECT_EQ(v.delta_refreshes, 1u);
+  EXPECT_EQ(v.dred_refreshes, 1u);
+
+  Result<protocol::RunReply> run = service.Run(ReqFor(kProgA));
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->epoch, 1u);
+  EXPECT_EQ(run->rendered, "A(a, b).\n");
+
+  // And the post-retraction rendering is cached from here on.
+  run = service.Run(ReqFor(kProgA));
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run->result_cached);
+  EXPECT_EQ(run->rendered, "A(a, b).\n");
+
+  // Retracting facts nobody has is a no-op end to end: no epoch bump,
+  // no refresh work.
+  retract.facts = "E(z, z).";
+  rr = service.Retract(retract);
+  ASSERT_TRUE(rr.ok());
+  EXPECT_EQ(rr->retracted, 0u);
+  EXPECT_EQ(rr->db.epoch, 1u);
+  EXPECT_EQ(service.db().views().counters().dred_refreshes, 1u);
 }
 
 }  // namespace

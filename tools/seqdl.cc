@@ -32,8 +32,13 @@
 //                                      immutable segment and bumps the
 //                                      epoch; in-flight runs keep their
 //                                      pinned snapshot
+//           retract <instance.sdl>     retract facts: visible matches are
+//                                      shadowed by a tombstone segment at
+//                                      a new epoch; maintained views are
+//                                      DRed-refreshed (delete/re-derive)
 //           epoch                      print epoch / segment / fact counts
 //           compact                    fold all segments into one store
+//                                      (tombstones fold away entirely)
 //           stats                      print the database's measured
 //                                      selectivity statistics (live
 //                                      segments plus everything runs
@@ -61,6 +66,7 @@
 //                                       server, print the derived facts
 //           compile <program.sdl>       warm the server's program cache
 //           append <instance.sdl>       ship facts; bumps the epoch
+//           retract <instance.sdl>      retract facts; bumps the epoch
 //           epoch | compact | stats     as in serve's stdin mode
 //           shutdown                    drain and stop the server
 //       [--stats] prints the run's engine counters to stderr.
@@ -360,6 +366,33 @@ class ServeLoop {
                  static_cast<unsigned long long>(reply->db.facts));
   }
 
+  void Retract(const std::string& path) {
+    auto text = ReadFile(path);
+    if (!text.ok()) {
+      std::lock_guard<std::mutex> lock(io_mu_);
+      Fail(text.status());
+      return;
+    }
+    seqdl::protocol::RetractRequest req;
+    req.facts = std::move(*text);
+    req.source_name = path;
+    auto reply = service_.Retract(req);
+    if (!reply.ok()) {
+      std::lock_guard<std::mutex> lock(io_mu_);
+      FailDiag(path, reply.status());
+      return;
+    }
+    std::lock_guard<std::mutex> lock(io_mu_);
+    std::fprintf(stderr,
+                 "-- retracted %s (%llu facts): epoch %llu, %llu "
+                 "segments, %llu facts total\n",
+                 path.c_str(),
+                 static_cast<unsigned long long>(reply->retracted),
+                 static_cast<unsigned long long>(reply->db.epoch),
+                 static_cast<unsigned long long>(reply->db.segments),
+                 static_cast<unsigned long long>(reply->db.facts));
+  }
+
   void Epoch() {
     seqdl::protocol::DbInfo info = service_.Info();
     std::lock_guard<std::mutex> lock(io_mu_);
@@ -395,10 +428,11 @@ class ServeLoop {
                 static_cast<unsigned long long>(reply.cache_entries),
                 static_cast<unsigned long long>(reply.cache_bytes));
     std::printf("views: %llu hits, %llu cold runs, %llu delta refreshes "
-                "(%llu strata recomputed)\n",
+                "(%llu DRed, %llu strata recomputed)\n",
                 static_cast<unsigned long long>(reply.view_hits),
                 static_cast<unsigned long long>(reply.view_cold_runs),
                 static_cast<unsigned long long>(reply.view_delta_refreshes),
+                static_cast<unsigned long long>(reply.view_dred_refreshes),
                 static_cast<unsigned long long>(reply.view_strata_recomputed));
     std::fflush(stdout);
   }
@@ -595,8 +629,9 @@ int CmdServe(const std::vector<std::string>& args) {
 
   std::fprintf(stderr,
                "-- serving %zu EDB facts from %s (%zu worker thread%s); "
-               "'run <program> [REL]', 'append <instance>', 'epoch', "
-               "'compact', 'stats', or 'quit'\n",
+               "'run <program> [REL]', 'append <instance>', "
+               "'retract <instance>', 'epoch', 'compact', 'stats', or "
+               "'quit'\n",
                edb_facts, args[0].c_str(), threads, threads == 1 ? "" : "s");
 
   ServeLoop loop(service, stats_on);
@@ -631,6 +666,16 @@ int CmdServe(const std::vector<std::string>& args) {
       loop.Append(path);
       continue;
     }
+    if (cmd == "retract") {
+      std::string path;
+      words >> path;
+      if (path.empty()) {
+        std::fprintf(stderr, "usage: retract <instance>\n");
+        continue;
+      }
+      loop.Retract(path);
+      continue;
+    }
     if (cmd != "run") {
       std::fprintf(stderr, "error: unknown serve command '%s'\n", cmd.c_str());
       continue;
@@ -654,7 +699,8 @@ int CmdQuery(const std::vector<std::string>& args) {
   const char* usage =
       "usage: seqdl query --connect=HOST:PORT "
       "<run <program> [REL] | compile <program> | append <instance> | "
-      "epoch | compact | stats | shutdown> [--stats]\n";
+      "retract <instance> | epoch | compact | stats | shutdown> "
+      "[--stats]\n";
   std::string endpoint = FlagValue(args, "--connect=");
   size_t colon = endpoint.rfind(':');
   if (endpoint.empty() || colon == std::string::npos) {
@@ -767,6 +813,24 @@ int CmdQuery(const std::vector<std::string>& args) {
                 static_cast<unsigned long long>(reply->db.facts));
     return 0;
   }
+  if (cmd == "retract") {
+    if (words.size() < 2) {
+      std::fprintf(stderr,
+                   "usage: seqdl query --connect=... retract <instance>\n");
+      return 2;
+    }
+    auto text = ReadFile(words[1]);
+    if (!text.ok()) return Fail(text.status());
+    auto reply = client->Retract(*text, words[1]);
+    if (!reply.ok()) return Fail(reply.status());
+    std::printf("retracted %llu facts: epoch %llu, %llu segments, "
+                "%llu facts total\n",
+                static_cast<unsigned long long>(reply->retracted),
+                static_cast<unsigned long long>(reply->db.epoch),
+                static_cast<unsigned long long>(reply->db.segments),
+                static_cast<unsigned long long>(reply->db.facts));
+    return 0;
+  }
   if (cmd == "epoch") {
     auto reply = client->Epoch();
     if (!reply.ok()) return Fail(reply.status());
@@ -798,10 +862,11 @@ int CmdQuery(const std::vector<std::string>& args) {
                 static_cast<unsigned long long>(reply->cache_entries),
                 static_cast<unsigned long long>(reply->cache_bytes));
     std::printf("views: %llu hits, %llu cold runs, %llu delta refreshes "
-                "(%llu strata recomputed)\n",
+                "(%llu DRed, %llu strata recomputed)\n",
                 static_cast<unsigned long long>(reply->view_hits),
                 static_cast<unsigned long long>(reply->view_cold_runs),
                 static_cast<unsigned long long>(reply->view_delta_refreshes),
+                static_cast<unsigned long long>(reply->view_dred_refreshes),
                 static_cast<unsigned long long>(
                     reply->view_strata_recomputed));
     return 0;
