@@ -292,7 +292,7 @@ void PrintIngestBench() {
     };
 
     double stacked_ms = time_warm(*db);  // 16 segments deep
-    if (!db->Compact()) std::abort();
+    if (!*db->Compact()) std::abort();
     double compacted_ms = time_warm(*db);  // folded to one segment
     Result<Database> cold = Database::Open(u, w.Merged());
     if (!cold.ok()) std::abort();

@@ -149,6 +149,32 @@ Status StatusFromDiagnostics(const DiagnosticList& list) {
   return Status::OK();
 }
 
+Diagnostic DiagnosticFromStatus(const Status& status) {
+  std::string message = status.message();
+  std::string code;
+  // A trailing " [SDxxx]" is a structured code; lift it out so the
+  // rendered line carries it exactly once (ToString re-appends).
+  if (message.size() >= 8 && message.back() == ']') {
+    size_t open = message.rfind(" [SD");
+    if (open != std::string::npos && open + 3 < message.size() - 1) {
+      std::string candidate = message.substr(open + 2,
+                                             message.size() - open - 3);
+      bool digits = candidate.size() > 2;
+      for (size_t i = 2; i < candidate.size(); ++i) {
+        if (!std::isdigit(static_cast<unsigned char>(candidate[i]))) {
+          digits = false;
+          break;
+        }
+      }
+      if (digits) {
+        code = std::move(candidate);
+        message.erase(open);
+      }
+    }
+  }
+  return Diagnostic::Error(std::move(code), SourceSpan{}, std::move(message));
+}
+
 SourceSpan SpanFromStatusMessage(const std::string& message) {
   // Find the first "L:C:" pair where both sides are digit runs — covers
   // "parse error at 3:7: ..." and "facts.sdl:3:7: ...".

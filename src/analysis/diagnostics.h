@@ -31,11 +31,20 @@
 //   SD301  recursive rule grows paths in its head warning/error*
 //   SD302  packing in a recursive rule            warning/error*
 //   SD303  expanding equation in a recursive rule warning/error*
+//   SD401  storage I/O failure                    error
+//   SD402  WAL corruption                         error
+//   SD403  manifest corruption                    error
+//   SD404  segment file corruption                error
+//   SD405  data-directory state conflict          error
 //
 //   * SD301-303 mark the program *potentially generative* (its fixpoint
 //     may not terminate; paper Example 2.3). Under --admission=strict
 //     they are errors and the program is rejected; under
 //     --admission=budget they stay warnings and the run is capped.
+//
+//   SD401-405 come from the storage engine (src/storage/): their Status
+//   messages end in " [SDxxx]" and DiagnosticFromStatus below recovers
+//   the code so disk failures render like analyzer findings.
 #ifndef SEQDL_ANALYSIS_DIAGNOSTICS_H_
 #define SEQDL_ANALYSIS_DIAGNOSTICS_H_
 
@@ -122,6 +131,13 @@ Status StatusFromDiagnostics(const DiagnosticList& list);
 /// the shape "... at L:C: ..." or "name:L:C: ..." (AnnotateParseError's
 /// output). Returns an invalid span when the message has no location.
 SourceSpan SpanFromStatusMessage(const std::string& message);
+
+/// Lifts an error Status into a Diagnostic, recovering a trailing
+/// " [SDxxx]" code from the message when present (the storage engine's
+/// SD4xx statuses carry one; see the catalog above). The code is
+/// stripped from the rendered message — ToString re-appends it. Spanless
+/// (storage failures have no source location). `status` must not be OK.
+Diagnostic DiagnosticFromStatus(const Status& status);
 
 }  // namespace seqdl
 

@@ -20,6 +20,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Unimplemented";
     case StatusCode::kCancelled:
       return "Cancelled";
+    case StatusCode::kIoError:
+      return "IoError";
   }
   return "Unknown";
 }

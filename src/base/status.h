@@ -30,6 +30,10 @@ enum class StatusCode {
   kUnimplemented = 6,
   /// The caller cancelled the operation (e.g. via RunOptions::cancel).
   kCancelled = 7,
+  /// A filesystem operation failed (open/write/fsync/rename): disk full,
+  /// permissions, corruption detected by a checksum. Environmental, not a
+  /// seqdl bug — retrying after fixing the environment may succeed.
+  kIoError = 8,
 };
 
 /// Returns a human-readable name for `code` ("OK", "InvalidArgument", ...).
@@ -65,6 +69,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/storage/format.h"
 #include "src/view/view.h"
 
 namespace seqdl {
@@ -54,9 +55,85 @@ Instance MaterializeVisible(
 
 Result<Database> Database::Open(Universe& u, Instance edb,
                                 const OpenOptions& opts) {
+  std::unique_ptr<storage::StorageEngine> engine;
+  if (!opts.data_dir.empty()) {
+    storage::StorageOptions sopts;
+    sopts.dir = opts.data_dir;
+    sopts.sync_mode = opts.sync_mode;
+    sopts.sync_interval_ms = opts.sync_interval_ms;
+    sopts.checkpoint_wal_bytes = opts.checkpoint_wal_bytes;
+    SEQDL_ASSIGN_OR_RETURN(engine, storage::StorageEngine::Open(u, sopts));
+    if (engine->recovered() && !edb.Empty()) {
+      return storage::StorageError(
+          storage::kSdDataDirConflict,
+          opts.data_dir +
+              " is already initialized; open it without a seed instance "
+              "(the recovered EDB is authoritative) or point at a fresh "
+              "directory");
+    }
+  }
+
   auto state = std::make_unique<DbState>();
   state->universe = &u;
   state->opts = opts;
+
+  if (engine != nullptr && engine->recovered()) {
+    // Rebuild the published stack exactly as the manifest describes it,
+    // bottom-of-stack first, then replay the WAL tail through the
+    // normal commit path (re-deduping is deterministic on the effective
+    // batches the log holds, so the stack converges to the crash-time
+    // structure).
+    auto set = std::make_shared<SegmentSet>();
+    set->epoch = engine->recovered_epoch();
+    set->shrink_floor = engine->recovered_shrink_floor();
+    for (storage::SealedSegment& sealed : engine->sealed()) {
+      size_t facts = sealed.facts.NumFacts();
+      auto segment =
+          std::make_shared<BaseStore>(u, std::move(sealed.facts));
+      if (opts.eager_indexes) segment->BuildAllIndexes();
+      set->segments.push_back(std::move(segment));
+      set->segment_epochs.push_back(sealed.stamp);
+      set->segment_kinds.push_back(sealed.kind);
+      if (sealed.kind == SegmentKind::kFacts) {
+        set->total_facts += facts;
+      } else {
+        set->total_facts -= facts;
+      }
+    }
+    engine->sealed().clear();
+    state->current = std::move(set);
+    state->views.reset(new ViewManager(*state));
+    state->storage = std::move(engine);
+
+    state->replaying = true;
+    DbState* raw = state.get();
+    Result<storage::WalReplay> replay = state->storage->ReplayTail(
+        u, [raw](storage::WalRecordType type, Instance batch) -> Status {
+          Result<uint64_t> applied =
+              type == storage::WalRecordType::kAppend
+                  ? AppendTo(*raw, std::move(batch), nullptr)
+                  : RetractFrom(*raw, std::move(batch), nullptr);
+          return applied.ok() ? Status::OK() : applied.status();
+        });
+    state->replaying = false;
+    if (!replay.ok()) return replay.status();
+
+    Database db(std::move(state));
+    // Housekeeping deferred while replaying: fold the stack if policy
+    // wants it, and seal a replayed tail that already outgrew the log
+    // threshold. Best effort — the database is consistent either way.
+    (void)db.MaybeCompact();
+    {
+      std::lock_guard<std::mutex> writer(db.state_->writer_mu);
+      if (db.state_->storage->WantsCheckpoint()) {
+        (void)CheckpointLocked(*db.state_, *db.state_->Current(),
+                               /*rewrite=*/false);
+      }
+    }
+    return db;
+  }
+
+  // Fresh open (in-memory, or initializing a new data directory).
   auto segment = std::make_shared<BaseStore>(u, std::move(edb));
   if (opts.eager_indexes) segment->BuildAllIndexes();
   auto set = std::make_shared<SegmentSet>();
@@ -67,11 +144,32 @@ Result<Database> Database::Open(Universe& u, Instance edb,
   set->segment_kinds.push_back(SegmentKind::kFacts);
   state->current = std::move(set);
   state->views.reset(new ViewManager(*state));
+  if (engine != nullptr) {
+    state->storage = std::move(engine);
+    // Initial checkpoint: seal the seed segment and create the WAL so
+    // the first commit has a log to land in. Publishes generation 1.
+    SEQDL_RETURN_IF_ERROR(
+        CheckpointLocked(*state, *state->current, /*rewrite=*/true));
+  }
   return Database(std::move(state));
 }
 
 Result<Database> Database::Open(Universe& u, Instance edb) {
   return Open(u, std::move(edb), OpenOptions());
+}
+
+Result<Database> Database::Open(Universe& u, const OpenOptions& opts) {
+  if (opts.data_dir.empty()) {
+    return Status::InvalidArgument(
+        "Database::Open(u, opts) requires OpenOptions::data_dir; use the "
+        "Instance overload for an in-memory database");
+  }
+  return Open(u, Instance{}, opts);
+}
+
+bool Database::DataDirInitialized(const std::string& dir) {
+  Result<bool> exists = storage::FileExists(dir + "/CURRENT");
+  return exists.ok() && *exists;
 }
 
 Session Database::Snapshot() const {
@@ -108,6 +206,15 @@ Result<uint64_t> Database::AppendTo(DbState& state, Instance delta,
   }
   if (fresh.Empty()) return cur->epoch;  // nothing new: the epoch holds
 
+  // Durability point: the effective (post-dedupe) batch hits the WAL
+  // before anything publishes. On error nothing is published — the
+  // commit never happened, in memory or on disk. Replay skips this
+  // (the record being replayed is already on disk).
+  if (state.storage != nullptr && !state.replaying) {
+    SEQDL_RETURN_IF_ERROR(state.storage->LogCommit(
+        storage::WalRecordType::kAppend, *state.universe, fresh));
+  }
+
   size_t fresh_facts = fresh.NumFacts();
   if (appended != nullptr) *appended = fresh_facts;
   auto segment =
@@ -133,7 +240,18 @@ Result<uint64_t> Database::AppendTo(DbState& state, Instance delta,
   // appends is not fresh evidence that the derived shape drifted).
   state.accum.NoteEpoch();
 
-  if (PolicyWantsCompaction(state, *state.Current())) CompactLocked(state);
+  // Post-publish housekeeping, deferred during replay (a checkpoint
+  // would rotate the WAL out from under the records still replaying).
+  // Failures are swallowed: the append above is already durable and
+  // published, the stack just stays deep until a caller-visible
+  // Compact() surfaces the error.
+  if (!state.replaying) {
+    if (PolicyWantsCompaction(state, *state.Current())) {
+      (void)CompactLocked(state);
+    } else if (state.storage != nullptr && state.storage->WantsCheckpoint()) {
+      (void)CheckpointLocked(state, *state.Current(), /*rewrite=*/false);
+    }
+  }
   return epoch;
 }
 
@@ -165,6 +283,12 @@ Result<uint64_t> Database::RetractFrom(DbState& state, Instance victims,
   }
   if (hits.Empty()) return cur->epoch;  // nothing visible: epoch holds
 
+  // Durability point, as in AppendTo.
+  if (state.storage != nullptr && !state.replaying) {
+    SEQDL_RETURN_IF_ERROR(state.storage->LogCommit(
+        storage::WalRecordType::kRetract, *state.universe, hits));
+  }
+
   size_t hit_facts = hits.NumFacts();
   if (retracted != nullptr) *retracted = hit_facts;
   auto segment =
@@ -190,7 +314,13 @@ Result<uint64_t> Database::RetractFrom(DbState& state, Instance victims,
   // discounts tombstones directly).
   state.accum.NoteEpoch();
 
-  if (PolicyWantsCompaction(state, *state.Current())) CompactLocked(state);
+  if (!state.replaying) {
+    if (PolicyWantsCompaction(state, *state.Current())) {
+      (void)CompactLocked(state);
+    } else if (state.storage != nullptr && state.storage->WantsCheckpoint()) {
+      (void)CheckpointLocked(state, *state.Current(), /*rewrite=*/false);
+    }
+  }
   return epoch;
 }
 
@@ -216,7 +346,23 @@ bool Database::PolicyWantsCompaction(const DbState& state,
   return false;
 }
 
-bool Database::CompactLocked(DbState& state) {
+Status Database::CheckpointLocked(DbState& state, const SegmentSet& set,
+                                  bool rewrite) {
+  if (state.storage == nullptr) return Status::OK();
+  std::vector<storage::CheckpointSegment> stack;
+  stack.reserve(set.segments.size());
+  for (size_t i = 0; i < set.segments.size(); ++i) {
+    storage::CheckpointSegment seg;
+    seg.facts = &set.segments[i]->instance();
+    seg.kind = set.segment_kinds[i];
+    seg.stamp = set.segment_epochs[i];
+    stack.push_back(seg);
+  }
+  return state.storage->Checkpoint(*state.universe, set.epoch,
+                                   set.shrink_floor, stack, rewrite);
+}
+
+Result<bool> Database::CompactLocked(DbState& state) {
   std::shared_ptr<const SegmentSet> cur = state.Current();
   if (cur->segments.size() <= 1) return false;
 
@@ -250,17 +396,24 @@ bool Database::CompactLocked(DbState& state) {
           std::max(next->shrink_floor, cur->segment_epochs[i]);
     }
   }
+  // Copy-forward-then-swap: in durable mode the merged segment seals to
+  // disk and the new manifest generation publishes *first*. A failure —
+  // or a crash anywhere inside — leaves CURRENT naming the old
+  // generation and the in-memory stack untouched; open sessions keep
+  // their pins either way (segments are shared_ptr-owned in memory, not
+  // read through the deleted files).
+  SEQDL_RETURN_IF_ERROR(CheckpointLocked(state, *next, /*rewrite=*/true));
   state.Publish(std::move(next));
   return true;
 }
 
-bool Database::Compact() {
+Result<bool> Database::Compact() {
   std::lock_guard<std::mutex> writer(state_->writer_mu);
   if (state_->closed.load(std::memory_order_relaxed)) return false;
   return CompactLocked(*state_);
 }
 
-bool Database::MaybeCompact() {
+Result<bool> Database::MaybeCompact() {
   std::lock_guard<std::mutex> writer(state_->writer_mu);
   if (state_->closed.load(std::memory_order_relaxed)) return false;
   if (!PolicyWantsCompaction(*state_, *state_->Current())) return false;
@@ -271,6 +424,13 @@ void Database::Close() {
   // Take the writer mutex so Close() serializes behind any in-flight
   // append: after Close() returns, the published epoch is final.
   std::lock_guard<std::mutex> writer(state_->writer_mu);
+  if (!state_->closed.load(std::memory_order_relaxed) &&
+      state_->storage != nullptr &&
+      state_->storage->info().wal_bytes > 0) {
+    // Seal the WAL tail so the next Open skips replay. Best effort —
+    // on failure the WAL itself still recovers everything.
+    (void)CheckpointLocked(*state_, *state_->Current(), /*rewrite=*/false);
+  }
   state_->closed.store(true, std::memory_order_relaxed);
 }
 
@@ -331,6 +491,11 @@ Result<PreparedProgram> Database::Compile(Program p) const {
 }
 
 ViewManager& Database::views() const { return *state_->views; }
+
+storage::StorageInfo Database::storage_info() const {
+  return state_->storage != nullptr ? state_->storage->info()
+                                    : storage::StorageInfo{};
+}
 
 Instance Database::edb() const {
   std::shared_ptr<const SegmentSet> cur = state_->Current();

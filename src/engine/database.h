@@ -61,6 +61,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "src/base/status.h"
@@ -68,6 +69,7 @@
 #include "src/engine/index.h"
 #include "src/engine/instance.h"
 #include "src/engine/stats.h"
+#include "src/storage/storage.h"
 #include "src/term/universe.h"
 
 namespace seqdl {
@@ -97,6 +99,21 @@ class Database {
     /// segment exceed this fraction of all facts — the size-ratio
     /// trigger. >= 1.0 disables the ratio trigger.
     double auto_compact_tail_ratio = 1.0;
+    /// Durability. Empty (the default) keeps the database purely in
+    /// memory. Non-empty names a data directory (created if absent):
+    /// commits write a CRC-framed WAL record *before* they publish,
+    /// segments seal to immutable on-disk files at checkpoints, and
+    /// Open on an initialized directory recovers to exactly the last
+    /// committed epoch (sealed segments + WAL tail replay). See
+    /// docs/storage.md.
+    std::string data_dir;
+    /// When a commit's WAL write reaches stable media (storage/wal.h):
+    /// kAlways fsyncs per commit, kInterval at most once per
+    /// `sync_interval_ms`, kNever leaves flushing to the OS.
+    storage::SyncMode sync_mode = storage::SyncMode::kAlways;
+    uint32_t sync_interval_ms = 100;
+    /// Seal the stack and rotate the WAL once the log outgrows this.
+    uint64_t checkpoint_wal_bytes = 64ull << 20;
   };
 
   /// Takes ownership of `edb` and publishes it as the epoch-0 segment.
@@ -107,6 +124,19 @@ class Database {
   static Result<Database> Open(Universe& u, Instance edb,
                                const OpenOptions& opts);
   static Result<Database> Open(Universe& u, Instance edb);
+
+  /// Durable open without a seed instance: recovers an initialized
+  /// `opts.data_dir` to its last committed epoch, or initializes a
+  /// fresh directory with an empty EDB. `opts.data_dir` must be
+  /// non-empty. The Instance overload above also accepts a data_dir,
+  /// but only to *initialize* a fresh directory from `edb` — opening
+  /// an already-initialized directory with a non-empty seed fails with
+  /// kIoError [SD405] rather than guessing whether to merge or ignore.
+  static Result<Database> Open(Universe& u, const OpenOptions& opts);
+
+  /// True when `dir` holds an initialized data directory (a CURRENT
+  /// pointer): Open will recover rather than initialize.
+  static bool DataDirInitialized(const std::string& dir);
 
   // Moves and the destructor are defined out of line: DbState holds the
   // (forward-declared) ViewManager by unique_ptr.
@@ -154,13 +184,17 @@ class Database {
   /// rebuild for O(1) segment probes afterwards. Open sessions keep their
   /// pinned pre-compaction segments (freed when the last such session
   /// closes). Returns false if there was nothing to fold (one segment or
-  /// none). Serializes with other writers.
-  bool Compact();
+  /// none). In durable mode the merged segment seals to disk and a new
+  /// manifest generation publishes *before* the in-memory swap
+  /// (copy-forward-then-swap): on error nothing changes, in memory or
+  /// on disk, and the Status carries an SD4xx diagnostic code
+  /// (DiagnosticFromStatus renders it). Serializes with other writers.
+  Result<bool> Compact();
 
   /// Runs Compact() iff the OpenOptions policy says the stack is too
   /// deep (auto_compact_segments / auto_compact_tail_ratio). Append calls
   /// this after every publish; it is also callable directly.
-  bool MaybeCompact();
+  Result<bool> MaybeCompact();
 
   /// Retires the database from ingest: every later Append or
   /// Writer::Commit fails with kFailedPrecondition, and Compact becomes a
@@ -206,6 +240,11 @@ class Database {
   /// nothing until someone calls ViewManager::Refresh; heap-stable (lives
   /// in DbState), so the reference survives moves of the Database.
   ViewManager& views() const;
+
+  /// Durability counters (manifest generation, on-disk bytes, WAL
+  /// length) for DbInfo/kStats replies. All zero for an in-memory
+  /// database. Thread-safe (server stats workers race the writer).
+  storage::StorageInfo storage_info() const;
 
   Universe& universe() const { return *state_->universe; }
   /// Materializes the union of the current stack's facts (a copy — the
@@ -276,6 +315,15 @@ class Database {
     /// The materialized-view subsystem (view/view.h); constructed at
     /// Open so views() can hand out a stable reference.
     std::unique_ptr<ViewManager> views;
+    /// Durability engine (null for an in-memory database). Mutated only
+    /// under writer_mu; storage->info() is internally synchronized.
+    std::unique_ptr<storage::StorageEngine> storage;
+    /// True while Open replays the WAL tail through the normal commit
+    /// path: suppresses WAL logging (the records are already on disk),
+    /// auto-compaction and checkpoints (rotating the WAL mid-replay
+    /// would drop the records not yet replayed). Only touched during
+    /// single-threaded Open.
+    bool replaying = false;
 
     std::shared_ptr<const SegmentSet> Current() const {
       std::lock_guard<std::mutex> lock(mu);
@@ -299,10 +347,16 @@ class Database {
   /// actually tombstoned.
   static Result<uint64_t> RetractFrom(DbState& state, Instance victims,
                                       size_t* retracted);
-  /// Compact step with writer_mu already held.
-  static bool CompactLocked(DbState& state);
+  /// Compact step with writer_mu already held. In durable mode seals
+  /// the merged stack before the in-memory swap.
+  static Result<bool> CompactLocked(DbState& state);
   static bool PolicyWantsCompaction(const DbState& state,
                                     const SegmentSet& set);
+  /// Seals the *given* (about-to-publish or current) stack under a new
+  /// manifest generation; writer_mu must be held. No-op in memory-only
+  /// mode.
+  static Status CheckpointLocked(DbState& state, const SegmentSet& set,
+                                 bool rewrite);
 
   std::unique_ptr<DbState> state_;
 };

@@ -143,12 +143,18 @@ void PutDbInfo(std::string* out, const DbInfo& info) {
   PutU64(out, info.epoch);
   PutU64(out, info.segments);
   PutU64(out, info.facts);
+  PutU64(out, info.on_disk_bytes);
+  PutU64(out, info.wal_bytes);
+  PutU64(out, info.manifest_generation);
 }
 
 Status ReadDbInfo(WireReader* r, DbInfo* info) {
   SEQDL_RETURN_IF_ERROR(r->ReadU64(&info->epoch));
   SEQDL_RETURN_IF_ERROR(r->ReadU64(&info->segments));
   SEQDL_RETURN_IF_ERROR(r->ReadU64(&info->facts));
+  SEQDL_RETURN_IF_ERROR(r->ReadU64(&info->on_disk_bytes));
+  SEQDL_RETURN_IF_ERROR(r->ReadU64(&info->wal_bytes));
+  SEQDL_RETURN_IF_ERROR(r->ReadU64(&info->manifest_generation));
   return Status::OK();
 }
 

@@ -118,11 +118,18 @@ struct RetractRequest {
 // --- Reply bodies -----------------------------------------------------------
 
 /// epoch/segments/facts of the server database (kEpoch reply; embedded in
-/// append/compact replies).
+/// append/compact replies), plus the durability counters — all zero when
+/// the server database is in-memory (no --data-dir).
 struct DbInfo {
   uint64_t epoch = 0;
   uint64_t segments = 0;
   uint64_t facts = 0;
+  /// Sealed segment files + manifest on disk (excludes the WAL).
+  uint64_t on_disk_bytes = 0;
+  uint64_t wal_bytes = 0;
+  /// Manifest generation (bumps at every checkpoint/compaction); 0 for
+  /// an in-memory database.
+  uint64_t manifest_generation = 0;
 };
 
 /// The EvalStats counters that cross the wire (stats.h has the engine-side

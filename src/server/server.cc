@@ -252,8 +252,11 @@ std::string Server::HandleRequest(const std::string& payload, bool* shutdown) {
     }
     case MsgType::kEpoch:
       return protocol::EncodeEpochReply(service_.Info());
-    case MsgType::kCompact:
-      return protocol::EncodeCompactReply(service_.Compact());
+    case MsgType::kCompact: {
+      Result<protocol::CompactReply> r = service_.Compact();
+      if (!r.ok()) return protocol::EncodeErrorReply(req->type, r.status());
+      return protocol::EncodeCompactReply(*r);
+    }
     case MsgType::kStats:
       return protocol::EncodeStatsReply(service_.Stats());
     case MsgType::kShutdown:

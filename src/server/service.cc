@@ -374,12 +374,17 @@ protocol::DbInfo DatabaseService::Info() const {
   info.epoch = db_.epoch();
   info.segments = db_.NumSegments();
   info.facts = db_.NumFacts();
+  storage::StorageInfo durability = db_.storage_info();
+  info.on_disk_bytes = durability.on_disk_bytes;
+  info.wal_bytes = durability.wal_bytes;
+  info.manifest_generation = durability.manifest_generation;
   return info;
 }
 
-protocol::CompactReply DatabaseService::Compact() {
+Result<protocol::CompactReply> DatabaseService::Compact() {
+  SEQDL_ASSIGN_OR_RETURN(bool folded, db_.Compact());
   protocol::CompactReply reply;
-  reply.folded = db_.Compact();
+  reply.folded = folded;
   reply.db = Info();
   return reply;
 }

@@ -167,8 +167,10 @@ class DatabaseService {
   /// Current epoch / segment / fact counts.
   protocol::DbInfo Info() const;
 
-  /// Folds the segment stack (Database::Compact).
-  protocol::CompactReply Compact();
+  /// Folds the segment stack (Database::Compact). Errors only in
+  /// durable mode, when sealing the merged segment to disk fails — the
+  /// Status carries an SD4xx diagnostic code.
+  Result<protocol::CompactReply> Compact();
 
   /// Rendered measured statistics (Database::Stats) plus cache and view
   /// counters.

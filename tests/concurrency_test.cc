@@ -427,7 +427,7 @@ TEST(EpochConcurrencyTest, SnapshotsPinTheirEpochAcrossAppendAndCompact) {
 
   // Compaction folds the stack without moving the epoch; both pinned
   // snapshots are unaffected, and new snapshots see the merged store.
-  EXPECT_TRUE(db->Compact());
+  EXPECT_TRUE(*db->Compact());
   EXPECT_EQ(db->NumSegments(), 1u);
   EXPECT_EQ(db->epoch(), 1u);
   EXPECT_EQ(at0.NumSegments(), 1u);
@@ -436,7 +436,7 @@ TEST(EpochConcurrencyTest, SnapshotsPinTheirEpochAcrossAppendAndCompact) {
   EXPECT_EQ(at1.Run(*prog)->ToString(u), at1_text);
   EXPECT_EQ(db->Snapshot().Run(*prog)->ToString(u), at1_text);
   // Nothing left to fold.
-  EXPECT_FALSE(db->Compact());
+  EXPECT_FALSE(*db->Compact());
 }
 
 // One writer thread commits batches while reader threads open snapshots

@@ -757,21 +757,21 @@ TEST(EpochTest, CompactWithNothingToFold) {
   // that one segment is empty.
   Result<Database> empty = Database::Open(u, Instance{});
   ASSERT_TRUE(empty.ok());
-  EXPECT_FALSE(empty->Compact());
+  EXPECT_FALSE(*empty->Compact());
   EXPECT_EQ(empty->NumSegments(), 1u);
   EXPECT_EQ(empty->epoch(), 0u);
 
   Result<Database> db = Database::Open(u, MustInstance(u, "R(a)."));
   ASSERT_TRUE(db.ok());
-  EXPECT_FALSE(db->Compact());
+  EXPECT_FALSE(*db->Compact());
   // After appends there is something to fold — once; the second Compact
   // sees one segment again. A closed database refuses to fold at all.
   ASSERT_TRUE(db->Append(MustInstance(u, "R(b).")).ok());
-  EXPECT_TRUE(db->Compact());
-  EXPECT_FALSE(db->Compact());
+  EXPECT_TRUE(*db->Compact());
+  EXPECT_FALSE(*db->Compact());
   ASSERT_TRUE(db->Append(MustInstance(u, "R(c).")).ok());
   db->Close();
-  EXPECT_FALSE(db->Compact());
+  EXPECT_FALSE(*db->Compact());
   EXPECT_EQ(db->NumSegments(), 2u);
 }
 
@@ -835,7 +835,7 @@ TEST(EpochTest, StatsAreEpochAware) {
   // Per-segment measurements merge: the new segment's facts count.
   EXPECT_EQ(db->Stats().EstimateScan(r), 4.0);
   // Compaction re-measures the merged store; totals are unchanged.
-  ASSERT_TRUE(db->Compact());
+  ASSERT_TRUE(*db->Compact());
   EXPECT_EQ(db->Stats().EstimateScan(r), 4.0);
 }
 

@@ -144,7 +144,7 @@ TEST(RetractTest, CompactFoldsTombstonesAway) {
   std::string edb = db->edb().ToString(u);
 
   EXPECT_GT(db->NumTombstones(), 0u);
-  ASSERT_TRUE(db->Compact());
+  ASSERT_TRUE(*db->Compact());
 
   // Folding happens under an unchanged epoch and leaves only surviving
   // facts: the post-compaction stack contains no tombstones at all.

@@ -114,7 +114,7 @@ TEST(ViewTest, DeltaRefreshAcrossCompaction) {
   // segment keeps the newest folded publish stamp, so a view older than
   // that stamp sees it as one (over-approximate but sound) delta.
   ASSERT_TRUE(db->Append(MustInstance(u, "E(b, c).")).ok());
-  ASSERT_TRUE(db->Compact());
+  ASSERT_TRUE(*db->Compact());
   auto v = db->views().Refresh("reach", prog);
   ASSERT_TRUE(v.ok());
   EXPECT_EQ((*v)->idb().ToString(u), ColdRendered(u, *db, prog));

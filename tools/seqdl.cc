@@ -1,6 +1,7 @@
 // seqdl — command line front end for the Sequence Datalog library.
 //
-//   seqdl run <program.sdl> <instance.sdl> [--output=REL] [--naive]
+//   seqdl run <program.sdl> [<instance.sdl>] [--data-dir=DIR]
+//              [--sync=always|interval|never] [--output=REL] [--naive]
 //              [--no-index] [--stats] [--explain] [--legacy-planner]
 //       Evaluate a program on an instance and print the derived facts
 //       (all IDB relations, or just --output). The planner ranks access
@@ -9,12 +10,21 @@
 //       --explain prints the chosen plan (key column and scan order per
 //       rule step); --stats reports the engine's extended counters
 //       (per-stratum rounds, a per-index-family probe table, compile/run
-//       wall times).
+//       wall times). With --data-dir the program runs against a durable
+//       database (docs/storage.md): an initialized directory is
+//       recovered without re-ingesting anything (the instance argument
+//       becomes optional), a fresh one is seeded from the instance.
 //
-//   seqdl serve <instance.sdl> [--stats] [--threads=N]
+//   seqdl serve [<instance.sdl>] [--data-dir=DIR]
+//               [--sync=always|interval|never] [--stats] [--threads=N]
 //               [--recompile-drift=X] [--auto-compact=N] [--listen=PORT]
 //               [--admission=off|budget|strict]
 //       Load the instance into a versioned Database once, then serve it.
+//       With --data-dir the database is durable: commits are logged to a
+//       WAL before they publish (--sync picks the fsync policy), and a
+//       restart pointed at the same directory recovers the exact
+//       pre-restart EDB without re-ingesting any source file (the
+//       instance argument is then optional and ignored if given).
 //       With --listen=PORT the database is served over TCP (the framed
 //       wire protocol of src/server/protocol.h; PORT 0 picks a free
 //       ephemeral port): the server prints "listening on HOST:PORT" to
@@ -202,6 +212,60 @@ std::string FlagValue(const std::vector<std::string>& args,
   return "";
 }
 
+/// The positional (non `--flag`) arguments, in order.
+std::vector<std::string> PositionalArgs(const std::vector<std::string>& args) {
+  std::vector<std::string> out;
+  for (const std::string& a : args) {
+    if (a.rfind("--", 0) != 0) out.push_back(a);
+  }
+  return out;
+}
+
+/// Parses --sync= values (always | interval | never).
+seqdl::Result<seqdl::storage::SyncMode> ParseSyncMode(const std::string& v) {
+  if (v == "always") return seqdl::storage::SyncMode::kAlways;
+  if (v == "interval") return seqdl::storage::SyncMode::kInterval;
+  if (v == "never") return seqdl::storage::SyncMode::kNever;
+  return seqdl::Status::InvalidArgument(
+      "--sync= must be always, interval or never (got '" + v + "')");
+}
+
+/// Fills OpenOptions durability fields from --data-dir= / --sync=.
+/// Returns false (after printing the error) on a malformed flag.
+bool ApplyStorageFlags(const std::vector<std::string>& args,
+                       seqdl::Database::OpenOptions* dbopts) {
+  dbopts->data_dir = FlagValue(args, "--data-dir=");
+  if (std::string v = FlagValue(args, "--sync="); !v.empty()) {
+    auto mode = ParseSyncMode(v);
+    if (!mode.ok()) {
+      Fail(mode.status());
+      return false;
+    }
+    dbopts->sync_mode = *mode;
+  }
+  return true;
+}
+
+/// One extra status line when the database is durable (generation 0
+/// means in-memory: print nothing, keeping legacy output stable).
+void PrintStorageLine(FILE* f, const seqdl::protocol::DbInfo& info) {
+  if (info.manifest_generation == 0) return;
+  std::fprintf(f,
+               "storage: generation %llu, %llu bytes on disk, "
+               "%llu wal bytes\n",
+               static_cast<unsigned long long>(info.manifest_generation),
+               static_cast<unsigned long long>(info.on_disk_bytes),
+               static_cast<unsigned long long>(info.wal_bytes));
+}
+
+/// Renders a storage-layer failure (kIoError with an SD4xx code) like
+/// an analyzer finding; other statuses fall back to Fail().
+int FailStorage(const seqdl::Status& status) {
+  seqdl::Diagnostic d = seqdl::DiagnosticFromStatus(status);
+  std::fprintf(stderr, "%s\n", d.ToString().c_str());
+  return 1;
+}
+
 // The per-index-family scan counters as one aligned table.
 void PrintScanTable(const seqdl::EvalStats& stats) {
   struct Row {
@@ -222,28 +286,112 @@ void PrintScanTable(const seqdl::EvalStats& stats) {
   }
 }
 
+// `seqdl run --data-dir=DIR`: evaluate against a durable database —
+// recovering an initialized directory (the second positional instance,
+// if any, is ignored with a note), or seeding a fresh one from the
+// instance file first.
+int RunDurable(const std::vector<std::string>& args,
+               const std::vector<std::string>& pos, seqdl::Universe& u,
+               seqdl::Program program) {
+  seqdl::Database::OpenOptions dbopts;
+  if (!ApplyStorageFlags(args, &dbopts)) return 2;
+  bool recovering = seqdl::Database::DataDirInitialized(dbopts.data_dir);
+  seqdl::Instance seed;
+  if (recovering) {
+    if (pos.size() > 1) {
+      std::fprintf(stderr,
+                   "-- note: %s is already initialized; ignoring %s "
+                   "(the recovered EDB is authoritative)\n",
+                   dbopts.data_dir.c_str(), pos[1].c_str());
+    }
+  } else {
+    if (pos.size() < 2) {
+      std::fprintf(stderr,
+                   "error: %s is not initialized; pass an instance file "
+                   "to seed it\n",
+                   dbopts.data_dir.c_str());
+      return 2;
+    }
+    auto instance_text = ReadFile(pos[1]);
+    if (!instance_text.ok()) return Fail(instance_text.status());
+    auto instance = seqdl::ParseInstance(u, *instance_text);
+    if (!instance.ok()) return FailDiag(pos[1], instance.status());
+    seed = std::move(*instance);
+  }
+  auto db = seqdl::Database::Open(u, std::move(seed), dbopts);
+  if (!db.ok()) return FailStorage(db.status());
+
+  // Database::Compile feeds the recovered stack's measured statistics
+  // to the planner — the durable twin of ComputeInstanceStats below.
+  auto prepared = db->Compile(std::move(program));
+  if (!prepared.ok()) return Fail(prepared.status());
+  if (HasFlag(args, "--explain")) {
+    std::fprintf(stderr, "%s", prepared->ExplainPlan().c_str());
+  }
+  seqdl::RunOptions opts;
+  opts.seminaive = !HasFlag(args, "--naive");
+  opts.use_index = !HasFlag(args, "--no-index");
+  seqdl::EvalStats stats;
+  seqdl::Session session = db->Snapshot();
+  auto out = session.Run(*prepared, opts, &stats);
+  if (!out.ok()) return Fail(out.status());
+
+  std::string output_rel = FlagValue(args, "--output=");
+  if (!output_rel.empty()) {
+    auto rel = u.FindRel(output_rel);
+    if (!rel.ok()) return Fail(rel.status());
+    std::printf("%s", out->Project({*rel}).ToString(u).c_str());
+  } else {
+    std::set<seqdl::RelId> idb = seqdl::IdbRels(prepared->program());
+    std::printf("%s",
+                out->Project({idb.begin(), idb.end()}).ToString(u).c_str());
+  }
+  seqdl::storage::StorageInfo sinfo = db->storage_info();
+  std::fprintf(stderr,
+               "-- %zu facts derived in %zu rounds (%zu firings) at epoch "
+               "%llu; storage generation %llu, %llu bytes on disk\n",
+               stats.derived_facts, stats.rounds, stats.rule_firings,
+               static_cast<unsigned long long>(session.epoch()),
+               static_cast<unsigned long long>(sinfo.manifest_generation),
+               static_cast<unsigned long long>(sinfo.on_disk_bytes));
+  if (HasFlag(args, "--stats")) {
+    PrintScanTable(stats);
+    std::fprintf(stderr, "-- compile %.3f ms, run %.3f ms\n",
+                 stats.compile_seconds * 1e3, stats.run_seconds * 1e3);
+  }
+  return 0;
+}
+
 int CmdRun(const std::vector<std::string>& args) {
-  if (args.size() < 2) {
-    std::fprintf(stderr, "usage: seqdl run <program> <instance> "
-                         "[--output=REL] [--naive] [--no-index] [--stats] "
-                         "[--explain] [--legacy-planner]\n");
+  std::vector<std::string> pos = PositionalArgs(args);
+  std::string data_dir = FlagValue(args, "--data-dir=");
+  if (pos.empty() || (pos.size() < 2 && data_dir.empty())) {
+    std::fprintf(stderr,
+                 "usage: seqdl run <program> [<instance>] [--data-dir=DIR] "
+                 "[--sync=always|interval|never] [--output=REL] [--naive] "
+                 "[--no-index] [--stats] [--explain] [--legacy-planner]\n"
+                 "(the instance is required without --data-dir; with one, "
+                 "it seeds a fresh data directory)\n");
     return 2;
   }
   seqdl::Universe u;
-  auto program_text = ReadFile(args[0]);
+  auto program_text = ReadFile(pos[0]);
   if (!program_text.ok()) return Fail(program_text.status());
-  auto instance_text = ReadFile(args[1]);
-  if (!instance_text.ok()) return Fail(instance_text.status());
   seqdl::DiagnosticList parse_diags;
   auto program = seqdl::ParseProgram(u, *program_text, &parse_diags);
   if (!program.ok()) {
     // The same structured rendering as `seqdl check`: file:line:col,
     // severity, stable SD code.
-    std::fprintf(stderr, "%s", parse_diags.RenderText(args[0]).c_str());
+    std::fprintf(stderr, "%s", parse_diags.RenderText(pos[0]).c_str());
     return 1;
   }
+
+  if (!data_dir.empty()) return RunDurable(args, pos, u, std::move(*program));
+
+  auto instance_text = ReadFile(pos[1]);
+  if (!instance_text.ok()) return Fail(instance_text.status());
   auto instance = seqdl::ParseInstance(u, *instance_text);
-  if (!instance.ok()) return FailDiag(args[1], instance.status());
+  if (!instance.ok()) return FailDiag(pos[1], instance.status());
 
   // Measure the instance so the planner can rank access paths by
   // selectivity; --legacy-planner keeps the first-ground-argument
@@ -400,17 +548,25 @@ class ServeLoop {
                 static_cast<unsigned long long>(info.epoch),
                 static_cast<unsigned long long>(info.segments),
                 static_cast<unsigned long long>(info.facts));
+    PrintStorageLine(stdout, info);
     std::fflush(stdout);
   }
 
   void Compact() {
-    seqdl::protocol::CompactReply reply = service_.Compact();
+    seqdl::Result<seqdl::protocol::CompactReply> reply = service_.Compact();
     std::lock_guard<std::mutex> lock(io_mu_);
+    if (!reply.ok()) {
+      // Disk-full / permission failures during the seal render with
+      // their SD4xx code, like analyzer findings.
+      FailStorage(reply.status());
+      return;
+    }
     std::fprintf(stderr, "-- %s: epoch %llu, %llu segments, %llu facts\n",
-                 reply.folded ? "compacted" : "nothing to compact",
-                 static_cast<unsigned long long>(reply.db.epoch),
-                 static_cast<unsigned long long>(reply.db.segments),
-                 static_cast<unsigned long long>(reply.db.facts));
+                 reply->folded ? "compacted" : "nothing to compact",
+                 static_cast<unsigned long long>(reply->db.epoch),
+                 static_cast<unsigned long long>(reply->db.segments),
+                 static_cast<unsigned long long>(reply->db.facts));
+    PrintStorageLine(stderr, reply->db);
   }
 
   void Stats() {
@@ -527,12 +683,17 @@ class ServeLoop {
 };
 
 int CmdServe(const std::vector<std::string>& args) {
-  if (args.empty()) {
-    std::fprintf(stderr,
-                 "usage: seqdl serve <instance> [--stats] [--threads=N] "
-                 "[--recompile-drift=X] [--auto-compact=N] "
-                 "[--cache-bytes=N] [--listen=PORT] "
-                 "[--admission=off|budget|strict]\n");
+  const char* usage =
+      "usage: seqdl serve [<instance>] [--data-dir=DIR] "
+      "[--sync=always|interval|never] [--stats] [--threads=N] "
+      "[--recompile-drift=X] [--auto-compact=N] [--cache-bytes=N] "
+      "[--listen=PORT] [--admission=off|budget|strict]\n"
+      "(the instance is required without --data-dir, and when "
+      "initializing a fresh data directory it seeds the EDB)\n";
+  std::vector<std::string> pos = PositionalArgs(args);
+  std::string data_dir = FlagValue(args, "--data-dir=");
+  if (pos.empty() && data_dir.empty()) {
+    std::fprintf(stderr, "%s", usage);
     return 2;
   }
   bool stats_on = HasFlag(args, "--stats");
@@ -556,15 +717,36 @@ int CmdServe(const std::vector<std::string>& args) {
   if (std::string v = FlagValue(args, "--auto-compact="); !v.empty()) {
     dbopts.auto_compact_segments = std::strtoull(v.c_str(), nullptr, 10);
   }
+  if (!ApplyStorageFlags(args, &dbopts)) return 2;
 
   seqdl::Universe u;
-  auto instance_text = ReadFile(args[0]);
-  if (!instance_text.ok()) return Fail(instance_text.status());
-  auto instance = seqdl::ParseInstance(u, *instance_text);
-  if (!instance.ok()) return Fail(instance.status());
-  size_t edb_facts = instance->NumFacts();
-  auto db = seqdl::Database::Open(u, std::move(*instance), dbopts);
-  if (!db.ok()) return Fail(db.status());
+  // With --data-dir on an initialized directory the recovered EDB is
+  // authoritative: a restart serves the pre-restart facts without
+  // re-ingesting any source file, and a supplied instance is ignored
+  // (with a note) rather than merged.
+  bool recovering =
+      !data_dir.empty() && seqdl::Database::DataDirInitialized(data_dir);
+  seqdl::Instance seed;
+  if (recovering) {
+    if (!pos.empty()) {
+      std::fprintf(stderr,
+                   "-- note: %s is already initialized; ignoring %s "
+                   "(the recovered EDB is authoritative)\n",
+                   data_dir.c_str(), pos[0].c_str());
+    }
+  } else if (!pos.empty()) {
+    auto instance_text = ReadFile(pos[0]);
+    if (!instance_text.ok()) return Fail(instance_text.status());
+    auto instance = seqdl::ParseInstance(u, *instance_text);
+    if (!instance.ok()) return Fail(instance.status());
+    seed = std::move(*instance);
+  }
+  auto db = seqdl::Database::Open(u, std::move(seed), dbopts);
+  if (!db.ok()) return FailStorage(db.status());
+  size_t edb_facts = db->NumFacts();
+  const std::string source_desc = recovering || pos.empty()
+                                      ? data_dir
+                                      : pos[0];
 
   static std::mutex log_mu;
   seqdl::ServiceOptions sopts;
@@ -611,7 +793,7 @@ int CmdServe(const std::vector<std::string>& args) {
                  "-- serving %zu EDB facts from %s over TCP "
                  "(%zu worker thread%s); stop with "
                  "'seqdl query --connect=%s:%u shutdown'\n",
-                 edb_facts, args[0].c_str(), threads,
+                 edb_facts, source_desc.c_str(), threads,
                  threads == 1 ? "" : "s", (*server)->host().c_str(),
                  (*server)->port());
     (*server)->Wait();
@@ -632,7 +814,7 @@ int CmdServe(const std::vector<std::string>& args) {
                "'run <program> [REL]', 'append <instance>', "
                "'retract <instance>', 'epoch', 'compact', 'stats', or "
                "'quit'\n",
-               edb_facts, args[0].c_str(), threads, threads == 1 ? "" : "s");
+               edb_facts, source_desc.c_str(), threads, threads == 1 ? "" : "s");
 
   ServeLoop loop(service, stats_on);
   if (threads > 1) loop.StartWorkers(threads);
@@ -838,16 +1020,18 @@ int CmdQuery(const std::vector<std::string>& args) {
                 static_cast<unsigned long long>(reply->epoch),
                 static_cast<unsigned long long>(reply->segments),
                 static_cast<unsigned long long>(reply->facts));
+    PrintStorageLine(stdout, *reply);
     return 0;
   }
   if (cmd == "compact") {
     auto reply = client->Compact();
-    if (!reply.ok()) return Fail(reply.status());
+    if (!reply.ok()) return FailStorage(reply.status());
     std::printf("%s: epoch %llu, %llu segments, %llu facts\n",
                 reply->folded ? "compacted" : "nothing to compact",
                 static_cast<unsigned long long>(reply->db.epoch),
                 static_cast<unsigned long long>(reply->db.segments),
                 static_cast<unsigned long long>(reply->db.facts));
+    PrintStorageLine(stdout, reply->db);
     return 0;
   }
   if (cmd == "stats") {
