@@ -27,6 +27,11 @@
 //   SD105  cross-product join (no shared vars)    warning
 //   SD106  dead rule w.r.t. the requested output  warning
 //   SD107  unused IDB relation                    warning
+//   SD200  program is distribution-transparent    note
+//   SD201  unkeyed join over partitioned          warning
+//          relations
+//   SD202  negation over a partitioned relation   warning
+//   SD203  derived relation not co-partitioned    warning
 //   SD300  admitted under resource budgets        note
 //   SD301  recursive rule grows paths in its head warning/error*
 //   SD302  packing in a recursive rule            warning/error*
@@ -36,6 +41,10 @@
 //   SD403  manifest corruption                    error
 //   SD404  segment file corruption                error
 //   SD405  data-directory state conflict          error
+//
+//   SD200-203 come from the shard-locality pass (analysis/locality.h):
+//   they report where a clustered evaluation happens (shard-local vs
+//   gathered at the coordinator), never whether the answer is correct.
 //
 //   * SD301-303 mark the program *potentially generative* (its fixpoint
 //     may not terminate; paper Example 2.3). Under --admission=strict

@@ -22,6 +22,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "Cancelled";
     case StatusCode::kIoError:
       return "IoError";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

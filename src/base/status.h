@@ -34,6 +34,14 @@ enum class StatusCode {
   /// permissions, corruption detected by a checksum. Environmental, not a
   /// seqdl bug — retrying after fixing the environment may succeed.
   kIoError = 8,
+  /// A deadline elapsed before the operation completed (e.g. a client
+  /// connect/read timeout). The operation may still be in flight on the
+  /// other side; retrying may succeed.
+  kDeadlineExceeded = 9,
+  /// A required peer is unreachable or went away (connection refused,
+  /// reset, or a shard missing from a cluster). Environmental; retrying
+  /// once the peer returns may succeed.
+  kUnavailable = 10,
 };
 
 /// Returns a human-readable name for `code` ("OK", "InvalidArgument", ...).
@@ -72,6 +80,12 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

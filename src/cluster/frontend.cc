@@ -1,0 +1,72 @@
+#include "src/cluster/frontend.h"
+
+namespace seqdl {
+
+std::string CoordinatorHandler::Handle(const std::string& payload,
+                                       const std::function<bool()>& cancel,
+                                       bool* shutdown) {
+  using protocol::MsgType;
+  *shutdown = false;
+  MsgType orig = payload.empty() ? MsgType::kReply
+                                 : static_cast<MsgType>(
+                                       static_cast<uint8_t>(payload[0]));
+  Result<protocol::Request> req = protocol::DecodeRequest(payload);
+  if (!req.ok()) return protocol::EncodeErrorReply(orig, req.status());
+
+  switch (req->type) {
+    case MsgType::kCompile: {
+      Result<protocol::CompileReply> r = coordinator_.Compile(req->compile);
+      if (!r.ok()) return protocol::EncodeErrorReply(req->type, r.status());
+      return protocol::EncodeCompileReply(*r);
+    }
+    case MsgType::kRun: {
+      Result<protocol::RunReply> r = coordinator_.Run(req->run, cancel);
+      if (!r.ok()) return protocol::EncodeErrorReply(req->type, r.status());
+      return protocol::EncodeRunReply(*r);
+    }
+    case MsgType::kAppend: {
+      Result<protocol::AppendReply> r = coordinator_.Append(req->append);
+      if (!r.ok()) return protocol::EncodeErrorReply(req->type, r.status());
+      return protocol::EncodeAppendReply(*r);
+    }
+    case MsgType::kRetract: {
+      Result<protocol::RetractReply> r = coordinator_.Retract(req->retract);
+      if (!r.ok()) return protocol::EncodeErrorReply(req->type, r.status());
+      return protocol::EncodeRetractReply(*r);
+    }
+    case MsgType::kEpoch: {
+      Result<protocol::DbInfo> r = coordinator_.Info();
+      if (!r.ok()) return protocol::EncodeErrorReply(req->type, r.status());
+      return protocol::EncodeEpochReply(*r);
+    }
+    case MsgType::kCompact: {
+      Result<protocol::CompactReply> r = coordinator_.Compact();
+      if (!r.ok()) return protocol::EncodeErrorReply(req->type, r.status());
+      return protocol::EncodeCompactReply(*r);
+    }
+    case MsgType::kStats: {
+      Result<protocol::StatsReply> r = coordinator_.Stats();
+      if (!r.ok()) return protocol::EncodeErrorReply(req->type, r.status());
+      return protocol::EncodeStatsReply(*r);
+    }
+    case MsgType::kHello:
+      // The coordinator answers for itself: it speaks kWireVersion to
+      // its clients regardless of what its shards speak (mismatched
+      // shards fail per-request with the structured shard error).
+      return protocol::EncodeHelloReply({protocol::kWireVersion});
+    case MsgType::kShutdown:
+      if (forward_shutdown_) {
+        // Best-effort: an unreachable shard must not keep the
+        // coordinator up; its error is reported nowhere because the
+        // client asked the cluster to die either way.
+        (void)coordinator_.ShutdownShards();
+      }
+      *shutdown = true;
+      return protocol::EncodeShutdownReply();
+    default:
+      return protocol::EncodeErrorReply(
+          req->type, Status::Unimplemented("request type not handled"));
+  }
+}
+
+}  // namespace seqdl

@@ -1,0 +1,46 @@
+// The coordinator's wire front end: a server/server.h RequestHandler
+// that dispatches the standard protocol onto a Coordinator, which is
+// what makes a coordinator indistinguishable from a server on the wire —
+// `seqdl query --connect` works against either.
+//
+//   Universe u;
+//   Coordinator coord(u, shards);
+//   CoordinatorHandler handler(coord);
+//   SEQDL_ASSIGN_OR_RETURN(std::unique_ptr<Server> server,
+//                          Server::Start(handler, {.port = 0}));
+//
+// A kShutdown request drains the coordinator front end; with
+// forward_shutdown set (the default for `seqdl coordinate`) it also
+// asks every shard to shut down first, so one `shutdown` from a client
+// takes the whole cluster down.
+#ifndef SEQDL_CLUSTER_FRONTEND_H_
+#define SEQDL_CLUSTER_FRONTEND_H_
+
+#include <functional>
+#include <string>
+
+#include "src/cluster/coordinator.h"
+#include "src/server/server.h"
+
+namespace seqdl {
+
+class CoordinatorHandler : public RequestHandler {
+ public:
+  /// When `forward_shutdown` is set, a client's kShutdown is broadcast
+  /// to the shards (best-effort) before the coordinator itself drains.
+  explicit CoordinatorHandler(Coordinator& coordinator,
+                              bool forward_shutdown = true)
+      : coordinator_(coordinator), forward_shutdown_(forward_shutdown) {}
+
+  std::string Handle(const std::string& payload,
+                     const std::function<bool()>& cancel,
+                     bool* shutdown) override;
+
+ private:
+  Coordinator& coordinator_;
+  bool forward_shutdown_;
+};
+
+}  // namespace seqdl
+
+#endif  // SEQDL_CLUSTER_FRONTEND_H_

@@ -29,6 +29,21 @@
 
 namespace seqdl {
 
+/// Deadlines and limits for a client connection. The zero defaults mean
+/// "block forever" — exactly the pre-options behavior — so existing
+/// callers are unaffected; the cluster coordinator sets both timeouts so
+/// a hung shard surfaces as kDeadlineExceeded instead of a stalled
+/// scatter-gather.
+struct ClientOptions {
+  /// Milliseconds to wait for connect(2) to complete; 0 blocks forever.
+  uint32_t connect_timeout_ms = 0;
+  /// Milliseconds a single send or receive may stall before the round
+  /// trip fails with kDeadlineExceeded; 0 blocks forever. A deadline
+  /// failure leaves the stream position unknown — Close() the client.
+  uint32_t io_timeout_ms = 0;
+  size_t max_frame_bytes = protocol::kDefaultMaxFrameBytes;
+};
+
 class Client {
  public:
   /// Connects to host:port (IPv4 dotted quad or "localhost") and enables
@@ -36,6 +51,13 @@ class Client {
   static Result<Client> Connect(
       const std::string& host, uint16_t port,
       size_t max_frame_bytes = protocol::kDefaultMaxFrameBytes);
+
+  /// Connect with deadlines: a connect that does not complete within
+  /// connect_timeout_ms fails with kDeadlineExceeded (unreachable peers
+  /// stay kNotFound), and every later round trip is bounded by
+  /// io_timeout_ms.
+  static Result<Client> Connect(const std::string& host, uint16_t port,
+                                const ClientOptions& options);
 
   Client(Client&& other) noexcept;
   Client& operator=(Client&& other) noexcept;
@@ -69,6 +91,12 @@ class Client {
   Result<protocol::CompactReply> Compact();
   Result<protocol::StatsReply> Stats();
 
+  /// Handshake: exchanges wire-format versions. Fails with
+  /// kFailedPrecondition naming both versions on a mismatch; a
+  /// pre-handshake server's "unknown request type" reply is reported the
+  /// same way (it cannot speak this client's protocol either).
+  Result<protocol::HelloReply> Hello();
+
   /// Asks the server to drain and exit. The reply arrives before the
   /// server closes the connection.
   Status Shutdown();
@@ -83,8 +111,10 @@ class Client {
   int fd() const { return fd_; }
 
  private:
-  Client(int fd, size_t max_frame_bytes)
-      : fd_(fd), max_frame_bytes_(max_frame_bytes) {}
+  Client(int fd, const ClientOptions& options)
+      : fd_(fd),
+        max_frame_bytes_(options.max_frame_bytes),
+        io_timeout_ms_(options.io_timeout_ms) {}
 
   /// Sends one encoded frame and decodes the reply; checks the reply
   /// answers `expect` and propagates an error Status from the server.
@@ -93,6 +123,7 @@ class Client {
 
   int fd_ = -1;
   size_t max_frame_bytes_ = protocol::kDefaultMaxFrameBytes;
+  uint32_t io_timeout_ms_ = 0;
   /// Buffered reply reader, created on first round trip. Do not mix the
   /// typed methods with raw ReadFrame(fd()) on one connection — buffered
   /// bytes would be lost (raw byte-level tests use only raw IO).

@@ -240,6 +240,7 @@ const char* MsgTypeToString(MsgType type) {
     case MsgType::kCompact:  return "compact";
     case MsgType::kStats:    return "stats";
     case MsgType::kShutdown: return "shutdown";
+    case MsgType::kHello:    return "hello";
     case MsgType::kReply:    return "reply";
   }
   return "unknown";
@@ -278,6 +279,13 @@ std::string EncodeRetractRequest(const RetractRequest& req) {
   PutU8(&payload, static_cast<uint8_t>(MsgType::kRetract));
   PutString(&payload, req.facts);
   PutString(&payload, req.source_name);
+  return Frame(std::move(payload));
+}
+
+std::string EncodeHelloRequest(const HelloRequest& req) {
+  std::string payload;
+  PutU8(&payload, static_cast<uint8_t>(MsgType::kHello));
+  PutU32(&payload, req.wire_version);
   return Frame(std::move(payload));
 }
 
@@ -363,6 +371,12 @@ std::string EncodeShutdownReply() {
   return Frame(ReplyHead(MsgType::kShutdown, Status::OK()));
 }
 
+std::string EncodeHelloReply(const HelloReply& reply) {
+  std::string payload = ReplyHead(MsgType::kHello, Status::OK());
+  PutU32(&payload, reply.wire_version);
+  return Frame(std::move(payload));
+}
+
 // --- Decoding ----------------------------------------------------------------
 
 Result<Request> DecodeRequest(std::string_view payload) {
@@ -389,6 +403,9 @@ Result<Request> DecodeRequest(std::string_view payload) {
     case MsgType::kRetract:
       SEQDL_RETURN_IF_ERROR(r.ReadString(&req.retract.facts));
       SEQDL_RETURN_IF_ERROR(r.ReadString(&req.retract.source_name));
+      break;
+    case MsgType::kHello:
+      SEQDL_RETURN_IF_ERROR(r.ReadU32(&req.hello.wire_version));
       break;
     case MsgType::kEpoch:
     case MsgType::kCompact:
@@ -471,6 +488,9 @@ Result<Reply> DecodeReply(std::string_view payload) {
       SEQDL_RETURN_IF_ERROR(r.ReadU64(&reply.stats.view_delta_refreshes));
       SEQDL_RETURN_IF_ERROR(r.ReadU64(&reply.stats.view_dred_refreshes));
       SEQDL_RETURN_IF_ERROR(r.ReadU64(&reply.stats.view_strata_recomputed));
+      break;
+    case MsgType::kHello:
+      SEQDL_RETURN_IF_ERROR(r.ReadU32(&reply.hello.wire_version));
       break;
     case MsgType::kShutdown:
       break;

@@ -33,6 +33,13 @@
 //   kCompact    (empty)
 //   kStats      (empty)
 //   kShutdown   (empty)
+//   kHello      wire_version:u32
+//
+// kHello is the handshake: the reply carries the server's kWireVersion so
+// a peer (the cluster coordinator, notably) can reject a mismatched
+// server with a structured error instead of undefined frame decoding. A
+// pre-handshake server answers kHello with kInvalidArgument ("unknown
+// request type 9"), which callers should treat as a version mismatch too.
 //
 // Replies (server -> client) all share one shape:
 //
@@ -72,8 +79,14 @@ enum class MsgType : uint8_t {
   kStats = 6,
   kShutdown = 7,
   kRetract = 8,
+  kHello = 9,
   kReply = 128,
 };
+
+/// Version of the frame/message encoding described above. Bumped on any
+/// incompatible change; exchanged via kHello so mismatched peers fail
+/// with a structured error instead of misdecoding each other's frames.
+constexpr uint32_t kWireVersion = 1;
 
 /// "compile" / "run" / ... for logs and errors.
 const char* MsgTypeToString(MsgType type);
@@ -113,6 +126,11 @@ struct AppendRequest {
 struct RetractRequest {
   std::string facts;
   std::string source_name;
+};
+
+/// Handshake: announces the sender's wire-format version.
+struct HelloRequest {
+  uint32_t wire_version = kWireVersion;
 };
 
 // --- Reply bodies -----------------------------------------------------------
@@ -213,6 +231,11 @@ struct CompactReply {
   DbInfo db;
 };
 
+/// Handshake reply: the server's wire-format version (kHello reply).
+struct HelloReply {
+  uint32_t wire_version = 0;
+};
+
 struct StatsReply {
   /// StoreStats::ToString of the server database's measured statistics.
   std::string rendered;
@@ -238,6 +261,7 @@ struct Request {
   RunRequest run;
   AppendRequest append;
   RetractRequest retract;
+  HelloRequest hello;
 };
 
 /// One decoded reply frame: which request it answers, its Status, and the
@@ -252,6 +276,7 @@ struct Reply {
   DbInfo info;          ///< kEpoch
   CompactReply compact;
   StatsReply stats;
+  HelloReply hello;
 };
 
 // --- Encoding ---------------------------------------------------------------
@@ -262,6 +287,7 @@ std::string EncodeCompileRequest(const CompileRequest& req);
 std::string EncodeRunRequest(const RunRequest& req);
 std::string EncodeAppendRequest(const AppendRequest& req);
 std::string EncodeRetractRequest(const RetractRequest& req);
+std::string EncodeHelloRequest(const HelloRequest& req);
 /// kEpoch / kCompact / kStats / kShutdown (no body).
 std::string EncodeBareRequest(MsgType type);
 
@@ -275,6 +301,7 @@ std::string EncodeEpochReply(const DbInfo& info);
 std::string EncodeCompactReply(const CompactReply& reply);
 std::string EncodeStatsReply(const StatsReply& reply);
 std::string EncodeShutdownReply();
+std::string EncodeHelloReply(const HelloReply& reply);
 
 // --- Decoding ---------------------------------------------------------------
 // `payload` is a frame's payload (no length prefix). Truncated or

@@ -46,13 +46,24 @@ bool WaitReadable(int fd, int wake_fd, const std::atomic<bool>& stop) {
 
 }  // namespace
 
-Server::Server(DatabaseService& service, const ServerOptions& opts)
-    : service_(service), opts_(opts), host_(opts.host) {}
+Server::Server(RequestHandler& handler, const ServerOptions& opts)
+    : handler_(handler), opts_(opts), host_(opts.host) {}
 
 Result<std::unique_ptr<Server>> Server::Start(DatabaseService& service,
                                               const ServerOptions& opts) {
+  auto adapter = std::make_unique<ServiceRequestHandler>(service);
+  SEQDL_ASSIGN_OR_RETURN(std::unique_ptr<Server> server,
+                         Start(*adapter, opts));
+  // The adapter outlives the worker threads: they are joined by
+  // Shutdown(), which runs before the server (and this member) dies.
+  server->owned_handler_ = std::move(adapter);
+  return server;
+}
+
+Result<std::unique_ptr<Server>> Server::Start(RequestHandler& handler,
+                                              const ServerOptions& opts) {
   // No make_unique: the constructor is private to force Start().
-  std::unique_ptr<Server> server(new Server(service, opts));
+  std::unique_ptr<Server> server(new Server(handler, opts));
   SEQDL_RETURN_IF_ERROR(server->Listen());
   int pipe_fds[2];
   if (::pipe(pipe_fds) != 0) {
@@ -184,7 +195,9 @@ void Server::ServeConnection(int fd) {
       break;
     }
     bool shutdown = false;
-    std::string reply = HandleRequest(*payload, &shutdown);
+    std::string reply = handler_.Handle(
+        *payload, [this] { return stop_.load(std::memory_order_relaxed); },
+        &shutdown);
     if (reply.size() > 4 + opts_.max_frame_bytes) {
       // The client's frame limit mirrors ours; shipping an over-limit
       // reply would poison its stream with a misleading "oversized
@@ -213,7 +226,9 @@ void Server::ServeConnection(int fd) {
   ::close(fd);
 }
 
-std::string Server::HandleRequest(const std::string& payload, bool* shutdown) {
+std::string ServiceRequestHandler::Handle(const std::string& payload,
+                                          const std::function<bool()>& cancel,
+                                          bool* shutdown) {
   using protocol::MsgType;
   *shutdown = false;
   // Best-effort original type for error replies to undecodable frames.
@@ -234,9 +249,7 @@ std::string Server::HandleRequest(const std::string& payload, bool* shutdown) {
       // The cancel hook ties every in-flight run to the server's stop
       // flag: Shutdown() makes the engine bail at the next fixpoint
       // round with kCancelled, which goes out as this run's error reply.
-      Result<protocol::RunReply> r = service_.Run(
-          req->run,
-          [this] { return stop_.load(std::memory_order_relaxed); });
+      Result<protocol::RunReply> r = service_.Run(req->run, cancel);
       if (!r.ok()) return protocol::EncodeErrorReply(req->type, r.status());
       return protocol::EncodeRunReply(*r);
     }
@@ -259,6 +272,11 @@ std::string Server::HandleRequest(const std::string& payload, bool* shutdown) {
     }
     case MsgType::kStats:
       return protocol::EncodeStatsReply(service_.Stats());
+    case MsgType::kHello:
+      // The handshake always succeeds at the frame level: the *client*
+      // decides whether the versions are compatible (it may be newer or
+      // older), so the reply just reports ours.
+      return protocol::EncodeHelloReply({protocol::kWireVersion});
     case MsgType::kShutdown:
       *shutdown = true;
       return protocol::EncodeShutdownReply();

@@ -35,6 +35,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -46,6 +47,39 @@
 #include "src/server/service.h"
 
 namespace seqdl {
+
+/// What a Server serves: one request payload in, one encoded reply frame
+/// out. The default implementation fronts a DatabaseService
+/// (ServiceRequestHandler below); the cluster coordinator provides its
+/// own (cluster/frontend.h) — same accept loop, same drain semantics,
+/// different brain.
+class RequestHandler {
+ public:
+  virtual ~RequestHandler() = default;
+
+  /// Decode + dispatch one request payload and return the complete
+  /// encoded reply frame. `cancel` turns true when the server starts
+  /// draining (wire it into long-running evaluation); set *shutdown to
+  /// make the server drain after this reply is written.
+  virtual std::string Handle(const std::string& payload,
+                             const std::function<bool()>& cancel,
+                             bool* shutdown) = 0;
+};
+
+/// The standard handler: dispatches the wire protocol onto a
+/// DatabaseService.
+class ServiceRequestHandler : public RequestHandler {
+ public:
+  explicit ServiceRequestHandler(DatabaseService& service)
+      : service_(service) {}
+
+  std::string Handle(const std::string& payload,
+                     const std::function<bool()>& cancel,
+                     bool* shutdown) override;
+
+ private:
+  DatabaseService& service_;
+};
 
 struct ServerOptions {
   /// Address to bind; the default serves loopback only.
@@ -68,6 +102,10 @@ class Server {
   /// Binds, listens, and spawns the acceptor + worker threads. The
   /// service must outlive the returned server.
   static Result<std::unique_ptr<Server>> Start(DatabaseService& service,
+                                               const ServerOptions& opts = {});
+
+  /// Same, serving an arbitrary handler (which must outlive the server).
+  static Result<std::unique_ptr<Server>> Start(RequestHandler& handler,
                                                const ServerOptions& opts = {});
 
   Server(const Server&) = delete;
@@ -104,20 +142,19 @@ class Server {
   }
 
  private:
-  Server(DatabaseService& service, const ServerOptions& opts);
+  Server(RequestHandler& handler, const ServerOptions& opts);
 
   Status Listen();
   void AcceptLoop();
   void WorkerLoop();
   /// Serves one connection until disconnect/shutdown; owns and closes fd.
   void ServeConnection(int fd);
-  /// Decode + dispatch one request payload; returns the encoded reply
-  /// frame and sets *shutdown when the request was kShutdown.
-  std::string HandleRequest(const std::string& payload, bool* shutdown);
   /// Sets the stop flag and wakes the acceptor and every worker.
   void SignalShutdown();
 
-  DatabaseService& service_;
+  RequestHandler& handler_;
+  /// Owns the adapter when started via the DatabaseService overload.
+  std::unique_ptr<ServiceRequestHandler> owned_handler_;
   ServerOptions opts_;
   std::string host_;
   uint16_t port_ = 0;

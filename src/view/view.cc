@@ -204,7 +204,11 @@ Result<std::shared_ptr<const ViewSnapshot>> ViewManager::Refresh(
     SupportCounts support;
     RunOptions o = opts;
     o.support = &support;
-    SEQDL_ASSIGN_OR_RETURN(snap->idb_, prog.RunOnSegments(all, o, sink));
+    // Cold runs must see the stack the way a Session would: tombstone
+    // segments hide retracted facts, so pass the kinds alongside the
+    // segments (RunOnSegments would treat everything as facts).
+    SEQDL_ASSIGN_OR_RETURN(
+        snap->idb_, prog.RunOnStack(all, cur->segment_kinds, o, sink));
     // A full recomputation happened: apply the epoch decays deferred by
     // appends (same contract as Session::Run).
     state_->accum.AgeOnRecompute(StatsAccumulator::kEpochDecay);

@@ -70,6 +70,21 @@
 //       potentially non-terminating programs (SD301-SD303) are capped
 //       (budget) or refused (strict) — see docs/analysis.md.
 //
+//   seqdl coordinate --shards=HOST:PORT[,HOST:PORT...] [--listen=PORT]
+//               [--threads=N] [--broadcast=REL,...] [--pin=REL=SHARD,...]
+//               [--connect-timeout-ms=N] [--io-timeout-ms=N]
+//               [--cache-entries=N] [--no-forward-shutdown]
+//       Serve a cluster of `seqdl serve --listen` shard servers behind
+//       one endpoint speaking the same wire protocol (docs/cluster.md).
+//       Appends/retractions are hash-partitioned across the shards by
+//       each fact's first value; queries scatter to every shard in
+//       parallel and the answers are merged (programs the shard-locality
+//       analysis cannot prove distribution-transparent are finished on
+//       the coordinator instead — slower, still exact). --broadcast
+//       replicates small relations on every shard; --pin routes a
+//       relation's facts to one shard. A client's `shutdown` drains the
+//       shards too unless --no-forward-shutdown.
+//
 //   seqdl query --connect=HOST:PORT <command> [args]
 //       Blocking client for a `seqdl serve --listen` server. Commands:
 //           run <program.sdl> [REL]     ship the program text to the
@@ -136,6 +151,8 @@
 #include "src/analysis/features.h"
 #include "src/analysis/lint.h"
 #include "src/analysis/safety.h"
+#include "src/cluster/coordinator.h"
+#include "src/cluster/frontend.h"
 #include "src/engine/database.h"
 #include "src/engine/engine.h"
 #include "src/engine/instance.h"
@@ -875,6 +892,96 @@ int CmdServe(const std::vector<std::string>& args) {
   return 0;
 }
 
+// Serves a shard cluster: lazily connects to the listed `seqdl serve
+// --listen` shard servers and exposes the standard wire protocol, so
+// `seqdl query --connect=` works against a cluster exactly as against a
+// single server. See docs/cluster.md.
+int CmdCoordinate(const std::vector<std::string>& args) {
+  const char* usage =
+      "usage: seqdl coordinate --shards=HOST:PORT[,HOST:PORT...] "
+      "[--listen=PORT] [--threads=N] [--broadcast=REL[,REL...]] "
+      "[--pin=REL=SHARD[,REL=SHARD...]] [--connect-timeout-ms=N] "
+      "[--io-timeout-ms=N] [--cache-entries=N] [--no-forward-shutdown]\n";
+  std::string shards_spec = FlagValue(args, "--shards=");
+  if (shards_spec.empty()) {
+    std::fprintf(stderr, "%s", usage);
+    return 2;
+  }
+  auto shards = seqdl::ParseShardList(shards_spec);
+  if (!shards.ok()) return Fail(shards.status());
+
+  seqdl::CoordinatorOptions copts;
+  if (std::string v = FlagValue(args, "--broadcast="); !v.empty()) {
+    std::istringstream rels(v);
+    std::string rel;
+    while (std::getline(rels, rel, ',')) {
+      if (!rel.empty()) copts.partition.broadcast.insert(rel);
+    }
+  }
+  if (std::string v = FlagValue(args, "--pin="); !v.empty()) {
+    std::istringstream pins(v);
+    std::string pin;
+    while (std::getline(pins, pin, ',')) {
+      size_t eq = pin.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == pin.size()) {
+        return Fail(seqdl::Status::InvalidArgument(
+            "bad --pin entry '" + pin + "': expected REL=SHARD"));
+      }
+      copts.partition.pinned[pin.substr(0, eq)] = static_cast<uint32_t>(
+          std::strtoul(pin.c_str() + eq + 1, nullptr, 10));
+    }
+  }
+  if (std::string v = FlagValue(args, "--connect-timeout-ms="); !v.empty()) {
+    copts.connect_timeout_ms =
+        static_cast<uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
+  }
+  if (std::string v = FlagValue(args, "--io-timeout-ms="); !v.empty()) {
+    copts.io_timeout_ms =
+        static_cast<uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
+  }
+  if (std::string v = FlagValue(args, "--cache-entries="); !v.empty()) {
+    copts.result_cache_entries = std::strtoull(v.c_str(), nullptr, 10);
+  }
+  uint16_t listen_port = 0;
+  if (std::string v = FlagValue(args, "--listen="); !v.empty()) {
+    listen_port = static_cast<uint16_t>(std::strtoul(v.c_str(), nullptr, 10));
+  }
+  size_t threads = 4;
+  if (std::string v = FlagValue(args, "--threads="); !v.empty()) {
+    threads = std::strtoull(v.c_str(), nullptr, 10);
+    if (threads == 0) threads = 1;
+  }
+
+  seqdl::Universe u;
+  size_t num_shards = shards->size();
+  seqdl::Coordinator coordinator(u, std::move(*shards), copts);
+  seqdl::CoordinatorHandler handler(
+      coordinator, !HasFlag(args, "--no-forward-shutdown"));
+  seqdl::ServerOptions server_opts;
+  server_opts.port = listen_port;
+  server_opts.threads = threads;
+  auto server = seqdl::Server::Start(handler, server_opts);
+  if (!server.ok()) return Fail(server.status());
+  // Scripts parse this line, matching `seqdl serve --listen`'s contract.
+  std::printf("listening on %s:%u\n", (*server)->host().c_str(),
+              (*server)->port());
+  std::fflush(stdout);
+  std::fprintf(stderr,
+               "-- coordinating %zu shard%s (%s), %zu worker thread%s; "
+               "stop with 'seqdl query --connect=%s:%u shutdown'\n",
+               num_shards, num_shards == 1 ? "" : "s", shards_spec.c_str(),
+               threads, threads == 1 ? "" : "s", (*server)->host().c_str(),
+               (*server)->port());
+  (*server)->Wait();
+  std::fprintf(stderr,
+               "-- server drained: %llu connections, %llu requests\n",
+               static_cast<unsigned long long>(
+                   (*server)->connections_accepted()),
+               static_cast<unsigned long long>(
+                   (*server)->requests_served()));
+  return 0;
+}
+
 // Client for a `seqdl serve --listen` server: ships program/fact texts
 // over the wire protocol and prints the replies.
 int CmdQuery(const std::vector<std::string>& args) {
@@ -1308,14 +1415,15 @@ int CmdRegex(const std::vector<std::string>& args) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: seqdl <run|serve|query|check|transform|normalform|"
-                 "algebra|hasse|regex> ...\n");
+                 "usage: seqdl <run|serve|coordinate|query|check|transform|"
+                 "normalform|algebra|hasse|regex> ...\n");
     return 2;
   }
   std::string cmd = argv[1];
   std::vector<std::string> args(argv + 2, argv + argc);
   if (cmd == "run") return CmdRun(args);
   if (cmd == "serve") return CmdServe(args);
+  if (cmd == "coordinate") return CmdCoordinate(args);
   if (cmd == "query") return CmdQuery(args);
   if (cmd == "check") return CmdCheck(args);
   if (cmd == "transform") return CmdTransform(args);
